@@ -1,0 +1,372 @@
+// Package repro's root benchmarks regenerate every table and figure of
+// the paper (one benchmark per artifact, named after the DESIGN.md
+// experiment index) and report the headline measured values as custom
+// benchmark metrics so `go test -bench=.` doubles as the reproduction
+// harness:
+//
+//	BenchmarkTable2Overhead          ibs_lulesh_pct  soft_ibs_lulesh_pct ...
+//	BenchmarkSpeedupLULESH           amd_block_pct   p7_interleave_pct ...
+//
+// Micro-benchmarks for the substrate layers (cache, vm, engine, CCT)
+// live at the bottom.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/cct"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/isa"
+	"repro/internal/metrics"
+	"repro/internal/proc"
+	"repro/internal/topology"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+// T1: Table 1 — the configuration matrix is static; benchmark its
+// generation and assert coverage.
+func BenchmarkTable1Mechanisms(b *testing.B) {
+	var rows []experiments.Table1Row
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Table1()
+	}
+	if len(rows) != 6 {
+		b.Fatalf("table 1 rows = %d", len(rows))
+	}
+	b.ReportMetric(float64(len(rows)), "mechanisms")
+}
+
+// T2: Table 2 — monitoring overhead per mechanism per benchmark.
+func BenchmarkTable2Overhead(b *testing.B) {
+	var tbl *experiments.Table2
+	for i := 0; i < b.N; i++ {
+		var err error
+		tbl, err = experiments.RunTable2(2)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*tbl.Overhead("IBS", "LULESH"), "ibs_lulesh_pct")
+	b.ReportMetric(100*tbl.Overhead("PEBS", "LULESH"), "pebs_lulesh_pct")
+	b.ReportMetric(100*tbl.Overhead("Soft-IBS", "LULESH"), "softibs_lulesh_pct")
+	b.ReportMetric(100*tbl.Overhead("MRK", "AMG2006"), "mrk_amg_pct")
+	b.ReportMetric(100*tbl.Overhead("PEBS-LL", "Blackscholes"), "pebsll_bs_pct")
+}
+
+// F1: Figure 1 — the three data distributions.
+func BenchmarkFigure1Distributions(b *testing.B) {
+	var res *experiments.Figure1Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.RunFigure1()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*res.Rows[1].Speedup, "interleave_pct")
+	b.ReportMetric(100*res.Rows[2].Speedup, "colocated_pct")
+	b.ReportMetric(res.Rows[0].Imbalance, "centralised_imbalance")
+}
+
+// F2: Figure 2 — first-touch trapping.
+func BenchmarkFigure2FirstTouch(b *testing.B) {
+	var res *experiments.Figure2Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.RunFigure2()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(res.Events)), "trapped_pages")
+}
+
+// F3: Figure 3 — the LULESH case study (paper lpi 0.466, M_r ~ 7x M_l).
+func BenchmarkFigure3LULESH(b *testing.B) {
+	var res *experiments.Figure3Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.RunFigure3(3)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.LPI, "lpi")
+	b.ReportMetric(res.ZMrOverMl, "z_mr_over_ml")
+	b.ReportMetric(100*res.NodelistRemoteShare, "nodelist_rlat_pct")
+	b.ReportMetric(boolMetric(res.ZStaircase), "z_staircase")
+}
+
+// F4-F7: AMG2006 whole-program vs region-scoped patterns (paper region
+// latency shares 74.2% and 73.6%).
+func BenchmarkFigures47AMG(b *testing.B) {
+	var res *experiments.Figures45Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.RunFigures47(4)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.LPI, "lpi")
+	b.ReportMetric(100*res.Data.RegionLatShare, "data_region_share_pct")
+	b.ReportMetric(boolMetric(res.Data.RegionStaircase && !res.Data.WholeStaircase), "data_contrast")
+	b.ReportMetric(boolMetric(res.J.RegionStaircase && !res.J.WholeStaircase), "j_contrast")
+}
+
+// F8-F9: Blackscholes layouts (paper lpi 0.035, below threshold).
+func BenchmarkFigures89Blackscholes(b *testing.B) {
+	var res *experiments.Figures89Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.RunFigures89(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.LPI, "lpi_exact")
+	b.ReportMetric(boolMetric(!res.Significant), "below_threshold")
+	b.ReportMetric(res.SoAOverlap, "soa_overlap")
+	b.ReportMetric(boolMetric(res.AoSStaircase), "aos_disjoint")
+}
+
+// F10: UMT2013 under MRK (paper: 86% of L3 misses remote).
+func BenchmarkFigure10UMT(b *testing.B) {
+	var res *experiments.Figure10Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.RunFigure10(6)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*res.RemoteMissFraction, "remote_miss_pct")
+	b.ReportMetric(boolMetric(res.Staggered), "staggered")
+}
+
+// S1: LULESH speedups (paper: AMD +25% block / +13% interleave;
+// POWER7 +7.5% block / -16.4% interleave).
+func BenchmarkSpeedupLULESH(b *testing.B) {
+	var amd, p7 *experiments.SpeedupResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		amd, p7, err = experiments.RunSpeedupLULESH(4)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*amd.Speedup(workloads.BlockWise), "amd_block_pct")
+	b.ReportMetric(100*amd.Speedup(workloads.Interleave), "amd_interleave_pct")
+	b.ReportMetric(100*p7.Speedup(workloads.BlockWise), "p7_block_pct")
+	b.ReportMetric(100*p7.Speedup(workloads.Interleave), "p7_interleave_pct")
+}
+
+// S2: AMG2006 solver reductions (paper: 51% guided vs 36% interleave).
+func BenchmarkSpeedupAMG(b *testing.B) {
+	var res *experiments.SpeedupResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.RunSpeedupAMG(5)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*res.Reduction(workloads.Guided), "guided_reduction_pct")
+	b.ReportMetric(100*res.Reduction(workloads.Interleave), "interleave_reduction_pct")
+}
+
+// S3: Blackscholes (paper: < 0.1% — the negative control).
+func BenchmarkSpeedupBlackscholes(b *testing.B) {
+	var res *experiments.SpeedupResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.RunSpeedupBlackscholes(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*res.Speedup(workloads.ParallelInit), "fix_pct")
+}
+
+// S4: UMT2013 (paper: +7%).
+func BenchmarkSpeedupUMT(b *testing.B) {
+	var res *experiments.SpeedupResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.RunSpeedupUMT(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*res.Speedup(workloads.ParallelInit), "fix_pct")
+}
+
+// A1-A3: design-choice ablations.
+
+func BenchmarkAblationPeriod(b *testing.B) {
+	var res *experiments.AblationPeriodResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.RunAblationPeriod()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Rows[0].Ratio, "dense_ratio")
+	b.ReportMetric(res.Rows[len(res.Rows)-1].Ratio, "sparse_ratio")
+}
+
+func BenchmarkAblationBins(b *testing.B) {
+	var res *experiments.AblationBinsResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.RunAblationBins()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*res.Rows[1].HotBinShare, "five_bin_hot_share_pct")
+	b.ReportMetric(100*res.Rows[1].HotBinExtent, "five_bin_extent_pct")
+}
+
+func BenchmarkAblationContention(b *testing.B) {
+	var res *experiments.AblationContentionResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.RunAblationContention()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*res.Rows[0].InterleaveSpeedup, "interleave_nocontention_pct")
+	b.ReportMetric(100*res.Rows[2].InterleaveSpeedup, "interleave_full_pct")
+}
+
+func BenchmarkAblationDynamic(b *testing.B) {
+	var res *experiments.AblationDynamicResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.RunAblationDynamic()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*res.Speedup("static", "block-wise"), "static_block_pct")
+	b.ReportMetric(100*res.Speedup("dynamic", "interleaved"), "dynamic_interleave_pct")
+}
+
+func boolMetric(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// --- substrate micro-benchmarks ---
+
+func benchMachine() *topology.Machine {
+	return topology.New(topology.Config{
+		Name: "bench", NumDomains: 4, CPUsPerDomain: 2,
+		MemoryPerDomain: 1 << 30,
+	})
+}
+
+// BenchmarkCacheAccess measures the hierarchy's per-access cost.
+func BenchmarkCacheAccess(b *testing.B) {
+	h := cache.NewHierarchy(benchMachine(), cache.DefaultConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Access(0, uint64(i)*64, 0)
+	}
+}
+
+// BenchmarkVMTouch measures page resolution with first-touch homing.
+func BenchmarkVMTouch(b *testing.B) {
+	as := vm.NewAddressSpace(benchMachine())
+	r := as.Alloc(1<<30, vm.FirstTouch{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		as.Touch(r.Base+uint64(i%(1<<20))*64, false, 0)
+	}
+}
+
+// BenchmarkEngineAccess measures the full simulated-access pipeline
+// (vm + cache + latency + accounting) without monitoring.
+func BenchmarkEngineAccess(b *testing.B) {
+	prog := isa.NewProgram("bench")
+	fn := prog.AddFunc("f", "f.c", 1)
+	site := prog.AddSite(fn, 2, isa.KindLoad)
+	e := proc.NewEngine(proc.Config{Machine: benchMachine(), Program: prog})
+	c := e.Ctx(0)
+	e.BeginRegion("bench", e.Threads())
+	r := c.Alloc(site, "a", 1<<26, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Load(site, r.Base+uint64(i%(1<<18))*64)
+	}
+}
+
+// BenchmarkProfiledAccess measures the same pipeline with the full
+// profiler and IBS monitoring attached — the simulator-side analog of
+// Table 2's monitoring overhead.
+func BenchmarkProfiledAccess(b *testing.B) {
+	app := &benchApp{n: b.N}
+	prog := app.Binary()
+	_ = prog
+	cfg := core.Config{Machine: benchMachine(), Mechanism: "IBS", Period: 1024}
+	b.ResetTimer()
+	if _, err := core.Analyze(cfg, app); err != nil {
+		b.Fatal(err)
+	}
+}
+
+type benchApp struct {
+	n    int
+	prog *isa.Program
+	fn   isa.FuncID
+	site isa.SiteID
+}
+
+func (a *benchApp) Name() string { return "bench" }
+
+func (a *benchApp) Binary() *isa.Program {
+	if a.prog == nil {
+		a.prog = isa.NewProgram("bench")
+		a.fn = a.prog.AddFunc("f", "f.c", 1)
+		a.site = a.prog.AddSite(a.fn, 2, isa.KindLoad)
+	}
+	return a.prog
+}
+
+func (a *benchApp) Run(e *proc.Engine) {
+	c := e.Ctx(0)
+	e.BeginRegion("bench", e.Threads())
+	r := c.Alloc(a.site, "a", 1<<26, nil)
+	for i := 0; i < a.n; i++ {
+		c.Load(a.site, r.Base+uint64(i%(1<<18))*64)
+	}
+	e.EndRegion()
+}
+
+// BenchmarkCCTMerge measures the hpcprof-style profile merge.
+func BenchmarkCCTMerge(b *testing.B) {
+	src := cct.New()
+	for f := 0; f < 32; f++ {
+		for s := 0; s < 16; s++ {
+			n := src.Root().InsertPath([]cct.Key{
+				cct.FrameKey(isa.FuncID(f), 0),
+				cct.SiteKey(isa.SiteID(s)),
+			})
+			n.AddMetric(metrics.Samples, 1)
+			n.ExtendRange(f%8, uint64(s)*64)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst := cct.New()
+		cct.MergeTrees(dst, src)
+	}
+}

@@ -1,0 +1,214 @@
+// Command numabench regenerates every table and figure of the paper's
+// evaluation on the simulated substrate and prints measured values next
+// to the paper's reported numbers.
+//
+// Run everything:
+//
+//	numabench
+//
+// Run selected artifacts:
+//
+//	numabench -run T1,T2
+//	numabench -run F3,F45,F89,F10
+//	numabench -run S1,S2,S3,S4
+//
+// Ids: T1 T2 (tables), F1 F2 F3 F45 F89 F10 (figures), S1-S4 (the
+// Section 8 speedups: LULESH, AMG2006, Blackscholes, UMT2013), and
+// A1-A4 (design-choice ablations: sampling period, binning,
+// contention model, scheduling), and SC (the reproduction scorecard).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+type artifact struct {
+	id    string
+	title string
+	run   func(iters int) (string, error)
+}
+
+func artifacts() []artifact {
+	return []artifact{
+		{"T1", "Table 1: sampling-mechanism configurations", func(int) (string, error) {
+			return experiments.RenderTable1(experiments.Table1()), nil
+		}},
+		{"T2", "Table 2: monitoring overhead", func(iters int) (string, error) {
+			t, err := experiments.RunTable2(iters)
+			if err != nil {
+				return "", err
+			}
+			return t.Render(), nil
+		}},
+		{"F1", "Figure 1: three data distributions", func(int) (string, error) {
+			r, err := experiments.RunFigure1()
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"F2", "Figure 2: first-touch trapping", func(int) (string, error) {
+			r, err := experiments.RunFigure2()
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"F3", "Figure 3 / Section 8.1: LULESH case study", func(iters int) (string, error) {
+			r, err := experiments.RunFigure3(iters)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"F45", "Figures 4-7 / Section 8.2: AMG2006 patterns", func(iters int) (string, error) {
+			r, err := experiments.RunFigures47(iters)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"F89", "Figures 8-9 / Section 8.3: Blackscholes layouts", func(int) (string, error) {
+			r, err := experiments.RunFigures89(0)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"F10", "Figure 10 / Section 8.4: UMT2013 under MRK", func(int) (string, error) {
+			r, err := experiments.RunFigure10(0)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"S1", "Section 8.1 speedups: LULESH (both machines)", func(iters int) (string, error) {
+			amd, p7, err := experiments.RunSpeedupLULESH(iters)
+			if err != nil {
+				return "", err
+			}
+			return amd.Render() + p7.Render(), nil
+		}},
+		{"S2", "Section 8.2 speedups: AMG2006 solver phase", func(iters int) (string, error) {
+			r, err := experiments.RunSpeedupAMG(iters)
+			if err != nil {
+				return "", err
+			}
+			out := r.Render()
+			out += fmt.Sprintf("  solver-time reduction: guided %.0f%% (paper 51%%), interleave-all %.0f%% (paper 36%%)\n",
+				100*r.Reduction("guided"), 100*r.Reduction("interleave"))
+			return out, nil
+		}},
+		{"S3", "Section 8.3 speedups: Blackscholes (negative control)", func(int) (string, error) {
+			r, err := experiments.RunSpeedupBlackscholes(0)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"S4", "Section 8.4 speedups: UMT2013", func(int) (string, error) {
+			r, err := experiments.RunSpeedupUMT(0)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"A1", "Ablation: sampling-period sensitivity of lpi_NUMA", func(int) (string, error) {
+			r, err := experiments.RunAblationPeriod()
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"A2", "Ablation: variable binning resolution", func(int) (string, error) {
+			r, err := experiments.RunAblationBins()
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"A3", "Ablation: contention model vs optimisation payoffs", func(int) (string, error) {
+			r, err := experiments.RunAblationContention()
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"A4", "Ablation: placement under static vs dynamic scheduling", func(int) (string, error) {
+			r, err := experiments.RunAblationDynamic()
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"SC", "Reproduction scorecard: every paper-shape claim, checked", func(iters int) (string, error) {
+			r, err := experiments.RunScorecard(iters)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+	}
+}
+
+func main() {
+	var (
+		runList = flag.String("run", "", "comma-separated artifact ids (empty: all)")
+		iters   = flag.Int("iters", 0, "workload iterations for the heavy runs (0: defaults)")
+		mdOut   = flag.String("out", "", "also write the results as a markdown report to this path")
+	)
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *runList != "" {
+		for _, id := range strings.Split(*runList, ",") {
+			want[strings.TrimSpace(strings.ToUpper(id))] = true
+		}
+	}
+
+	var md strings.Builder
+	if *mdOut != "" {
+		md.WriteString("# NUMA-profiler reproduction results\n\n")
+		md.WriteString("Generated by `numabench`. Measured values appear next to the\n")
+		md.WriteString("paper's reported numbers where the paper reports them.\n\n")
+	}
+
+	failed := false
+	for _, a := range artifacts() {
+		if len(want) > 0 && !want[a.id] {
+			continue
+		}
+		start := time.Now()
+		fmt.Printf("=== %s — %s ===\n", a.id, a.title)
+		out, err := a.run(*iters)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", a.id, err)
+			failed = true
+			continue
+		}
+		fmt.Print(out)
+		elapsed := time.Since(start).Round(time.Millisecond)
+		fmt.Printf("(%s in %v)\n\n", a.id, elapsed)
+		if *mdOut != "" {
+			fmt.Fprintf(&md, "## %s — %s\n\n```\n%s```\n\n_(completed in %v)_\n\n",
+				a.id, a.title, out, elapsed)
+		}
+	}
+	if *mdOut != "" && !failed {
+		if err := os.WriteFile(*mdOut, []byte(md.String()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "numabench:", err)
+			failed = true
+		} else {
+			fmt.Printf("markdown report written to %s\n", *mdOut)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,169 @@
+// Command numaprof is the hpcrun → hpcprof → hpcviewer pipeline of the
+// paper in one binary: it runs a simulated workload under a chosen
+// address-sampling mechanism on a chosen machine, profiles it, and
+// prints the code-centric, data-centric, and address-centric views.
+//
+// Examples:
+//
+//	numaprof -workload lulesh -mechanism IBS -machine amd-magny-cours-48
+//	numaprof -workload amg2006 -strategy guided
+//	numaprof -workload umt2013 -machine ibm-power7-128 -threads 32 -binding scatter -mechanism MRK
+//	numaprof -workload blackscholes -first-touch=false -top 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/pmu"
+	"repro/internal/proc"
+	"repro/internal/profio"
+	"repro/internal/topology"
+	"repro/internal/trace"
+	"repro/internal/view"
+	"repro/internal/workloads"
+)
+
+func main() {
+	var (
+		workload  = flag.String("workload", "lulesh", "workload: lulesh, amg2006, blackscholes, umt2013")
+		mechanism = flag.String("mechanism", "IBS", "sampling mechanism: "+strings.Join(pmu.Names(), ", "))
+		machine   = flag.String("machine", "", "machine preset (default: the mechanism's Table 1 testbed)")
+		threads   = flag.Int("threads", 0, "team size (0: all CPUs)")
+		binding   = flag.String("binding", "compact", "thread binding: compact or scatter")
+		strategy  = flag.String("strategy", "baseline", "placement: baseline, blockwise, interleave, parallel-init, guided")
+		period    = flag.Uint64("period", 0, "sampling period override (0: mechanism default)")
+		bins      = flag.Int("bins", 0, "per-variable bin count (0: default/"+`$NUMAPROF_BINS`+")")
+		iters     = flag.Int("iters", 0, "workload iterations (0: default)")
+		top       = flag.Int("top", 5, "variables to detail")
+		firstT    = flag.Bool("first-touch", true, "pinpoint first touches via page protection")
+		showCCT   = flag.Bool("cct", true, "print the calling-context view")
+		doTrace   = flag.Bool("trace", false, "record time-stamped samples and print the time-varying profile")
+		htmlOut   = flag.String("html", "", "also write a self-contained HTML report to this path")
+		profOut   = flag.String("profile", "", "write the measurement file (for numaview) to this path")
+	)
+	flag.Parse()
+
+	if err := run(*workload, *mechanism, *machine, *threads, *binding, *strategy,
+		*period, *bins, *iters, *top, *firstT, *showCCT, *doTrace, *htmlOut, *profOut); err != nil {
+		fmt.Fprintln(os.Stderr, "numaprof:", err)
+		os.Exit(1)
+	}
+}
+
+func run(workload, mechanism, machine string, threads int, binding, strategy string,
+	period uint64, bins, iters, top int, firstTouch, showCCT, doTrace bool, htmlOut, profOut string) error {
+
+	var m *topology.Machine
+	if machine == "" {
+		switch mechanism {
+		case "MRK":
+			m = topology.Power7x128()
+		case "PEBS":
+			m = topology.Harpertown8()
+		case "DEAR":
+			m = topology.Itanium2x8()
+		case "PEBS-LL":
+			m = topology.IvyBridge8()
+		default:
+			m = topology.MagnyCours48()
+		}
+	} else {
+		presets := topology.Presets()
+		var ok bool
+		if m, ok = presets[machine]; !ok {
+			names := make([]string, 0, len(presets))
+			for n := range presets {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			return fmt.Errorf("unknown machine %q; presets: %s", machine, strings.Join(names, ", "))
+		}
+	}
+
+	var bind proc.Binding
+	switch binding {
+	case "compact":
+		bind = proc.Compact
+	case "scatter":
+		bind = proc.Scatter
+	default:
+		return fmt.Errorf("unknown binding %q (compact|scatter)", binding)
+	}
+
+	params := workloads.Params{Strategy: workloads.Strategy(strategy), Iters: iters}
+	var app core.App
+	switch workload {
+	case "lulesh":
+		app = workloads.NewLULESH(params)
+	case "amg2006":
+		app = workloads.NewAMG2006(params)
+	case "blackscholes":
+		app = workloads.NewBlackscholes(params)
+	case "umt2013":
+		app = workloads.NewUMT2013(params)
+		if threads == 0 {
+			threads = 32 // the paper's UMT input limit
+		}
+		if binding == "compact" {
+			bind = proc.Scatter
+		}
+	default:
+		return fmt.Errorf("unknown workload %q (lulesh|amg2006|blackscholes|umt2013)", workload)
+	}
+
+	cfg := core.Config{
+		Machine:         m,
+		Threads:         threads,
+		Binding:         bind,
+		Mechanism:       mechanism,
+		Period:          period,
+		Bins:            bins,
+		TrackFirstTouch: firstTouch,
+		Trace:           doTrace,
+		CacheConfig:     workloads.TunedCacheConfig(),
+		MemParams:       workloads.MemParamsFor(m),
+		FabricParams:    workloads.FabricParamsFor(m),
+	}
+	prof, err := core.Analyze(cfg, app)
+	if err != nil {
+		return err
+	}
+	fmt.Print(view.Report(prof, top))
+	if showCCT {
+		fmt.Println()
+		fmt.Print(view.CCT(prof, metrics.Mismatch, 6, 0.01))
+		fmt.Print(view.RenderHotPath(prof, metrics.Mismatch))
+	}
+	if doTrace && prof.Timeline != nil {
+		fmt.Println()
+		fmt.Print(trace.Render(prof.Timeline, 16, 40))
+	}
+	if htmlOut != "" {
+		page, err := view.HTML(prof, top)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(htmlOut, []byte(page), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\nHTML report written to %s\n", htmlOut)
+	}
+	if profOut != "" {
+		f, err := os.Create(profOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := profio.Save(f, prof); err != nil {
+			return err
+		}
+		fmt.Printf("\nmeasurement file written to %s (view with numaview)\n", profOut)
+	}
+	return nil
+}

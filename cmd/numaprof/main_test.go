@@ -1,0 +1,52 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	cases := []struct {
+		name string
+		err  string
+		call func() error
+	}{
+		{"unknown workload", "unknown workload", func() error {
+			return run("nope", "IBS", "", 0, "compact", "baseline", 0, 0, 1, 1, false, false, false, "", "")
+		}},
+		{"unknown machine", "unknown machine", func() error {
+			return run("lulesh", "IBS", "pdp-11", 0, "compact", "baseline", 0, 0, 1, 1, false, false, false, "", "")
+		}},
+		{"unknown binding", "unknown binding", func() error {
+			return run("lulesh", "IBS", "", 0, "diagonal", "baseline", 0, 0, 1, 1, false, false, false, "", "")
+		}},
+		{"unknown mechanism", "unknown mechanism", func() error {
+			return run("lulesh", "XYZ", "", 0, "compact", "baseline", 0, 0, 1, 1, false, false, false, "", "")
+		}},
+	}
+	for _, c := range cases {
+		err := c.call()
+		if err == nil {
+			t.Errorf("%s: expected error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.err) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.err)
+		}
+	}
+}
+
+func TestRunBlackscholesSmoke(t *testing.T) {
+	// A fast end-to-end run through the whole pipeline.
+	if err := run("blackscholes", "IBS", "", 0, "compact", "baseline",
+		0, 0, 4, 1, true, true, true, t.TempDir()+"/report.html", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUMTDefaultsToScatter(t *testing.T) {
+	if err := run("umt2013", "MRK", "", 0, "compact", "baseline",
+		0, 0, 2, 1, false, false, false, "", ""); err != nil {
+		t.Fatal(err)
+	}
+}

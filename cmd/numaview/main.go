@@ -1,0 +1,123 @@
+// Command numaview is the hpcviewer analog: it loads a measurement
+// file written by numaprof -profile and renders the code-centric,
+// data-centric, and address-centric views — no re-execution needed,
+// exactly as the real tool's offline viewer consumes hpcrun's
+// measurement databases (Section 7).
+//
+//	numaprof -workload lulesh -profile lulesh.numaprof
+//	numaview lulesh.numaprof
+//	numaview -html report.html lulesh.numaprof
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/addrcentric"
+	"repro/internal/core"
+	"repro/internal/diff"
+	"repro/internal/metrics"
+	"repro/internal/profio"
+	"repro/internal/trace"
+	"repro/internal/view"
+)
+
+func main() {
+	var (
+		top      = flag.Int("top", 5, "variables to detail")
+		showCCT  = flag.Bool("cct", true, "print the calling-context view")
+		htmlOut  = flag.String("html", "", "write a self-contained HTML report to this path")
+		diffWith = flag.String("diff", "", "compare against this second measurement file (before vs after)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: numaview [flags] <measurement-file>")
+		os.Exit(2)
+	}
+	var err error
+	if *diffWith != "" {
+		err = runDiff(flag.Arg(0), *diffWith)
+	} else {
+		err = run(flag.Arg(0), *top, *showCCT, *htmlOut)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "numaview:", err)
+		os.Exit(1)
+	}
+}
+
+// runDiff loads two measurement files and prints their comparison:
+// the first argument is the "before" profile, -diff names the "after".
+func runDiff(beforePath, afterPath string) error {
+	load := func(path string) (*core.Profile, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return profio.Load(f)
+	}
+	before, err := load(beforePath)
+	if err != nil {
+		return err
+	}
+	after, err := load(afterPath)
+	if err != nil {
+		return err
+	}
+	r := diff.Compare(before, after, beforePath, afterPath, diff.Options{})
+	fmt.Print(r.Render())
+	return nil
+}
+
+func run(path string, top int, showCCT bool, htmlOut string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	prof, err := profio.Load(f)
+	if err != nil {
+		return err
+	}
+
+	fmt.Print(view.Totals(prof))
+	fmt.Println()
+	fmt.Print(view.VarTable(prof, top))
+	vars := prof.Vars
+	if top > 0 && top < len(vars) {
+		vars = vars[:top]
+	}
+	for _, v := range vars {
+		if pat, ok := prof.Patterns.Pattern(v.Var, addrcentric.WholeProgram); ok {
+			fmt.Println()
+			fmt.Print(view.AddressCentric(pat, 48))
+		}
+		if len(v.Bins) > 1 {
+			fmt.Print(view.BinTable(v))
+		}
+		if v.ProtectedPages > 0 || len(v.FirstTouchThreads) > 0 {
+			fmt.Print(view.FirstTouchReport(prof, v))
+		}
+	}
+	if showCCT {
+		fmt.Println()
+		fmt.Print(view.CCT(prof, metrics.Mismatch, 6, 0.01))
+	}
+	if prof.Timeline != nil && prof.Timeline.Len() > 0 {
+		fmt.Println()
+		fmt.Print(trace.Render(prof.Timeline, 16, 40))
+	}
+	if htmlOut != "" {
+		page, err := view.HTML(prof, top)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(htmlOut, []byte(page), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\nHTML report written to %s\n", htmlOut)
+	}
+	return nil
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/profio"
+	"repro/internal/topology"
+	"repro/internal/workloads"
+)
+
+func TestViewSavedProfile(t *testing.T) {
+	// Produce a measurement file the way numaprof would.
+	m := topology.MagnyCours48()
+	prof, err := core.Analyze(core.Config{
+		Machine:         m,
+		Mechanism:       "IBS",
+		TrackFirstTouch: true,
+		CacheConfig:     workloads.TunedCacheConfig(),
+		MemParams:       workloads.MemParamsFor(m),
+		FabricParams:    workloads.FabricParamsFor(m),
+	}, workloads.NewBlackscholes(workloads.Params{Iters: 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bs.numaprof")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := profio.Save(f, prof); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	htmlPath := filepath.Join(dir, "report.html")
+	if err := run(path, 2, true, htmlPath); err != nil {
+		t.Fatal(err)
+	}
+	html, err := os.ReadFile(htmlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(html) == 0 {
+		t.Fatal("empty HTML report")
+	}
+}
+
+func TestViewRejectsMissingFile(t *testing.T) {
+	if err := run(filepath.Join(t.TempDir(), "absent"), 1, false, ""); err == nil {
+		t.Fatal("missing file should error")
+	}
+}
+
+func TestViewRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad")
+	if err := os.WriteFile(path, []byte("not a profile"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, 1, false, ""); err == nil {
+		t.Fatal("garbage file should error")
+	}
+}
+
+func TestDiffTwoProfiles(t *testing.T) {
+	m := topology.MagnyCours48()
+	save := func(s workloads.Strategy, path string) {
+		t.Helper()
+		prof, err := core.Analyze(core.Config{
+			Machine:      m,
+			Mechanism:    "IBS",
+			CacheConfig:  workloads.TunedCacheConfig(),
+			MemParams:    workloads.MemParamsFor(m),
+			FabricParams: workloads.FabricParamsFor(m),
+		}, workloads.NewLULESH(workloads.Params{Strategy: s, Iters: 2}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if err := profio.Save(f, prof); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.numaprof")
+	block := filepath.Join(dir, "block.numaprof")
+	save(workloads.Baseline, base)
+	save(workloads.BlockWise, block)
+	if err := runDiff(base, block); err != nil {
+		t.Fatal(err)
+	}
+	if err := runDiff(base, filepath.Join(dir, "absent")); err == nil {
+		t.Fatal("missing after-file should error")
+	}
+}

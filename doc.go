@@ -1,0 +1,25 @@
+// Package repro is a from-scratch Go reproduction of "A Tool to
+// Analyze the Performance of Multithreaded Programs on NUMA
+// Architectures" (Xu Liu and John Mellor-Crummey, PPoPP 2014) — the
+// HPCToolkit-NUMA profiler — on a deterministic simulated substrate.
+//
+// The root package holds only the benchmark harness (bench_test.go),
+// one benchmark per table and figure of the paper's evaluation. The
+// library lives under internal/ (see DESIGN.md for the inventory):
+//
+//   - internal/core is the profiler: core.Analyze runs an application
+//     under one of six address-sampling mechanisms and returns a
+//     Profile with code-, data-, and address-centric attributions,
+//     first-touch pinpointing, and the lpi_NUMA metrics of Section 4;
+//   - internal/workloads reconstructs LULESH, AMG2006, Blackscholes,
+//     and UMT2013;
+//   - internal/experiments regenerates every table and figure, with
+//     the paper's numbers alongside;
+//   - cmd/numaprof, cmd/numaview, and cmd/numabench are the
+//     command-line pipeline (profile, view/diff, evaluate).
+//
+// Start with README.md, then run:
+//
+//	go run ./examples/quickstart
+//	go run ./cmd/numabench -run SC
+package repro

@@ -1,0 +1,165 @@
+// custom-workload shows how to bring your own program to the profiler:
+// implement core.App, run the analysis, let the metrics decide whether
+// a NUMA fix is worth it, and verify the decision by re-measuring.
+//
+// The program is a 5-point stencil whose halo rows are shared between
+// neighbouring threads — a case where block-wise placement co-locates
+// the interior but halo traffic stays remote.
+//
+//	go run ./examples/custom-workload
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/metrics"
+	"repro/internal/omp"
+	"repro/internal/proc"
+	"repro/internal/topology"
+	"repro/internal/units"
+	"repro/internal/vm"
+	"repro/internal/workloads"
+)
+
+// stencil is a rows x cols Jacobi-style sweep: out[r] depends on
+// in[r-1], in[r], in[r+1].
+type stencil struct {
+	prog           *isa.Program
+	fnMain, fnInit isa.FuncID
+	fnSweep        isa.FuncID
+	sAlloc, sInit  isa.SiteID
+	sUp, sMid, sDn isa.SiteID
+	sOut           isa.SiteID
+
+	rows, cols, iters int
+	policy            vm.Policy
+	parallelInit      bool
+}
+
+func newStencil(rows, cols, iters int, policy vm.Policy, parallelInit bool) *stencil {
+	s := &stencil{rows: rows, cols: cols, iters: iters, policy: policy, parallelInit: parallelInit}
+	p := isa.NewProgram("stencil")
+	s.fnMain = p.AddFunc("main", "stencil.c", 1)
+	s.fnInit = p.AddFunc("init_grid", "stencil.c", 10)
+	s.fnSweep = p.AddFunc("sweep._omp", "stencil.c", 30)
+	s.sAlloc = p.AddSite(s.fnMain, 3, isa.KindAlloc)
+	s.sInit = p.AddSite(s.fnInit, 12, isa.KindStore)
+	s.sUp = p.AddSite(s.fnSweep, 33, isa.KindLoad)
+	s.sMid = p.AddSite(s.fnSweep, 34, isa.KindLoad)
+	s.sDn = p.AddSite(s.fnSweep, 35, isa.KindLoad)
+	s.sOut = p.AddSite(s.fnSweep, 37, isa.KindStore)
+	s.prog = p
+	return s
+}
+
+func (s *stencil) Name() string         { return "stencil" }
+func (s *stencil) Binary() *isa.Program { return s.prog }
+
+func (s *stencil) addr(grid vm.Region, r, c int) uint64 {
+	return grid.Base + uint64(r*s.cols+c)*8
+}
+
+func (s *stencil) Run(e *proc.Engine) {
+	size := uint64(s.rows*s.cols) * 8
+	var in, out vm.Region
+	omp.Serial(e, s.fnMain, "main", func(c *proc.Ctx) {
+		in = c.Alloc(s.sAlloc, "grid_in", size, s.policy)
+		out = c.Alloc(s.sAlloc, "grid_out", size, s.policy)
+	})
+	initRow := func(c *proc.Ctx, r int) {
+		for col := 0; col < s.cols; col += 8 { // one store per line
+			c.Store(s.sInit, s.addr(in, r, col))
+			c.Store(s.sInit, s.addr(out, r, col))
+		}
+	}
+	if s.parallelInit {
+		omp.ParallelFor(e, s.fnInit, "init_grid", s.rows, omp.Static{}, initRow)
+	} else {
+		omp.Serial(e, s.fnInit, "init_grid", func(c *proc.Ctx) {
+			for r := 0; r < s.rows; r++ {
+				initRow(c, r)
+			}
+		})
+	}
+	e.Mark(workloads.ROIMark)
+	for it := 0; it < s.iters; it++ {
+		omp.ParallelFor(e, s.fnSweep, "sweep", s.rows, omp.Static{}, func(c *proc.Ctx, r int) {
+			for col := 0; col < s.cols; col += 8 {
+				if r > 0 {
+					c.Load(s.sUp, s.addr(in, r-1, col))
+				}
+				c.Load(s.sMid, s.addr(in, r, col))
+				if r < s.rows-1 {
+					c.Load(s.sDn, s.addr(in, r+1, col))
+				}
+				c.Store(s.sOut, s.addr(out, r, col))
+				c.Compute(120)
+			}
+		})
+	}
+}
+
+func main() {
+	m := topology.MagnyCours48()
+	baseCfg := core.Config{
+		Machine:      m,
+		Mechanism:    "IBS",
+		CacheConfig:  workloads.TunedCacheConfig(),
+		MemParams:    workloads.MemParamsFor(m),
+		FabricParams: workloads.FabricParamsFor(m),
+	}
+	const rows, cols, iters = 1536, 256, 6
+
+	// Step 1: profile the naive version.
+	prof, err := core.Analyze(baseCfg, newStencil(rows, cols, iters, nil, false))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("naive stencil: lpi_NUMA %.3f (threshold %.1f) -> optimise? %v\n",
+		prof.Totals.LPI, metrics.SignificanceThreshold, prof.Totals.Significant)
+	for _, vp := range prof.Vars {
+		fmt.Printf("  %-9s remote-latency share %5.1f%%  M_r/M_l %.1f\n",
+			vp.Var.Name, 100*vp.RemoteLatShare, vp.Mr/maxf(vp.Ml, 1))
+	}
+
+	// Step 2: candidate fixes.
+	doms := make([]topology.DomainID, m.NumDomains())
+	for i := range doms {
+		doms[i] = topology.DomainID(i)
+	}
+	candidates := []struct {
+		name   string
+		policy vm.Policy
+		par    bool
+	}{
+		{"baseline (serial first touch)", nil, false},
+		{"block-wise pages", vm.Blocked{Domains: doms}, false},
+		{"interleaved pages", vm.Interleaved{}, false},
+		{"parallel initialisation", nil, true},
+	}
+	var base units.Cycles
+	for _, cand := range candidates {
+		e, err := core.Run(baseCfg, newStencil(rows, cols, iters, cand.policy, cand.par))
+		if err != nil {
+			log.Fatal(err)
+		}
+		t := e.TimeSince(workloads.ROIMark)
+		if base == 0 {
+			base = t
+		}
+		fmt.Printf("%-30s %12d cyc  %+6.1f%%\n",
+			cand.name, t, 100*(float64(base)/float64(t)-1))
+	}
+	fmt.Println("\nBlock-wise and parallel-init co-locate the interior rows;")
+	fmt.Println("halo rows shared across block boundaries keep a small remote tail.")
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,93 @@
+// lulesh-tuning replays the paper's Section 8.1 workflow end to end:
+//
+//  1. profile LULESH under IBS on the Magny-Cours machine;
+//
+//  2. read the diagnosis: lpi_NUMA above the 0.1 threshold, z and
+//     nodelist dominated by remote accesses all aimed at domain 0,
+//     serial first touch, staircase access pattern;
+//
+//  3. apply the guided fix (block-wise page distribution at the first
+//     touch) and the prior-work alternative (interleave everything);
+//
+//  4. re-measure and compare, on both the AMD and the POWER7 machine.
+//
+//     go run ./examples/lulesh-tuning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/topology"
+	"repro/internal/units"
+	"repro/internal/view"
+	"repro/internal/workloads"
+)
+
+func cfg(m *topology.Machine) core.Config {
+	return core.Config{
+		Machine:         m,
+		Mechanism:       "IBS",
+		TrackFirstTouch: true,
+		CacheConfig:     workloads.TunedCacheConfig(),
+		MemParams:       workloads.MemParamsFor(m),
+		FabricParams:    workloads.FabricParamsFor(m),
+	}
+}
+
+func roiTime(m *topology.Machine, s workloads.Strategy) units.Cycles {
+	e, err := core.Run(cfg(m), workloads.NewLULESH(workloads.Params{Strategy: s}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	return e.TimeSince(workloads.ROIMark)
+}
+
+func main() {
+	amd := topology.MagnyCours48()
+
+	fmt.Println("== Step 1: diagnose the baseline ==")
+	prof, err := core.Analyze(cfg(amd), workloads.NewLULESH(workloads.Params{Iters: 4}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(view.Totals(prof))
+	fmt.Println()
+	fmt.Print(view.VarTable(prof, 7))
+
+	zp, ok := prof.VarByName("z")
+	if !ok {
+		log.Fatal("z not profiled")
+	}
+	fmt.Println()
+	fmt.Println("== Step 2: read the signatures the paper reads ==")
+	fmt.Printf("z: M_r/M_l = %.1f (the paper's ~7x)\n", zp.Mr/zp.Ml)
+	fmt.Printf("z: NUMA_NODE0 carries %.0f%% of accesses (all pages homed with the master)\n",
+		100*zp.PerDomain[0]/(zp.Ml+zp.Mr))
+	fmt.Print(view.FirstTouchReport(prof, zp))
+	if v, ok := prof.Registry.Lookup("z"); ok {
+		if pat, ok := prof.Patterns.Pattern(v, "CalcForceForNodes"); ok {
+			fmt.Print(view.AddressCentric(pat, 48))
+			fmt.Printf("staircase: %v -> divide z into %d continuous regions, one per domain\n",
+				pat.IsStaircase(0.15), amd.NumDomains())
+		}
+	}
+
+	fmt.Println()
+	fmt.Println("== Step 3-4: apply fixes and re-measure ==")
+	for _, m := range []*topology.Machine{amd, topology.Power7x128()} {
+		base := roiTime(m, workloads.Baseline)
+		block := roiTime(m, workloads.BlockWise)
+		inter := roiTime(m, workloads.Interleave)
+		fmt.Printf("%s:\n", m.Name)
+		fmt.Printf("  baseline   %12d cyc\n", base)
+		fmt.Printf("  block-wise %12d cyc  %+6.1f%%  (paper: +25%% AMD, +7.5%% POWER7)\n",
+			block, 100*(float64(base)/float64(block)-1))
+		fmt.Printf("  interleave %12d cyc  %+6.1f%%  (paper: +13%% AMD, -16.4%% POWER7)\n",
+			inter, 100*(float64(base)/float64(inter)-1))
+	}
+	fmt.Println("\nThe tool-guided block-wise distribution wins on both machines;")
+	fmt.Println("interleaving helps only where contention dominates (AMD) and")
+	fmt.Println("hurts where it destroys locality without relieving pressure (POWER7).")
+}

@@ -1,0 +1,107 @@
+// time-varying demonstrates the trace-based measurement extension
+// (the paper's Section 10 future-work item): a program whose data
+// placement is right for its first phase and wrong for its second.
+// A whole-run profile averages the two phases into a lukewarm verdict;
+// the trace shows exactly when — and on which variable — the NUMA
+// behaviour flips.
+//
+//	go run ./examples/time-varying
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/omp"
+	"repro/internal/proc"
+	"repro/internal/topology"
+	"repro/internal/trace"
+	"repro/internal/vm"
+)
+
+type app struct {
+	prog                *isa.Program
+	fnMain, fnInit      isa.FuncID
+	fnAssemble, fnSolve isa.FuncID
+	sAlloc, sInit       isa.SiteID
+	sMesh, sMatrix      isa.SiteID
+}
+
+func newApp() *app {
+	a := &app{}
+	p := isa.NewProgram("two-phase")
+	a.fnMain = p.AddFunc("main", "solver.c", 1)
+	a.fnInit = p.AddFunc("setup", "solver.c", 10)
+	a.fnAssemble = p.AddFunc("assemble._omp", "solver.c", 30)
+	a.fnSolve = p.AddFunc("solve._omp", "solver.c", 60)
+	a.sAlloc = p.AddSite(a.fnMain, 3, isa.KindAlloc)
+	a.sInit = p.AddSite(a.fnInit, 12, isa.KindStore)
+	a.sMesh = p.AddSite(a.fnAssemble, 32, isa.KindLoad)
+	a.sMatrix = p.AddSite(a.fnSolve, 62, isa.KindLoad)
+	a.prog = p
+	return a
+}
+
+func (a *app) Name() string         { return "two-phase" }
+func (a *app) Binary() *isa.Program { return a.prog }
+
+func (a *app) Run(e *proc.Engine) {
+	const n = 8192
+	var mesh, matrix vm.Region
+	omp.Serial(e, a.fnMain, "main", func(c *proc.Ctx) {
+		mesh = c.Alloc(a.sAlloc, "mesh", n*64, nil)
+		matrix = c.Alloc(a.sAlloc, "matrix", n*64, nil)
+	})
+	// mesh is initialised in parallel (co-located with its readers);
+	// matrix is initialised by the master (homed in domain 0).
+	omp.ParallelFor(e, a.fnInit, "setup_mesh", n, omp.Static{}, func(c *proc.Ctx, i int) {
+		c.Store(a.sInit, mesh.Base+uint64(i)*64)
+	})
+	omp.Serial(e, a.fnInit, "setup_matrix", func(c *proc.Ctx) {
+		for i := 0; i < n; i++ {
+			c.Store(a.sInit, matrix.Base+uint64(i)*64)
+		}
+	})
+	// Phase 1 (assembly): local mesh traffic only.
+	for it := 0; it < 4; it++ {
+		omp.ParallelFor(e, a.fnAssemble, "assemble", n, omp.Static{}, func(c *proc.Ctx, i int) {
+			c.Load(a.sMesh, mesh.Base+uint64(i)*64)
+			c.Compute(6)
+		})
+	}
+	// Phase 2 (solve): remote matrix traffic.
+	for it := 0; it < 4; it++ {
+		omp.ParallelFor(e, a.fnSolve, "solve", n, omp.Static{}, func(c *proc.Ctx, i int) {
+			c.Load(a.sMatrix, matrix.Base+uint64(i)*64)
+			c.Compute(6)
+		})
+	}
+}
+
+func main() {
+	prof, err := core.Analyze(core.Config{
+		Machine:   topology.MagnyCours48(),
+		Mechanism: "IBS",
+		Period:    64,
+		Trace:     true,
+	}, newApp())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("whole-run profile: M_r fraction %.0f%% — a lukewarm average\n\n",
+		100*prof.Totals.RemoteFraction)
+
+	fmt.Print(trace.Render(prof.Timeline, 12, 40))
+
+	if at, delta, ok := prof.Timeline.PhaseShift(12); ok {
+		fmt.Printf("\nphase shift detected at t=%d: remote fraction jumps by %+.0f%%\n",
+			uint64(at), 100*delta)
+		buckets := prof.Timeline.Buckets(12)
+		if hot, n := buckets[len(buckets)-1].HotVar(); n > 0 {
+			fmt.Printf("hot variable after the shift: %s -> fix *its* placement, not mesh's\n", hot)
+		}
+	}
+}

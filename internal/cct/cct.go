@@ -1,0 +1,364 @@
+// Package cct implements the augmented calling context trees of
+// Section 7.1 of the paper. A CCT node is identified by what it
+// represents — a procedure frame, an instruction site, a dummy
+// separator, a variable, or a bin of a variable — and carries NUMA
+// metric columns plus per-thread [min,max] address ranges.
+//
+// The "augmented" part is the paper's mixture of call-path flavours in
+// one tree: variable allocation paths, memory access paths, and first
+// touch paths, separated by dummy nodes so the viewer can distinguish
+// the segments (Section 7.1). The offline analyzer merges per-thread
+// trees with sum reductions for counters and the customised [min,max]
+// reduction Section 7.2 calls out for address ranges.
+package cct
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/isa"
+	"repro/internal/metrics"
+)
+
+// NodeKind classifies a CCT node.
+type NodeKind uint8
+
+// Node kinds.
+const (
+	// KindRoot is the tree root.
+	KindRoot NodeKind = iota
+	// KindFrame is a procedure frame on a call path.
+	KindFrame
+	// KindSite is a leaf instruction site (load/store/alloc).
+	KindSite
+	// KindDummy separates segments of different call-path flavours
+	// (allocation path vs access path vs first-touch path).
+	KindDummy
+	// KindVariable anchors data-centric attribution for one variable.
+	KindVariable
+	// KindBin is one address sub-range (synthetic variable) of a
+	// binned variable (Section 5.2).
+	KindBin
+)
+
+// String names the kind.
+func (k NodeKind) String() string {
+	switch k {
+	case KindRoot:
+		return "root"
+	case KindFrame:
+		return "frame"
+	case KindSite:
+		return "site"
+	case KindDummy:
+		return "dummy"
+	case KindVariable:
+		return "variable"
+	case KindBin:
+		return "bin"
+	default:
+		return fmt.Sprintf("NodeKind(%d)", uint8(k))
+	}
+}
+
+// Key identifies a child within its parent. Only the fields relevant
+// for the kind participate (the rest stay zero), so Key is directly
+// usable as a map key.
+type Key struct {
+	Kind  NodeKind
+	Fn    isa.FuncID
+	Line  int
+	Site  isa.SiteID
+	Label string
+}
+
+// FrameKey returns the key for a procedure frame entered from the
+// given call-site line.
+func FrameKey(fn isa.FuncID, callLine int) Key {
+	return Key{Kind: KindFrame, Fn: fn, Line: callLine}
+}
+
+// SiteKey returns the key for an instruction site.
+func SiteKey(site isa.SiteID) Key {
+	return Key{Kind: KindSite, Site: site}
+}
+
+// DummyKey returns the key for a dummy separator node. The canonical
+// labels are DummyAlloc, DummyAccess and DummyFirstTouch.
+func DummyKey(label string) Key {
+	return Key{Kind: KindDummy, Label: label}
+}
+
+// VariableKey returns the key for a variable node.
+func VariableKey(name string) Key {
+	return Key{Kind: KindVariable, Label: name}
+}
+
+// BinKey returns the key for bin idx of a variable.
+func BinKey(variable string, idx int) Key {
+	return Key{Kind: KindBin, Label: variable, Line: idx}
+}
+
+// Dummy separator labels (Section 7.1's "dummy nodes ... recorded for
+// different purposes").
+const (
+	DummyAlloc      = "<allocation path>"
+	DummyAccess     = "<access path>"
+	DummyFirstTouch = "<first touch>"
+)
+
+// less orders keys deterministically for stable iteration and merging.
+func (k Key) less(o Key) bool {
+	if k.Kind != o.Kind {
+		return k.Kind < o.Kind
+	}
+	if k.Fn != o.Fn {
+		return k.Fn < o.Fn
+	}
+	if k.Line != o.Line {
+		return k.Line < o.Line
+	}
+	if k.Site != o.Site {
+		return k.Site < o.Site
+	}
+	return k.Label < o.Label
+}
+
+// Range is a [Min, Max] address interval (inclusive bounds).
+type Range struct {
+	Min, Max uint64
+}
+
+// Union returns the smallest range covering both.
+func (r Range) Union(o Range) Range {
+	out := r
+	if o.Min < out.Min {
+		out.Min = o.Min
+	}
+	if o.Max > out.Max {
+		out.Max = o.Max
+	}
+	return out
+}
+
+// Extend grows the range to include addr.
+func (r Range) Extend(addr uint64) Range {
+	out := r
+	if addr < out.Min {
+		out.Min = addr
+	}
+	if addr > out.Max {
+		out.Max = addr
+	}
+	return out
+}
+
+// Node is one CCT node.
+type Node struct {
+	Key      Key
+	parent   *Node
+	children map[Key]*Node
+	metrics  map[metrics.ID]float64
+	// ranges holds per-owner [min,max] accessed-address intervals;
+	// the owner key is a thread index. These are the values merged
+	// with the [min,max] reduction of Section 7.2.
+	ranges map[int]Range
+}
+
+// Tree is a calling context tree.
+type Tree struct {
+	root *Node
+}
+
+// New creates an empty tree.
+func New() *Tree {
+	return &Tree{root: &Node{Key: Key{Kind: KindRoot}}}
+}
+
+// Root returns the root node.
+func (t *Tree) Root() *Node { return t.root }
+
+// Parent returns the node's parent (nil for the root).
+func (n *Node) Parent() *Node { return n.parent }
+
+// Child returns the child with the given key, creating it if needed.
+func (n *Node) Child(k Key) *Node {
+	if n.children == nil {
+		n.children = make(map[Key]*Node)
+	}
+	if c, ok := n.children[k]; ok {
+		return c
+	}
+	c := &Node{Key: k, parent: n}
+	n.children[k] = c
+	return c
+}
+
+// FindChild returns the child with the given key, if present.
+func (n *Node) FindChild(k Key) (*Node, bool) {
+	c, ok := n.children[k]
+	return c, ok
+}
+
+// Children returns the node's children in deterministic key order.
+func (n *Node) Children() []*Node {
+	keys := make([]Key, 0, len(n.children))
+	for k := range n.children {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].less(keys[j]) })
+	out := make([]*Node, len(keys))
+	for i, k := range keys {
+		out[i] = n.children[k]
+	}
+	return out
+}
+
+// NumChildren returns the number of children.
+func (n *Node) NumChildren() int { return len(n.children) }
+
+// InsertPath walks keys from n, creating nodes as needed, and returns
+// the final node.
+func (n *Node) InsertPath(keys []Key) *Node {
+	cur := n
+	for _, k := range keys {
+		cur = cur.Child(k)
+	}
+	return cur
+}
+
+// FindPath walks keys from n without creating nodes.
+func (n *Node) FindPath(keys []Key) (*Node, bool) {
+	cur := n
+	for _, k := range keys {
+		c, ok := cur.FindChild(k)
+		if !ok {
+			return nil, false
+		}
+		cur = c
+	}
+	return cur, true
+}
+
+// AddMetric accumulates delta into the metric column.
+func (n *Node) AddMetric(id metrics.ID, delta float64) {
+	if n.metrics == nil {
+		n.metrics = make(map[metrics.ID]float64)
+	}
+	n.metrics[id] += delta
+}
+
+// Metric returns the node's exclusive value for the metric column.
+func (n *Node) Metric(id metrics.ID) float64 { return n.metrics[id] }
+
+// Metrics returns a copy of the node's exclusive metric columns.
+func (n *Node) Metrics() map[metrics.ID]float64 {
+	out := make(map[metrics.ID]float64, len(n.metrics))
+	for k, v := range n.metrics {
+		out[k] = v
+	}
+	return out
+}
+
+// InclusiveMetric returns the metric summed over the node's subtree —
+// HPCToolkit's inclusive column.
+func (n *Node) InclusiveMetric(id metrics.ID) float64 {
+	total := n.metrics[id]
+	for _, c := range n.children {
+		total += c.InclusiveMetric(id)
+	}
+	return total
+}
+
+// ExtendRange grows owner's address range on this node to cover addr.
+func (n *Node) ExtendRange(owner int, addr uint64) {
+	if n.ranges == nil {
+		n.ranges = make(map[int]Range)
+	}
+	if r, ok := n.ranges[owner]; ok {
+		n.ranges[owner] = r.Extend(addr)
+	} else {
+		n.ranges[owner] = Range{Min: addr, Max: addr}
+	}
+}
+
+// Range returns owner's address range on this node.
+func (n *Node) Range(owner int) (Range, bool) {
+	r, ok := n.ranges[owner]
+	return r, ok
+}
+
+// Ranges returns a copy of the per-owner address ranges.
+func (n *Node) Ranges() map[int]Range {
+	out := make(map[int]Range, len(n.ranges))
+	for k, v := range n.ranges {
+		out[k] = v
+	}
+	return out
+}
+
+// RangeOwners returns the owners with ranges on this node, sorted.
+func (n *Node) RangeOwners() []int {
+	out := make([]int, 0, len(n.ranges))
+	for o := range n.ranges {
+		out = append(out, o)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Visit walks the subtree rooted at n in deterministic preorder.
+func (n *Node) Visit(fn func(*Node)) {
+	fn(n)
+	for _, c := range n.Children() {
+		c.Visit(fn)
+	}
+}
+
+// Path returns the keys from the root (exclusive) down to n.
+func (n *Node) Path() []Key {
+	var rev []Key
+	for cur := n; cur != nil && cur.Key.Kind != KindRoot; cur = cur.parent {
+		rev = append(rev, cur.Key)
+	}
+	out := make([]Key, len(rev))
+	for i := range rev {
+		out[i] = rev[len(rev)-1-i]
+	}
+	return out
+}
+
+// Merge folds src's subtree into dst: metric columns add, address
+// ranges union ([min,max] reduction), children merge recursively by
+// key. src is left untouched. This is the hpcprof thread-profile merge
+// of Section 7.2.
+func Merge(dst, src *Node) {
+	for id, v := range src.metrics {
+		dst.AddMetric(id, v)
+	}
+	for owner, r := range src.ranges {
+		if dst.ranges == nil {
+			dst.ranges = make(map[int]Range)
+		}
+		if cur, ok := dst.ranges[owner]; ok {
+			dst.ranges[owner] = cur.Union(r)
+		} else {
+			dst.ranges[owner] = r
+		}
+	}
+	for k, child := range src.children {
+		Merge(dst.Child(k), child)
+	}
+}
+
+// MergeTrees merges src into dst at the roots.
+func MergeTrees(dst, src *Tree) { Merge(dst.root, src.root) }
+
+// Size returns the number of nodes in the subtree, including n.
+func (n *Node) Size() int {
+	total := 1
+	for _, c := range n.children {
+		total += c.Size()
+	}
+	return total
+}

@@ -1,0 +1,688 @@
+// Package core is the reproduction of the paper's primary
+// contribution: the HPCToolkit-NUMA profiler. It wires an
+// address-sampling mechanism (internal/pmu) into the execution engine
+// (internal/proc), collects address samples into augmented per-thread
+// calling context trees, attributes them three ways — code-centric,
+// data-centric, and address-centric (Section 5) — pinpoints first
+// touches through page protection (Section 6), merges per-thread
+// profiles with sum and [min,max] reductions (Section 7.2), and
+// derives the NUMA metrics of Section 4 including lpi_NUMA by
+// whichever estimator the mechanism supports.
+//
+// The top-level entry point is Analyze:
+//
+//	prof, err := core.Analyze(core.Config{
+//		Machine:   topology.MagnyCours48(),
+//		Mechanism: "IBS",
+//	}, app)
+//
+// where app is any simulated program implementing App (the four paper
+// benchmarks live in internal/workloads).
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/addrcentric"
+	"repro/internal/cache"
+	"repro/internal/cct"
+	"repro/internal/datacentric"
+	"repro/internal/firsttouch"
+	"repro/internal/interconnect"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/metrics"
+	"repro/internal/pmu"
+	"repro/internal/proc"
+	"repro/internal/topology"
+	"repro/internal/trace"
+	"repro/internal/units"
+	"repro/internal/vm"
+)
+
+// App is a runnable simulated application.
+type App interface {
+	// Name identifies the application.
+	Name() string
+	// Binary returns the simulated executable: functions, sites, and
+	// the static-variable symbol table. It must be safe to call
+	// before Run and describe everything Run will execute.
+	Binary() *isa.Program
+	// Run executes the application on the engine. An App instance is
+	// one-shot: construct a fresh instance for each run.
+	Run(e *proc.Engine)
+}
+
+// Config selects the machine, team size, and monitoring setup.
+type Config struct {
+	// Machine to run on (required).
+	Machine *topology.Machine
+	// Threads is the team size; 0 means all CPUs.
+	Threads int
+	// Mechanism is the address-sampling back end: one of pmu.Names().
+	// Empty means "IBS".
+	Mechanism string
+	// Period overrides the mechanism's scaled default sampling period.
+	Period uint64
+	// Bins overrides the per-variable bin count (0: default/env).
+	Bins int
+	// TrackFirstTouch enables page-protection first-touch pinpointing.
+	TrackFirstTouch bool
+	// CorrectOffByOne applies the online previous-instruction fix for
+	// imprecise-IP mechanisms (PEBS). Profile always enables it for
+	// mechanisms that need it.
+	CorrectOffByOne bool
+
+	// CacheConfig overrides the default cache geometry (zero value:
+	// cache.DefaultConfig). Experiments shrink caches in proportion
+	// to their scaled-down problem sizes.
+	CacheConfig cache.Config
+	// MemParams overrides the memory-controller model.
+	MemParams mem.LatencyParams
+	// FabricParams overrides the interconnect model.
+	FabricParams interconnect.Params
+	// Binding selects thread-to-CPU placement (compact or scatter).
+	Binding proc.Binding
+	// Trace additionally records every sample with its simulated
+	// timestamp for time-varying analysis (internal/trace) — the
+	// paper's Section 10 future-work item on trace-based measurement.
+	Trace bool
+}
+
+// Totals carries whole-program measurements and derived metrics.
+type Totals struct {
+	// Sampled quantities.
+	Samples             float64
+	SampledInstructions float64 // I^s
+	Ml, Mr              float64
+	PerDomain           []float64
+	SampledLatency      units.Cycles
+	SampledRemoteLat    units.Cycles // l^s_NUMA
+
+	// Absolute counters (the "conventional PMU counters").
+	Instructions uint64
+	MemAccesses  uint64
+
+	// LPI is lpi_NUMA by the mechanism's estimator (Equation 2 for
+	// instruction samplers with latency, Equation 3 for event
+	// samplers with latency). NaN when the mechanism cannot estimate
+	// it (no latency measurement).
+	LPI float64
+	// LPIExact is Equation 1 computed from full execution counts —
+	// available only because our substrate is a simulator; the real
+	// tool cannot observe it and relies on the estimators.
+	LPIExact float64
+	// Significant applies the 0.1 cycles/instruction rule of thumb to
+	// the best available lpi value.
+	Significant bool
+
+	// RemoteFraction is M_r / (M_l + M_r).
+	RemoteFraction float64
+	// Imbalance is max/mean of PerDomain.
+	Imbalance float64
+
+	// SimTime is the simulated program runtime under monitoring.
+	SimTime units.Cycles
+	// ROITime is the time spent after the workload's proc.ROIMark —
+	// the measured phase (equals SimTime when no mark was set).
+	ROITime units.Cycles
+	// Overhead is the monitoring cost charged to threads.
+	Overhead units.Cycles
+}
+
+// BinStats aggregates samples falling in one bin of a variable.
+type BinStats struct {
+	Index     int
+	Lo, Hi    uint64 // address sub-range
+	Ml, Mr    float64
+	Samples   float64
+	Latency   units.Cycles
+	RemoteLat units.Cycles
+}
+
+// VarProfile aggregates data-centric attribution for one variable.
+type VarProfile struct {
+	Var *datacentric.Variable
+
+	Samples   float64
+	Ml, Mr    float64
+	PerDomain []float64
+	Latency   units.Cycles
+	RemoteLat units.Cycles
+
+	// LPI is the variable's NUMA latency per sampled access touching
+	// it: the per-variable analog of Equation 2 the viewer shows next
+	// to each variable.
+	LPI float64
+	// RemoteLatShare is this variable's share of the program's total
+	// sampled remote latency (the paper's "z accounts for 11.3% of
+	// the total latency caused by remote accesses").
+	RemoteLatShare float64
+	// MrShare is this variable's share of total M_r.
+	MrShare float64
+
+	Bins []BinStats
+
+	// First-touch pinpointing results (when enabled).
+	FirstTouchThreads []int
+	FirstTouchPath    []proc.Frame
+	ProtectedPages    int
+}
+
+// Profile is the analysis result: the merged augmented CCT, per
+// variable data-centric profiles, address-centric patterns, and
+// program totals.
+type Profile struct {
+	AppName   string
+	Machine   *topology.Machine
+	Mechanism string
+	Caps      pmu.Capability
+	Period    uint64
+
+	// Tree is the merged augmented CCT: code-centric call paths under
+	// the access dummy node, allocation paths under the allocation
+	// dummy node, first-touch paths under the first-touch dummy node.
+	Tree *cct.Tree
+	// PerThreadTrees holds the unmerged per-thread access trees, as
+	// hpcrun wrote them before the hpcprof merge.
+	PerThreadTrees []*cct.Tree
+
+	// Vars is sorted by descending sampled remote latency.
+	Vars []*VarProfile
+
+	// Patterns exposes address-centric access patterns per variable
+	// and scope.
+	Patterns *addrcentric.Tracker
+	// FirstTouch exposes raw first-touch events (nil unless enabled).
+	FirstTouch *firsttouch.Recorder
+	// Registry exposes the variable registry for lookups.
+	Registry *datacentric.Registry
+	// Timeline holds time-stamped samples when Config.Trace was set
+	// (nil otherwise).
+	Timeline *trace.Timeline
+	// Binary is the profiled program's static description.
+	Binary *isa.Program
+
+	Totals Totals
+}
+
+// VarByName finds a variable profile by name.
+func (p *Profile) VarByName(name string) (*VarProfile, bool) {
+	for _, v := range p.Vars {
+		if v.Var.Name == name {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// Analyze runs app under the configured monitoring and returns its
+// Profile. It is the whole pipeline of Section 7: hpcrun (online
+// collection), hpcprof (offline merge), and the derived-metric
+// computation, in one call.
+func Analyze(cfg Config, app App) (*Profile, error) {
+	if cfg.Machine == nil {
+		return nil, fmt.Errorf("core: Config.Machine is required")
+	}
+	name := cfg.Mechanism
+	if name == "" {
+		name = "IBS"
+	}
+	mech, err := pmu.ByName(name, cfg.Period)
+	if err != nil {
+		return nil, err
+	}
+	prog := app.Binary()
+	e := proc.NewEngine(proc.Config{
+		Machine:      cfg.Machine,
+		Program:      prog,
+		Threads:      cfg.Threads,
+		CacheConfig:  cfg.CacheConfig,
+		MemParams:    cfg.MemParams,
+		FabricParams: cfg.FabricParams,
+		Binding:      cfg.Binding,
+	})
+
+	p := newProfiler(cfg, e, prog)
+	e.AddHook(p)
+	mon := pmu.NewMonitor(mech, prog, p.onSample)
+	mon.CorrectOffByOne = cfg.CorrectOffByOne || !mech.Caps().PreciseIP
+	e.AddHook(mon)
+
+	app.Run(e)
+
+	return p.finish(app.Name(), mon), nil
+}
+
+// Run executes app on cfg's machine with no monitoring attached and
+// returns the engine, for baseline timing and exact-metric validation.
+func Run(cfg Config, app App) (*proc.Engine, error) {
+	if cfg.Machine == nil {
+		return nil, fmt.Errorf("core: Config.Machine is required")
+	}
+	e := proc.NewEngine(proc.Config{
+		Machine:      cfg.Machine,
+		Program:      app.Binary(),
+		Threads:      cfg.Threads,
+		CacheConfig:  cfg.CacheConfig,
+		MemParams:    cfg.MemParams,
+		FabricParams: cfg.FabricParams,
+		Binding:      cfg.Binding,
+	})
+	app.Run(e)
+	return e, nil
+}
+
+// Overhead holds one Table 2 measurement: baseline vs monitored
+// simulated runtime.
+type Overhead struct {
+	Base, Monitored units.Cycles
+}
+
+// Percent returns the monitoring overhead as a fraction of baseline
+// (0.24 means +24%).
+func (o Overhead) Percent() float64 {
+	if o.Base == 0 {
+		return 0
+	}
+	return float64(o.Monitored-o.Base) / float64(o.Base)
+}
+
+// MeasureOverhead runs the app twice — unmonitored and monitored — and
+// returns both runtimes. makeApp must return a fresh one-shot App per
+// call.
+func MeasureOverhead(cfg Config, makeApp func() App) (Overhead, error) {
+	base, err := Run(cfg, makeApp())
+	if err != nil {
+		return Overhead{}, err
+	}
+	prof, err := Analyze(cfg, makeApp())
+	if err != nil {
+		return Overhead{}, err
+	}
+	return Overhead{Base: base.TotalTime(), Monitored: prof.Totals.SimTime}, nil
+}
+
+// profiler is the online collector: a proc.Hook that tracks
+// allocations, regions, and first touches, and the sample sink for the
+// PMU monitor.
+type profiler struct {
+	proc.BaseHook
+	cfg    Config
+	engine *proc.Engine
+	prog   *isa.Program
+
+	registry *datacentric.Registry
+	patterns *addrcentric.Tracker
+	ft       *firsttouch.Recorder
+	timeline *trace.Timeline
+
+	// Per-thread access CCTs (hpcrun's per-thread profiles).
+	trees []*cct.Tree
+
+	// Per-variable aggregation, keyed by allocation id.
+	varAggs map[int]*varAgg
+
+	// Whole-program sampled totals.
+	samples     float64
+	ml, mr      float64
+	perDomain   []float64
+	sampledLat  units.Cycles
+	sampledRLat units.Cycles
+}
+
+type varAgg struct {
+	v         *datacentric.Variable
+	samples   float64
+	ml, mr    float64
+	perDomain []float64
+	lat, rlat units.Cycles
+	bins      []BinStats
+}
+
+func newProfiler(cfg Config, e *proc.Engine, prog *isa.Program) *profiler {
+	p := &profiler{
+		cfg:       cfg,
+		engine:    e,
+		prog:      prog,
+		registry:  datacentric.NewRegistry(cfg.Bins),
+		patterns:  addrcentric.NewTracker(),
+		varAggs:   make(map[int]*varAgg),
+		perDomain: make([]float64, e.Machine().NumDomains()),
+	}
+	for i := 0; i < e.NumThreads(); i++ {
+		p.trees = append(p.trees, cct.New())
+	}
+	if cfg.TrackFirstTouch {
+		p.ft = firsttouch.New(e)
+	}
+	if cfg.Trace {
+		p.timeline = trace.New()
+	}
+	// Register symbol-table statics (Section 5.1: "identifies address
+	// ranges associated with static variables by reading symbols in
+	// the executable"). With first-touch tracking on, their pages are
+	// protected now — "when the executable ... is loaded before
+	// execution begins" — implementing the extension the paper lists
+	// as future work (Section 10).
+	for i, sv := range prog.Statics() {
+		r := e.StaticRegion(i)
+		p.registry.AddStatic(sv.Name, r)
+		if p.ft != nil {
+			p.ft.Protect(r)
+		}
+	}
+	return p
+}
+
+// OnAlloc implements proc.Hook: track the heap variable with its full
+// allocation call path, and arm first-touch trapping.
+func (p *profiler) OnAlloc(t *proc.Thread, site isa.SiteID, r vm.Region, name string) {
+	p.registry.AddHeap(name, r, site, t.ID, t.CallPath())
+	if p.ft != nil {
+		p.ft.Protect(r)
+	}
+}
+
+// OnStackAlloc implements proc.Hook: stack variables are tracked like
+// heap ones under the Stack kind (the Section 10 extension), including
+// first-touch trapping.
+func (p *profiler) OnStackAlloc(t *proc.Thread, site isa.SiteID, r vm.Region, name string) {
+	p.registry.AddStack(name, r, site, t.ID, t.CallPath())
+	if p.ft != nil {
+		p.ft.Protect(r)
+	}
+}
+
+// OnFree implements proc.Hook.
+func (p *profiler) OnFree(_ *proc.Thread, r vm.Region) {
+	p.registry.Remove(r)
+}
+
+// OnRegionBegin implements proc.Hook: scope address-centric patterns
+// to the region.
+func (p *profiler) OnRegionBegin(name string, _ []*proc.Thread) {
+	p.patterns.EnterRegion(name)
+}
+
+// OnRegionEnd implements proc.Hook.
+func (p *profiler) OnRegionEnd(string) {
+	p.patterns.LeaveRegion()
+}
+
+// onSample is the PMU monitor's callback: attribute one address sample.
+func (p *profiler) onSample(s *pmu.Sample) {
+	p.samples++
+	if !s.HasEA {
+		return // non-memory sample: counts toward I^s only
+	}
+	t := p.engine.Threads()[s.ThreadID]
+	local := p.engine.Machine().DomainOfCPU(s.CPU)
+
+	// Code-centric attribution: unwind the call stack, insert the
+	// path + site leaf into the thread's tree.
+	tree := p.trees[s.ThreadID]
+	keys := make([]cct.Key, 0, t.Depth()+2)
+	keys = append(keys, cct.DummyKey(cct.DummyAccess))
+	for _, fr := range t.CallPath() {
+		keys = append(keys, cct.FrameKey(fr.Fn, fr.CallLine))
+	}
+	if s.IP != isa.NoSite {
+		keys = append(keys, cct.SiteKey(s.IP))
+	}
+	node := tree.Root().InsertPath(keys)
+	node.AddMetric(metrics.Samples, 1)
+
+	match := s.Home == local && s.Home != topology.NoDomain
+	if match {
+		node.AddMetric(metrics.Match, 1)
+		p.ml++
+	} else {
+		node.AddMetric(metrics.Mismatch, 1)
+		p.mr++
+	}
+	if s.Home >= 0 && int(s.Home) < len(p.perDomain) {
+		node.AddMetric(metrics.Node(int(s.Home)), 1)
+		p.perDomain[s.Home]++
+	}
+	if s.HasLatency {
+		node.AddMetric(metrics.Latency, float64(s.Latency))
+		p.sampledLat += s.Latency
+		if s.Source.IsRemote() {
+			node.AddMetric(metrics.RemoteLatency, float64(s.Latency))
+			p.sampledRLat += s.Latency
+		}
+	}
+
+	// Data-centric attribution: resolve the EA to its variable.
+	if !s.RegionValid {
+		return
+	}
+	v, ok := p.registry.Resolve(s.Region)
+	if !ok {
+		return
+	}
+	agg := p.varAggs[v.Region.ID]
+	if agg == nil {
+		agg = &varAgg{v: v, perDomain: make([]float64, len(p.perDomain))}
+		for b := 0; b < v.Bins; b++ {
+			lo, hi := v.BinRange(b)
+			agg.bins = append(agg.bins, BinStats{Index: b, Lo: lo, Hi: hi})
+		}
+		p.varAggs[v.Region.ID] = agg
+	}
+	agg.samples++
+	bin := &agg.bins[v.BinOf(s.EA)]
+	bin.Samples++
+	if match {
+		agg.ml++
+		bin.Ml++
+	} else {
+		agg.mr++
+		bin.Mr++
+	}
+	if s.Home >= 0 && int(s.Home) < len(agg.perDomain) {
+		agg.perDomain[s.Home]++
+	}
+	if s.HasLatency {
+		agg.lat += s.Latency
+		bin.Latency += s.Latency
+		if s.Source.IsRemote() {
+			agg.rlat += s.Latency
+			bin.RemoteLat += s.Latency
+		}
+	}
+
+	// Address-centric attribution: per-thread [min,max] in the whole
+	// program and the current region scope.
+	var lat units.Cycles
+	if s.HasLatency {
+		lat = s.Latency
+	}
+	p.patterns.Record(v, s.ThreadID, s.EA, lat)
+
+	// Trace-based measurement: keep the time-stamped sample.
+	if p.timeline != nil {
+		p.timeline.Record(trace.Event{
+			Time:    p.engine.Now(t),
+			Thread:  s.ThreadID,
+			Var:     v.Name,
+			EA:      s.EA,
+			Remote:  !match,
+			Latency: lat,
+		})
+	}
+}
+
+// finish merges per-thread trees, grafts data-centric and first-touch
+// subtrees, computes derived metrics, and packages the Profile.
+func (p *profiler) finish(appName string, mon *pmu.Monitor) *Profile {
+	mech := mon.Mechanism()
+	caps := mech.Caps()
+
+	// hpcprof: merge per-thread trees into the global augmented CCT.
+	global := cct.New()
+	for _, tr := range p.trees {
+		cct.MergeTrees(global, tr)
+	}
+
+	// Graft data-centric subtrees: allocation path -> alloc site ->
+	// variable -> bins.
+	allocRoot := global.Root().Child(cct.DummyKey(cct.DummyAlloc))
+	var vars []*VarProfile
+	for _, agg := range p.varAggs {
+		vp := p.buildVarProfile(agg)
+		vars = append(vars, vp)
+
+		keys := make([]cct.Key, 0, len(agg.v.AllocPath)+2)
+		for _, fr := range agg.v.AllocPath {
+			keys = append(keys, cct.FrameKey(fr.Fn, fr.CallLine))
+		}
+		if agg.v.Kind == datacentric.Heap && agg.v.AllocSite != isa.NoSite {
+			keys = append(keys, cct.SiteKey(agg.v.AllocSite))
+		}
+		keys = append(keys, cct.VariableKey(agg.v.Name))
+		vnode := allocRoot.InsertPath(keys)
+		vnode.AddMetric(metrics.Samples, agg.samples)
+		vnode.AddMetric(metrics.Match, agg.ml)
+		vnode.AddMetric(metrics.Mismatch, agg.mr)
+		vnode.AddMetric(metrics.Latency, float64(agg.lat))
+		vnode.AddMetric(metrics.RemoteLatency, float64(agg.rlat))
+		for d, n := range agg.perDomain {
+			if n > 0 {
+				vnode.AddMetric(metrics.Node(d), n)
+			}
+		}
+		if pat, ok := p.patterns.Pattern(agg.v, addrcentric.WholeProgram); ok {
+			for _, tr := range pat.Threads() {
+				vnode.ExtendRange(tr.Thread, tr.Range.Min)
+				vnode.ExtendRange(tr.Thread, tr.Range.Max)
+			}
+		}
+		for _, b := range vp.Bins {
+			if b.Samples == 0 {
+				continue
+			}
+			bnode := vnode.Child(cct.BinKey(agg.v.Name, b.Index))
+			bnode.AddMetric(metrics.Samples, b.Samples)
+			bnode.AddMetric(metrics.Match, b.Ml)
+			bnode.AddMetric(metrics.Mismatch, b.Mr)
+			bnode.AddMetric(metrics.Latency, float64(b.Latency))
+			bnode.AddMetric(metrics.RemoteLatency, float64(b.RemoteLat))
+		}
+	}
+	sort.Slice(vars, func(i, j int) bool {
+		if vars[i].RemoteLat != vars[j].RemoteLat {
+			return vars[i].RemoteLat > vars[j].RemoteLat
+		}
+		if vars[i].Mr != vars[j].Mr {
+			return vars[i].Mr > vars[j].Mr
+		}
+		return vars[i].Var.Name < vars[j].Var.Name
+	})
+
+	// Graft first-touch subtrees.
+	if p.ft != nil {
+		for _, vp := range vars {
+			sub := p.ft.MergedPaths(vp.Var.Region)
+			cct.MergeTrees(global, sub)
+		}
+	}
+
+	totals := p.buildTotals(mon, caps)
+	return &Profile{
+		AppName:        appName,
+		Machine:        p.engine.Machine(),
+		Mechanism:      mech.Name(),
+		Caps:           caps,
+		Period:         mech.Period(),
+		Tree:           global,
+		PerThreadTrees: p.trees,
+		Vars:           vars,
+		Patterns:       p.patterns,
+		FirstTouch:     p.ft,
+		Registry:       p.registry,
+		Timeline:       p.timeline,
+		Binary:         p.prog,
+		Totals:         totals,
+	}
+}
+
+func (p *profiler) buildVarProfile(agg *varAgg) *VarProfile {
+	vp := &VarProfile{
+		Var:       agg.v,
+		Samples:   agg.samples,
+		Ml:        agg.ml,
+		Mr:        agg.mr,
+		PerDomain: agg.perDomain,
+		Latency:   agg.lat,
+		RemoteLat: agg.rlat,
+		Bins:      agg.bins,
+	}
+	if agg.samples > 0 {
+		vp.LPI = float64(agg.rlat) / agg.samples
+	}
+	if p.sampledRLat > 0 {
+		vp.RemoteLatShare = float64(agg.rlat) / float64(p.sampledRLat)
+	}
+	if p.mr > 0 {
+		vp.MrShare = agg.mr / p.mr
+	}
+	if p.ft != nil {
+		vp.FirstTouchThreads = p.ft.TouchingThreads(agg.v.Region)
+		vp.ProtectedPages = p.ft.ProtectedPages(agg.v.Region)
+		if path, ok := p.ft.FirstTouchLocation(agg.v.Region); ok {
+			vp.FirstTouchPath = path
+		}
+	}
+	return vp
+}
+
+func (p *profiler) buildTotals(mon *pmu.Monitor, caps pmu.Capability) Totals {
+	e := p.engine
+	t := Totals{
+		Samples:             p.samples,
+		SampledInstructions: float64(mon.SampledInstructions()),
+		Ml:                  p.ml,
+		Mr:                  p.mr,
+		PerDomain:           p.perDomain,
+		SampledLatency:      p.sampledLat,
+		SampledRemoteLat:    p.sampledRLat,
+		Instructions:        e.TotalInstructions(),
+		MemAccesses:         e.TotalMemAccesses(),
+		LPIExact:            e.ExactLPI(),
+		RemoteFraction:      metrics.RemoteFraction(p.ml, p.mr),
+		Imbalance:           metrics.ImbalanceFactor(p.perDomain),
+		SimTime:             e.TotalTime(),
+		ROITime:             e.TimeSince(proc.ROIMark),
+	}
+	var overhead units.Cycles
+	for _, th := range e.Threads() {
+		overhead += th.Overhead()
+	}
+	t.Overhead = overhead
+
+	switch {
+	case caps.SamplesAllInstructions && caps.MeasuresLatency:
+		// Equation 2 (IBS).
+		t.LPI = metrics.LPIFromInstructionSamples(
+			float64(mon.SampledRemoteLatency()), mon.SampledInstructions())
+	case caps.EventBased && caps.MeasuresLatency:
+		// Equation 3 (PEBS-LL): average sampled remote latency times
+		// the absolute remote-event rate. The engine's full remote
+		// count plays the conventional counter.
+		t.LPI = metrics.LPIFromEventSamples(
+			float64(mon.SampledRemoteLatency()), mon.SampledRemote(),
+			e.TotalRemoteAccesses(), e.TotalInstructions())
+	default:
+		t.LPI = math.NaN()
+	}
+	best := t.LPI
+	if math.IsNaN(best) {
+		best = t.LPIExact
+	}
+	t.Significant = metrics.Significant(best)
+	return t
+}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/omp"
+	"repro/internal/pmu"
+	"repro/internal/proc"
+	"repro/internal/units"
+	"repro/internal/vm"
+)
+
+// randomApp is a pseudo-random but fully deterministic program: random
+// allocations under random policies, random loop nests under random
+// schedules, frees, stack variables, and mixed access strides. It
+// drives the whole pipeline through corners no hand-written workload
+// visits.
+type randomApp struct {
+	prog *isa.Program
+	seed int64
+
+	fnMain isa.FuncID
+	fns    []isa.FuncID
+	sites  []isa.SiteID
+}
+
+func newRandomApp(seed int64) *randomApp {
+	a := &randomApp{seed: seed}
+	p := isa.NewProgram(fmt.Sprintf("random-%d", seed))
+	a.fnMain = p.AddFunc("main", "rand.c", 1)
+	for i := 0; i < 6; i++ {
+		fn := p.AddFunc(fmt.Sprintf("region%d._omp", i), "rand.c", 10*(i+1))
+		a.fns = append(a.fns, fn)
+		for j := 0; j < 3; j++ {
+			kind := isa.KindLoad
+			if j == 2 {
+				kind = isa.KindStore
+			}
+			a.sites = append(a.sites, p.AddSite(fn, 10*(i+1)+j, kind))
+		}
+	}
+	// One static variable sometimes used.
+	p.AddStatic("static_tbl", 16*uint64(units.PageSize))
+	a.prog = p
+	return a
+}
+
+func (a *randomApp) Name() string         { return a.prog.Name }
+func (a *randomApp) Binary() *isa.Program { return a.prog }
+
+func (a *randomApp) Run(e *proc.Engine) {
+	rng := rand.New(rand.NewSource(a.seed))
+	doms := e.Machine().NumDomains()
+
+	// Random allocations.
+	type alloc struct {
+		r     vm.Region
+		freed bool
+	}
+	var allocs []alloc
+	nAllocs := 2 + rng.Intn(4)
+	omp.Serial(e, a.fnMain, "main", func(c *proc.Ctx) {
+		for i := 0; i < nAllocs; i++ {
+			size := uint64(1+rng.Intn(64)) * 4096
+			var pol vm.Policy
+			switch rng.Intn(4) {
+			case 0:
+				pol = vm.Interleaved{}
+			case 1:
+				pol = vm.OnNode{Domain: 0}
+			case 2:
+				var ds []int
+				_ = ds
+				pol = nil // first touch
+			default:
+				pol = nil
+			}
+			allocs = append(allocs, alloc{r: c.Alloc(a.sites[0], fmt.Sprintf("v%d", i), size, pol)})
+		}
+	})
+	_ = doms
+
+	// Random regions over the allocations.
+	nRegions := 2 + rng.Intn(5)
+	for reg := 0; reg < nRegions; reg++ {
+		fn := a.fns[rng.Intn(len(a.fns))]
+		site := a.sites[rng.Intn(len(a.sites))]
+		ai := rng.Intn(len(allocs))
+		if allocs[ai].freed {
+			continue
+		}
+		target := allocs[ai].r
+		stride := uint64(8 << rng.Intn(4)) // 8..64
+		iters := 200 + rng.Intn(800)
+		var sched omp.Schedule
+		switch rng.Intn(3) {
+		case 0:
+			sched = omp.Static{}
+		case 1:
+			sched = omp.Cyclic{Chunk: 1 + rng.Intn(4)}
+		default:
+			sched = omp.Dynamic{Chunk: 1 + rng.Intn(8), Seed: uint64(reg)}
+		}
+		serial := rng.Intn(4) == 0
+		if serial {
+			omp.Serial(e, fn, fmt.Sprintf("serial%d", reg), func(c *proc.Ctx) {
+				for i := 0; i < iters; i++ {
+					addr := target.Base + (uint64(i)*stride)%target.Size
+					if i%3 == 0 {
+						c.Store(site, addr)
+					} else {
+						c.Load(site, addr)
+					}
+				}
+				// Occasionally use a stack variable inside a frame.
+				if rng.Intn(2) == 0 {
+					c.Call(fn, 1, func() {
+						s := c.AllocStack(site, "scratch", 2*4096)
+						c.Store(site, s.Base)
+						c.Load(site, s.Base)
+					})
+				}
+			})
+		} else {
+			omp.ParallelFor(e, fn, fmt.Sprintf("par%d", reg), iters, sched, func(c *proc.Ctx, i int) {
+				addr := target.Base + (uint64(i)*stride)%target.Size
+				c.Load(site, addr)
+				c.Compute(uint64(rng.Intn(3)) + 1)
+			})
+		}
+		// Occasionally free an allocation mid-run.
+		if rng.Intn(5) == 0 {
+			fi := rng.Intn(len(allocs))
+			if !allocs[fi].freed {
+				omp.Serial(e, a.fnMain, "free", func(c *proc.Ctx) {
+					c.Free(allocs[fi].r)
+				})
+				allocs[fi].freed = true
+			}
+		}
+	}
+}
+
+// TestRandomProgramsInvariants drives randomized programs through every
+// mechanism and checks pipeline-wide invariants: no panics, internally
+// consistent counts, valid fractions, and bit-exact determinism.
+func TestRandomProgramsInvariants(t *testing.T) {
+	mechs := pmu.Names()
+	for seed := int64(1); seed <= 12; seed++ {
+		mech := mechs[int(seed)%len(mechs)]
+		cfg := Config{
+			Machine:         testMachine(),
+			Mechanism:       mech,
+			Period:          16,
+			TrackFirstTouch: seed%2 == 0,
+			Trace:           seed%3 == 0,
+		}
+		run := func() *Profile {
+			prof, err := Analyze(cfg, newRandomApp(seed))
+			if err != nil {
+				t.Fatalf("seed %d (%s): %v", seed, mech, err)
+			}
+			return prof
+		}
+		p := run()
+
+		// Counts are consistent.
+		var domains float64
+		for _, n := range p.Totals.PerDomain {
+			if n < 0 {
+				t.Fatalf("seed %d: negative domain count", seed)
+			}
+			domains += n
+		}
+		if domains != p.Totals.Ml+p.Totals.Mr {
+			t.Fatalf("seed %d: per-domain sum %v != M_l+M_r %v",
+				seed, domains, p.Totals.Ml+p.Totals.Mr)
+		}
+		if f := p.Totals.RemoteFraction; f < 0 || f > 1 {
+			t.Fatalf("seed %d: remote fraction %v", seed, f)
+		}
+		if !math.IsNaN(p.Totals.LPI) && p.Totals.LPI < 0 {
+			t.Fatalf("seed %d: negative lpi", seed)
+		}
+		for _, v := range p.Vars {
+			if v.Ml < 0 || v.Mr < 0 || v.Samples != v.Ml+v.Mr {
+				t.Fatalf("seed %d: %s inconsistent (%v, %v, %v)",
+					seed, v.Var.Name, v.Ml, v.Mr, v.Samples)
+			}
+		}
+
+		// Determinism: a second identical run matches exactly.
+		q := run()
+		if p.Totals.Samples != q.Totals.Samples || p.Totals.SimTime != q.Totals.SimTime ||
+			p.Totals.Mr != q.Totals.Mr || p.Totals.LPIExact != q.Totals.LPIExact {
+			t.Fatalf("seed %d (%s): nondeterministic totals:\n%+v\n%+v",
+				seed, mech, p.Totals, q.Totals)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/omp"
+	"repro/internal/proc"
+	"repro/internal/vm"
+)
+
+// phasedApp has two phases with opposite NUMA behaviour: phase one
+// processes co-located data (local), phase two processes
+// master-initialised data (remote). Only a trace can tell them apart.
+type phasedApp struct {
+	prog           *isa.Program
+	fnMain, fnInit isa.FuncID
+	fnGood, fnBad  isa.FuncID
+	sAlloc, sInit  isa.SiteID
+	sGood, sBad    isa.SiteID
+	staticIdx      int
+}
+
+func newPhasedApp() *phasedApp {
+	a := &phasedApp{}
+	p := isa.NewProgram("phased")
+	a.fnMain = p.AddFunc("main", "phased.c", 1)
+	a.fnInit = p.AddFunc("init_all", "phased.c", 10)
+	a.fnGood = p.AddFunc("local_phase._omp", "phased.c", 20)
+	a.fnBad = p.AddFunc("remote_phase._omp", "phased.c", 40)
+	a.sAlloc = p.AddSite(a.fnMain, 3, isa.KindAlloc)
+	a.sInit = p.AddSite(a.fnInit, 12, isa.KindStore)
+	a.sGood = p.AddSite(a.fnGood, 22, isa.KindLoad)
+	a.sBad = p.AddSite(a.fnBad, 42, isa.KindLoad)
+	a.staticIdx = p.AddStatic("table", 64*4096)
+	a.prog = p
+	return a
+}
+
+func (a *phasedApp) Name() string         { return "phased" }
+func (a *phasedApp) Binary() *isa.Program { return a.prog }
+
+func (a *phasedApp) Run(e *proc.Engine) {
+	const n = 4096
+	table := e.StaticRegion(a.staticIdx)
+	var good, bad vm.Region
+	omp.Serial(e, a.fnMain, "main", func(c *proc.Ctx) {
+		good = c.Alloc(a.sAlloc, "good", n*64, nil)
+		bad = c.Alloc(a.sAlloc, "bad", n*64, nil)
+	})
+	// good: parallel init (co-located). bad + the static table: master
+	// init (all pages in domain 0).
+	omp.ParallelFor(e, a.fnInit, "init_good", n, omp.Static{}, func(c *proc.Ctx, i int) {
+		c.Store(a.sInit, good.Base+uint64(i)*64)
+	})
+	omp.Serial(e, a.fnInit, "init_bad", func(c *proc.Ctx) {
+		for i := 0; i < n; i++ {
+			c.Store(a.sInit, bad.Base+uint64(i)*64)
+			c.Store(a.sInit, table.Base+uint64(i%(64*64))*64)
+		}
+	})
+	// Phase 1: local.
+	for it := 0; it < 3; it++ {
+		omp.ParallelFor(e, a.fnGood, "local_phase", n, omp.Static{}, func(c *proc.Ctx, i int) {
+			c.Load(a.sGood, good.Base+uint64(i)*64)
+			c.Compute(4)
+		})
+	}
+	// Phase 2: remote.
+	for it := 0; it < 3; it++ {
+		omp.ParallelFor(e, a.fnBad, "remote_phase", n, omp.Static{}, func(c *proc.Ctx, i int) {
+			c.Load(a.sBad, bad.Base+uint64(i)*64)
+			c.Compute(4)
+		})
+	}
+}
+
+func TestTraceCapturesPhaseShift(t *testing.T) {
+	cfg := Config{
+		Machine:   testMachine(),
+		Mechanism: "IBS",
+		Period:    32,
+		Trace:     true,
+	}
+	prof := analyze(t, cfg, newPhasedApp())
+	if prof.Timeline == nil {
+		t.Fatal("Timeline missing with Trace enabled")
+	}
+	if prof.Timeline.Len() == 0 {
+		t.Fatal("no trace events")
+	}
+	at, delta, ok := prof.Timeline.PhaseShift(12)
+	if !ok {
+		t.Fatal("no phase shift detected")
+	}
+	if delta < 0.3 {
+		t.Errorf("phase shift delta = %.2f, want a strong local->remote jump", delta)
+	}
+	if at == 0 {
+		t.Error("shift should not be at time zero")
+	}
+	// The remote phase's hot variable is "bad".
+	buckets := prof.Timeline.Buckets(12)
+	last := buckets[len(buckets)-1]
+	if hot, _ := last.HotVar(); hot != "bad" {
+		t.Errorf("final-phase hot variable = %q, want bad", hot)
+	}
+}
+
+func TestTraceDisabledByDefault(t *testing.T) {
+	cfg := Config{Machine: testMachine(), Mechanism: "IBS", Period: 64}
+	prof := analyze(t, cfg, newPhasedApp())
+	if prof.Timeline != nil {
+		t.Fatal("Timeline should be nil without Trace")
+	}
+}
+
+// The Section 10 extension: statics are protected at load, so their
+// first touches are pinpointed exactly like heap variables'.
+func TestStaticFirstTouchPinpointed(t *testing.T) {
+	cfg := Config{
+		Machine:         testMachine(),
+		Mechanism:       "IBS",
+		Period:          32,
+		TrackFirstTouch: true,
+	}
+	prof := analyze(t, cfg, newPhasedApp())
+	tp, ok := prof.VarByName("table")
+	if !ok {
+		t.Fatal("static table not profiled")
+	}
+	if tp.ProtectedPages == 0 {
+		t.Fatal("static pages should be protected at load")
+	}
+	if len(tp.FirstTouchThreads) != 1 || tp.FirstTouchThreads[0] != 0 {
+		t.Fatalf("static first-touch threads = %v, want [0] (serial init)", tp.FirstTouchThreads)
+	}
+	if len(tp.FirstTouchPath) == 0 {
+		t.Fatal("no first-touch path for static")
+	}
+	fn, _ := prof.Binary.Func(tp.FirstTouchPath[len(tp.FirstTouchPath)-1].Fn)
+	if fn.Name != "init_all" {
+		t.Errorf("static first touch in %q, want init_all", fn.Name)
+	}
+}

@@ -1,0 +1,268 @@
+// Package datacentric implements the data-centric attribution of
+// Section 5.1 of the paper: mapping effective addresses back to the
+// variables they belong to. Heap variables are tracked through their
+// allocations, keeping the full calling context of the allocation
+// site; static variables come from the program's symbol table.
+//
+// It also implements the variable binning of Section 5.2: rather than
+// keeping one [min,max] summary for a whole large variable, a variable
+// spanning more than five pages is split into a fixed number of
+// equal-size bins (five by default, overridable through the
+// NUMAPROF_BINS environment variable), and each bin is treated as a
+// synthetic variable with its own attribution, so hot sub-ranges stand
+// out.
+package datacentric
+
+import (
+	"fmt"
+	"math/bits"
+	"os"
+	"strconv"
+
+	"repro/internal/isa"
+	"repro/internal/proc"
+	"repro/internal/units"
+	"repro/internal/vm"
+)
+
+// VarKind classifies a tracked variable.
+type VarKind uint8
+
+// Variable kinds. The paper's tool tracks heap and static variables;
+// Section 8.1 converts LULESH's stack-allocated nodelist to a static
+// as a workaround, and full stack support is listed as future work in
+// Section 10 — implemented here as the Stack kind (see proc.Ctx's
+// AllocStack).
+const (
+	Heap VarKind = iota
+	Static
+	Stack
+)
+
+// String names the kind.
+func (k VarKind) String() string {
+	switch k {
+	case Heap:
+		return "heap"
+	case Static:
+		return "static"
+	case Stack:
+		return "stack"
+	default:
+		return fmt.Sprintf("VarKind(%d)", uint8(k))
+	}
+}
+
+// BinsEnvVar is the environment variable overriding the default bin
+// count (Section 5.2: "one can change this number via an environment
+// variable").
+const BinsEnvVar = "NUMAPROF_BINS"
+
+// DefaultBins is the paper's default: variables larger than
+// BinThresholdPages pages are divided into five bins.
+const DefaultBins = 5
+
+// BinThresholdPages is the size, in pages, above which a variable is
+// binned.
+const BinThresholdPages = 5
+
+// Variable is one tracked data object.
+type Variable struct {
+	Name   string
+	Kind   VarKind
+	Region vm.Region
+
+	// AllocPath is the full calling context at the allocation, for
+	// heap variables ("attributes each sampled heap variable access to
+	// the full calling context where the heap variable was
+	// allocated", Section 5.1).
+	AllocPath []proc.Frame
+	// AllocSite is the allocation instruction (operator new[],
+	// malloc, ...).
+	AllocSite isa.SiteID
+	// AllocThread is the allocating thread's id.
+	AllocThread int
+
+	// Bins is how many synthetic sub-variables the extent is split
+	// into (1 means unbinned).
+	Bins int
+}
+
+// Size returns the variable's extent in bytes.
+func (v *Variable) Size() uint64 { return v.Region.Size }
+
+// BinOf returns the bin index containing addr, clamped to the extent.
+func (v *Variable) BinOf(addr uint64) int {
+	if v.Bins <= 1 || v.Region.Size == 0 {
+		return 0
+	}
+	if addr < v.Region.Base {
+		return 0
+	}
+	off := addr - v.Region.Base
+	if off >= v.Region.Size {
+		return v.Bins - 1
+	}
+	// Exact 128-bit math keeps BinOf consistent with BinRange's
+	// integer boundaries even for huge extents.
+	hi, lo := bits.Mul64(off, uint64(v.Bins))
+	idx, _ := bits.Div64(hi, lo, v.Region.Size)
+	if int(idx) >= v.Bins {
+		return v.Bins - 1
+	}
+	return int(idx)
+}
+
+// BinRange returns the half-open address range [lo, hi) of bin idx.
+func (v *Variable) BinRange(idx int) (lo, hi uint64) {
+	if v.Bins <= 1 {
+		return v.Region.Base, v.Region.End()
+	}
+	// Ceiling division makes these boundaries the exact inverse of
+	// BinOf's floor(off*bins/size).
+	n := uint64(v.Bins)
+	i := uint64(idx)
+	lo = v.Region.Base + (v.Region.Size*i+n-1)/n
+	hi = v.Region.Base + (v.Region.Size*(i+1)+n-1)/n
+	return lo, hi
+}
+
+// BinName labels bin idx for display, e.g. "z[bin 2/5]".
+func (v *Variable) BinName(idx int) string {
+	if v.Bins <= 1 {
+		return v.Name
+	}
+	return fmt.Sprintf("%s[bin %d/%d]", v.Name, idx, v.Bins)
+}
+
+// NormalizeAddr maps addr into [0,1] relative to the variable's
+// extent, the normalisation hpcviewer's address-centric plot uses
+// (Section 7.2). Out-of-extent addresses clamp.
+func (v *Variable) NormalizeAddr(addr uint64) float64 {
+	if v.Region.Size == 0 {
+		return 0
+	}
+	if addr <= v.Region.Base {
+		return 0
+	}
+	off := addr - v.Region.Base
+	if off >= v.Region.Size {
+		return 1
+	}
+	return float64(off) / float64(v.Region.Size)
+}
+
+// Registry tracks all live variables and resolves addresses to them.
+type Registry struct {
+	defaultBins int
+	byRegion    map[int]*Variable // allocation id -> variable
+	vars        []*Variable
+}
+
+// NewRegistry creates a registry. bins <= 0 selects the default bin
+// count, honouring NUMAPROF_BINS if set.
+func NewRegistry(bins int) *Registry {
+	if bins <= 0 {
+		bins = DefaultBins
+		if s := os.Getenv(BinsEnvVar); s != "" {
+			if v, err := strconv.Atoi(s); err == nil && v > 0 {
+				bins = v
+			}
+		}
+	}
+	return &Registry{
+		defaultBins: bins,
+		byRegion:    make(map[int]*Variable),
+	}
+}
+
+// binCount applies the Section 5.2 rule: only variables spanning more
+// than BinThresholdPages pages are binned.
+func (r *Registry) binCount(size uint64) int {
+	if units.PagesSpanned(0, size) > BinThresholdPages {
+		return r.defaultBins
+	}
+	return 1
+}
+
+// AddHeap registers a heap allocation with its allocation context.
+func (r *Registry) AddHeap(name string, region vm.Region, site isa.SiteID, thread int, path []proc.Frame) *Variable {
+	v := &Variable{
+		Name:        name,
+		Kind:        Heap,
+		Region:      region,
+		AllocPath:   path,
+		AllocSite:   site,
+		AllocThread: thread,
+		Bins:        r.binCount(region.Size),
+	}
+	r.byRegion[region.ID] = v
+	r.vars = append(r.vars, v)
+	return v
+}
+
+// AddStatic registers a static variable loaded from the symbol table.
+func (r *Registry) AddStatic(name string, region vm.Region) *Variable {
+	v := &Variable{
+		Name:   name,
+		Kind:   Static,
+		Region: region,
+		Bins:   r.binCount(region.Size),
+	}
+	r.byRegion[region.ID] = v
+	r.vars = append(r.vars, v)
+	return v
+}
+
+// AddStack registers a stack variable with the allocating frame's
+// context — the Section 10 future-work extension. Stack variables are
+// placed by first touch like any other memory; what distinguishes them
+// is their lifetime (popped with the frame) and their attribution kind.
+func (r *Registry) AddStack(name string, region vm.Region, site isa.SiteID, thread int, path []proc.Frame) *Variable {
+	v := &Variable{
+		Name:        name,
+		Kind:        Stack,
+		Region:      region,
+		AllocPath:   path,
+		AllocSite:   site,
+		AllocThread: thread,
+		Bins:        r.binCount(region.Size),
+	}
+	r.byRegion[region.ID] = v
+	r.vars = append(r.vars, v)
+	return v
+}
+
+// Restore re-registers a fully formed variable, for profile
+// deserialisation. The caller owns all fields, including Bins.
+func (r *Registry) Restore(v *Variable) {
+	r.byRegion[v.Region.ID] = v
+	r.vars = append(r.vars, v)
+}
+
+// Remove forgets the variable occupying the region (on free). The
+// variable stays in Variables() — its attribution survives postmortem —
+// but addresses no longer resolve to it.
+func (r *Registry) Remove(region vm.Region) {
+	delete(r.byRegion, region.ID)
+}
+
+// Resolve maps an allocation to its variable.
+func (r *Registry) Resolve(region vm.Region) (*Variable, bool) {
+	v, ok := r.byRegion[region.ID]
+	return v, ok
+}
+
+// Variables returns every variable ever registered, in registration
+// order. The slice must not be mutated.
+func (r *Registry) Variables() []*Variable { return r.vars }
+
+// Lookup finds a registered variable by name (first match).
+func (r *Registry) Lookup(name string) (*Variable, bool) {
+	for _, v := range r.vars {
+		if v.Name == name {
+			return v, true
+		}
+	}
+	return nil, false
+}

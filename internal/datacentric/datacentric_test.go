@@ -1,0 +1,173 @@
+package datacentric
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+	"repro/internal/vm"
+)
+
+func region(id int, base, size uint64) vm.Region {
+	return vm.Region{ID: id, Base: base, Size: size}
+}
+
+func TestBinningRule(t *testing.T) {
+	r := NewRegistry(5)
+	small := r.AddHeap("small", region(0, 0x10000, 4*uint64(units.PageSize)), 0, 0, nil)
+	if small.Bins != 1 {
+		t.Errorf("4-page variable bins = %d, want 1 (below threshold)", small.Bins)
+	}
+	exact := r.AddHeap("exact", region(1, 0x20000, 5*uint64(units.PageSize)), 0, 0, nil)
+	if exact.Bins != 1 {
+		t.Errorf("5-page variable bins = %d, want 1 (threshold is strict >)", exact.Bins)
+	}
+	big := r.AddHeap("big", region(2, 0x30000, 6*uint64(units.PageSize)), 0, 0, nil)
+	if big.Bins != 5 {
+		t.Errorf("6-page variable bins = %d, want 5", big.Bins)
+	}
+}
+
+func TestBinsOverride(t *testing.T) {
+	t.Setenv(BinsEnvVar, "8")
+	r := NewRegistry(0)
+	big := r.AddHeap("big", region(0, 0x10000, 1<<20), 0, 0, nil)
+	if big.Bins != 8 {
+		t.Errorf("bins = %d, want 8 from %s", big.Bins, BinsEnvVar)
+	}
+}
+
+func TestBinsBadEnvIgnored(t *testing.T) {
+	t.Setenv(BinsEnvVar, "not-a-number")
+	r := NewRegistry(0)
+	big := r.AddHeap("big", region(0, 0x10000, 1<<20), 0, 0, nil)
+	if big.Bins != DefaultBins {
+		t.Errorf("bins = %d, want default %d", big.Bins, DefaultBins)
+	}
+}
+
+func TestBinOfAndBinRange(t *testing.T) {
+	v := &Variable{Name: "z", Region: region(0, 1000, 500), Bins: 5}
+	// 5 bins of 100 bytes each.
+	cases := []struct {
+		addr uint64
+		want int
+	}{
+		{1000, 0}, {1099, 0}, {1100, 1}, {1499, 4},
+		{999, 0},  // below extent clamps to 0
+		{2000, 4}, // beyond extent clamps to last
+	}
+	for _, c := range cases {
+		if got := v.BinOf(c.addr); got != c.want {
+			t.Errorf("BinOf(%d) = %d, want %d", c.addr, got, c.want)
+		}
+	}
+	lo, hi := v.BinRange(2)
+	if lo != 1200 || hi != 1300 {
+		t.Errorf("BinRange(2) = [%d,%d), want [1200,1300)", lo, hi)
+	}
+	unbinned := &Variable{Name: "s", Region: region(0, 1000, 64), Bins: 1}
+	lo, hi = unbinned.BinRange(0)
+	if lo != 1000 || hi != 1064 {
+		t.Errorf("unbinned BinRange = [%d,%d)", lo, hi)
+	}
+}
+
+func TestBinName(t *testing.T) {
+	v := &Variable{Name: "z", Region: region(0, 0, 1000), Bins: 5}
+	if got := v.BinName(2); got != "z[bin 2/5]" {
+		t.Errorf("BinName = %q", got)
+	}
+	u := &Variable{Name: "s", Bins: 1}
+	if got := u.BinName(0); got != "s" {
+		t.Errorf("unbinned BinName = %q", got)
+	}
+}
+
+func TestNormalizeAddr(t *testing.T) {
+	v := &Variable{Name: "z", Region: region(0, 1000, 1000)}
+	if v.NormalizeAddr(1000) != 0 {
+		t.Error("base should normalise to 0")
+	}
+	if got := v.NormalizeAddr(1500); got != 0.5 {
+		t.Errorf("mid = %v, want 0.5", got)
+	}
+	if v.NormalizeAddr(999) != 0 || v.NormalizeAddr(3000) != 1 {
+		t.Error("out-of-extent should clamp")
+	}
+}
+
+func TestRegistryResolveAndRemove(t *testing.T) {
+	r := NewRegistry(5)
+	reg := region(3, 0x10000, 4096)
+	v := r.AddHeap("a", reg, 7, 2, nil)
+	got, ok := r.Resolve(reg)
+	if !ok || got != v {
+		t.Fatal("Resolve should find the variable")
+	}
+	if v.AllocSite != 7 || v.AllocThread != 2 {
+		t.Errorf("alloc metadata = %+v", v)
+	}
+	r.Remove(reg)
+	if _, ok := r.Resolve(reg); ok {
+		t.Fatal("Resolve after Remove should fail")
+	}
+	// Still listed postmortem.
+	if len(r.Variables()) != 1 {
+		t.Fatal("Variables should retain removed entries")
+	}
+}
+
+func TestRegistryStatic(t *testing.T) {
+	r := NewRegistry(5)
+	v := r.AddStatic("nodelist", region(0, 0x40000, 1<<20))
+	if v.Kind != Static {
+		t.Errorf("kind = %v, want static", v.Kind)
+	}
+	if v.Bins != 5 {
+		t.Errorf("large static bins = %d, want 5", v.Bins)
+	}
+	found, ok := r.Lookup("nodelist")
+	if !ok || found != v {
+		t.Fatal("Lookup should find static by name")
+	}
+	if _, ok := r.Lookup("absent"); ok {
+		t.Fatal("Lookup of absent name should fail")
+	}
+}
+
+func TestVarKindString(t *testing.T) {
+	if Heap.String() != "heap" || Static.String() != "static" {
+		t.Error("kind names wrong")
+	}
+}
+
+// Property: BinOf is consistent with BinRange — every in-extent address
+// falls in the bin whose range contains it, and bins tile the extent.
+func TestQuickBinsTileExtent(t *testing.T) {
+	f := func(sizeSeed uint16, off uint32, bins uint8) bool {
+		size := uint64(sizeSeed)%100000 + 100
+		b := int(bins%10) + 1
+		v := &Variable{Name: "v", Region: region(0, 4096, size), Bins: b}
+		// Tiling: bin ranges are contiguous and cover [base, end).
+		prevHi := v.Region.Base
+		for i := 0; i < b; i++ {
+			lo, hi := v.BinRange(i)
+			if lo != prevHi || hi < lo {
+				return false
+			}
+			prevHi = hi
+		}
+		if prevHi != v.Region.End() {
+			return false
+		}
+		// Consistency on a sample address.
+		addr := v.Region.Base + uint64(off)%size
+		idx := v.BinOf(addr)
+		lo, hi := v.BinRange(idx)
+		return addr >= lo && addr < hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,220 @@
+// Package diff compares two profiles of the same program — typically a
+// baseline and an optimised build — and reports what a NUMA fix
+// actually changed: runtime, lpi_NUMA, remote fractions, per-variable
+// remote latency, and per-domain request balance.
+//
+// This automates the verification loop every Section 8 case study runs
+// by hand ("with this optimization, there is no longer any latency
+// related to buffer caused by remote accesses"): profile, fix,
+// re-profile, and check that the bottleneck variables actually went
+// local and the imbalance dissolved.
+package diff
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/units"
+)
+
+// VarDelta is one variable's before/after comparison.
+type VarDelta struct {
+	Name string
+	// Present flags which sides have the variable.
+	InBefore, InAfter bool
+
+	MrBefore, MrAfter float64
+	// RemoteFracBefore/After are M_r/(M_l+M_r) per variable.
+	RemoteFracBefore, RemoteFracAfter float64
+	RLatBefore, RLatAfter             units.Cycles
+	// Resolved is true when the variable had remote traffic before
+	// and essentially none after (the fix worked for it).
+	Resolved bool
+	// Regressed is true when remote latency grew substantially.
+	Regressed bool
+}
+
+// Result is the full comparison.
+type Result struct {
+	App string
+	// Labels name the two sides (e.g. "baseline", "blockwise").
+	BeforeLabel, AfterLabel string
+
+	// TimeBefore/After are measured-phase (ROI) runtimes: what the
+	// paper's speedups quote (initialisation is setup, amortised away
+	// on full-size inputs).
+	TimeBefore, TimeAfter units.Cycles
+	// Speedup is time_before/time_after - 1.
+	Speedup float64
+
+	LPIBefore, LPIAfter               float64
+	RemoteFracBefore, RemoteFracAfter float64
+	ImbalanceBefore, ImbalanceAfter   float64
+
+	Vars []VarDelta
+
+	// Verdict summarises the comparison in one line.
+	Verdict string
+}
+
+// Options tune the comparison.
+type Options struct {
+	// ResolvedThreshold: a variable counts as resolved when its
+	// remote latency drops below this fraction of its before value
+	// (default 0.1).
+	ResolvedThreshold float64
+	// RegressedThreshold: a variable counts as regressed when its
+	// remote latency grows by more than this fraction (default 0.25).
+	RegressedThreshold float64
+}
+
+func (o Options) resolved() float64 {
+	if o.ResolvedThreshold <= 0 {
+		return 0.1
+	}
+	return o.ResolvedThreshold
+}
+
+func (o Options) regressed() float64 {
+	if o.RegressedThreshold <= 0 {
+		return 0.25
+	}
+	return o.RegressedThreshold
+}
+
+// Compare diffs two profiles. The profiles should come from the same
+// application (matching variable names); mismatched apps still compare,
+// variable-by-variable, with missing sides flagged.
+func Compare(before, after *core.Profile, beforeLabel, afterLabel string, opts Options) *Result {
+	r := &Result{
+		App:              before.AppName,
+		BeforeLabel:      beforeLabel,
+		AfterLabel:       afterLabel,
+		TimeBefore:       before.Totals.ROITime,
+		TimeAfter:        after.Totals.ROITime,
+		LPIBefore:        bestLPI(before),
+		LPIAfter:         bestLPI(after),
+		RemoteFracBefore: before.Totals.RemoteFraction,
+		RemoteFracAfter:  after.Totals.RemoteFraction,
+		ImbalanceBefore:  before.Totals.Imbalance,
+		ImbalanceAfter:   after.Totals.Imbalance,
+	}
+	if r.TimeAfter > 0 {
+		r.Speedup = float64(r.TimeBefore)/float64(r.TimeAfter) - 1
+	}
+
+	names := map[string]bool{}
+	for _, v := range before.Vars {
+		names[v.Var.Name] = true
+	}
+	for _, v := range after.Vars {
+		names[v.Var.Name] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+
+	for _, name := range sorted {
+		d := VarDelta{Name: name}
+		if v, ok := before.VarByName(name); ok {
+			d.InBefore = true
+			d.MrBefore = v.Mr
+			d.RLatBefore = v.RemoteLat
+			if t := v.Ml + v.Mr; t > 0 {
+				d.RemoteFracBefore = v.Mr / t
+			}
+		}
+		if v, ok := after.VarByName(name); ok {
+			d.InAfter = true
+			d.MrAfter = v.Mr
+			d.RLatAfter = v.RemoteLat
+			if t := v.Ml + v.Mr; t > 0 {
+				d.RemoteFracAfter = v.Mr / t
+			}
+		}
+		if d.RLatBefore > 0 {
+			ratio := float64(d.RLatAfter) / float64(d.RLatBefore)
+			d.Resolved = ratio < opts.resolved()
+			d.Regressed = ratio > 1+opts.regressed()
+		} else if d.RLatAfter > 0 {
+			d.Regressed = true
+		}
+		r.Vars = append(r.Vars, d)
+	}
+	// Most interesting first: largest before-side remote latency.
+	sort.SliceStable(r.Vars, func(i, j int) bool {
+		return r.Vars[i].RLatBefore > r.Vars[j].RLatBefore
+	})
+
+	r.Verdict = verdict(r)
+	return r
+}
+
+func bestLPI(p *core.Profile) float64 {
+	if !math.IsNaN(p.Totals.LPI) {
+		return p.Totals.LPI
+	}
+	return p.Totals.LPIExact
+}
+
+func verdict(r *Result) string {
+	var resolved, regressed int
+	for _, v := range r.Vars {
+		if v.Resolved {
+			resolved++
+		}
+		if v.Regressed {
+			regressed++
+		}
+	}
+	switch {
+	case r.Speedup > 0.02 && regressed == 0:
+		return fmt.Sprintf("improved: %+.1f%% faster, %d variable(s) went local, none regressed",
+			100*r.Speedup, resolved)
+	case r.Speedup > 0.02:
+		return fmt.Sprintf("improved overall (%+.1f%%) but %d variable(s) regressed",
+			100*r.Speedup, regressed)
+	case r.Speedup < -0.02:
+		return fmt.Sprintf("REGRESSION: %+.1f%% (%d variable(s) regressed)", 100*r.Speedup, regressed)
+	default:
+		return fmt.Sprintf("no material change (%+.1f%%) — consistent with lpi below the threshold",
+			100*r.Speedup)
+	}
+}
+
+// Render prints the comparison.
+func (r *Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "profile diff: %s — %s vs %s\n", r.App, r.BeforeLabel, r.AfterLabel)
+	fmt.Fprintf(&b, "%-18s %14s %14s\n", "", r.BeforeLabel, r.AfterLabel)
+	fmt.Fprintf(&b, "%-18s %14d %14d  (%+.1f%%)\n", "runtime (cyc)",
+		uint64(r.TimeBefore), uint64(r.TimeAfter), 100*r.Speedup)
+	fmt.Fprintf(&b, "%-18s %14.3f %14.3f\n", "lpi_NUMA", r.LPIBefore, r.LPIAfter)
+	fmt.Fprintf(&b, "%-18s %13.1f%% %13.1f%%\n", "remote fraction",
+		100*r.RemoteFracBefore, 100*r.RemoteFracAfter)
+	fmt.Fprintf(&b, "%-18s %13.2fx %13.2fx\n", "imbalance", r.ImbalanceBefore, r.ImbalanceAfter)
+	b.WriteString("\nper-variable remote latency:\n")
+	fmt.Fprintf(&b, "  %-18s %12s %12s  %s\n", "VARIABLE", "before", "after", "verdict")
+	for _, v := range r.Vars {
+		verdict := ""
+		switch {
+		case !v.InAfter:
+			verdict = "(gone)"
+		case !v.InBefore:
+			verdict = "(new)"
+		case v.Resolved:
+			verdict = "RESOLVED"
+		case v.Regressed:
+			verdict = "regressed"
+		}
+		fmt.Fprintf(&b, "  %-18s %12d %12d  %s\n",
+			v.Name, uint64(v.RLatBefore), uint64(v.RLatAfter), verdict)
+	}
+	fmt.Fprintf(&b, "\n=> %s\n", r.Verdict)
+	return b.String()
+}

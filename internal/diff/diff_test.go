@@ -1,0 +1,129 @@
+package diff
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/proc"
+	"repro/internal/topology"
+	"repro/internal/workloads"
+)
+
+func profileOf(t *testing.T, s workloads.Strategy) *core.Profile {
+	t.Helper()
+	m := topology.MagnyCours48()
+	prof, err := core.Analyze(core.Config{
+		Machine:      m,
+		Mechanism:    "IBS",
+		Binding:      proc.Compact,
+		CacheConfig:  workloads.TunedCacheConfig(),
+		MemParams:    workloads.MemParamsFor(m),
+		FabricParams: workloads.FabricParamsFor(m),
+	}, workloads.NewLULESH(workloads.Params{Strategy: s, Iters: 3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prof
+}
+
+func TestCompareBaselineVsBlockwise(t *testing.T) {
+	base := profileOf(t, workloads.Baseline)
+	block := profileOf(t, workloads.BlockWise)
+	r := Compare(base, block, "baseline", "blockwise", Options{})
+
+	if r.Speedup <= 0 {
+		t.Errorf("block-wise should be faster: %+.2f%%", 100*r.Speedup)
+	}
+	if r.LPIAfter >= r.LPIBefore {
+		t.Errorf("lpi should drop: %.3f -> %.3f", r.LPIBefore, r.LPIAfter)
+	}
+	if r.ImbalanceAfter >= r.ImbalanceBefore {
+		t.Errorf("imbalance should drop: %.2f -> %.2f", r.ImbalanceBefore, r.ImbalanceAfter)
+	}
+	// The Figure 3 bottleneck variables must be flagged as resolved.
+	var zResolved bool
+	for _, v := range r.Vars {
+		if v.Name == "z" && v.Resolved {
+			zResolved = true
+		}
+		if v.Regressed {
+			t.Errorf("%s regressed under the fix", v.Name)
+		}
+	}
+	if !zResolved {
+		t.Error("z should be RESOLVED by block-wise distribution")
+	}
+	if !strings.Contains(r.Verdict, "improved") {
+		t.Errorf("verdict = %q", r.Verdict)
+	}
+	out := r.Render()
+	for _, frag := range []string{"profile diff", "RESOLVED", "lpi_NUMA", "improved"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("render missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestCompareIdenticalProfilesIsNeutral(t *testing.T) {
+	a := profileOf(t, workloads.Baseline)
+	b := profileOf(t, workloads.Baseline)
+	r := Compare(a, b, "a", "b", Options{})
+	if r.Speedup != 0 {
+		t.Errorf("identical runs should diff to zero speedup, got %+.2f%%", 100*r.Speedup)
+	}
+	for _, v := range r.Vars {
+		if v.Resolved || v.Regressed {
+			t.Errorf("%s flagged on identical runs", v.Name)
+		}
+	}
+	if !strings.Contains(r.Verdict, "no material change") {
+		t.Errorf("verdict = %q", r.Verdict)
+	}
+}
+
+func TestCompareDetectsRegression(t *testing.T) {
+	// On POWER7, interleaving regresses LULESH: diff must say so.
+	m := topology.Power7x128()
+	mk := func(s workloads.Strategy) *core.Profile {
+		prof, err := core.Analyze(core.Config{
+			Machine:      m,
+			Mechanism:    "IBS",
+			CacheConfig:  workloads.TunedCacheConfig(),
+			MemParams:    workloads.MemParamsFor(m),
+			FabricParams: workloads.FabricParamsFor(m),
+		}, workloads.NewLULESH(workloads.Params{Strategy: s, Iters: 3}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return prof
+	}
+	r := Compare(mk(workloads.Baseline), mk(workloads.Interleave), "baseline", "interleave", Options{})
+	if r.Speedup >= 0 {
+		t.Skipf("interleave did not regress at this scale (%+.2f%%)", 100*r.Speedup)
+	}
+	if !strings.Contains(r.Verdict, "REGRESSION") {
+		t.Errorf("verdict = %q, want REGRESSION", r.Verdict)
+	}
+	// The well-placed arrays lose their locality under interleave-all.
+	var fxRegressed bool
+	for _, v := range r.Vars {
+		if v.Name == "fx" && v.Regressed {
+			fxRegressed = true
+		}
+	}
+	if !fxRegressed {
+		t.Error("fx (well-placed in baseline) should be flagged regressed under interleave")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}
+	if o.resolved() != 0.1 || o.regressed() != 0.25 {
+		t.Fatalf("defaults = %v, %v", o.resolved(), o.regressed())
+	}
+	o = Options{ResolvedThreshold: 0.5, RegressedThreshold: 1.0}
+	if o.resolved() != 0.5 || o.regressed() != 1.0 {
+		t.Fatal("overrides ignored")
+	}
+}

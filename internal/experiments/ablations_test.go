@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationPeriod(t *testing.T) {
+	res, err := RunAblationPeriod()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	// Denser sampling -> more samples, more overhead.
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].Samples >= res.Rows[i-1].Samples {
+			t.Errorf("samples should fall with period: %v then %v",
+				res.Rows[i-1].Samples, res.Rows[i].Samples)
+		}
+		if res.Rows[i].Overhead >= res.Rows[i-1].Overhead {
+			t.Errorf("overhead should fall with period: %v then %v",
+				res.Rows[i-1].Overhead, res.Rows[i].Overhead)
+		}
+	}
+	// The densest rate must track the exact value closely; even the
+	// sparsest must stay within a factor of ~3.
+	if r := res.Rows[0].Ratio; r < 0.7 || r > 1.4 {
+		t.Errorf("dense-period ratio = %.2f, want near 1.0", r)
+	}
+	for _, row := range res.Rows {
+		if row.Ratio < 0.3 || row.Ratio > 3.0 {
+			t.Errorf("period %d: ratio %.2f out of range", row.Period, row.Ratio)
+		}
+	}
+	if out := res.Render(); !strings.Contains(out, "lpi (Eq2)") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestAblationBins(t *testing.T) {
+	res, err := RunAblationBins()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	one, five, twenty := res.Rows[0], res.Rows[1], res.Rows[2]
+	// One bin has no resolution: the "hottest bin" is the whole range.
+	if one.HotBinExtent < 0.99 {
+		t.Errorf("1 bin extent = %.2f, want 1.0", one.HotBinExtent)
+	}
+	// Five bins: the top-20% hotspot lands in one bin holding ~90% of
+	// samples over ~20% of the extent.
+	if five.HotBinShare < 0.7 {
+		t.Errorf("5-bin hot share = %.2f, want ~0.9", five.HotBinShare)
+	}
+	if five.HotBinExtent > 0.25 {
+		t.Errorf("5-bin hot extent = %.2f, want ~0.2", five.HotBinExtent)
+	}
+	// Twenty bins: finer extent still, but each bin holds less.
+	if twenty.HotBinExtent >= five.HotBinExtent {
+		t.Error("more bins should give finer extents")
+	}
+	if twenty.HotBinShare >= five.HotBinShare {
+		t.Error("finer bins each hold a smaller share (the Section 5.2 trade)")
+	}
+	if out := res.Render(); !strings.Contains(out, "hot-bin share") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestAblationContention(t *testing.T) {
+	res, err := RunAblationContention()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	off, full := res.Rows[0], res.Rows[2]
+	// Interleave's value comes from contention relief: with the model
+	// off it loses most of its benefit.
+	if !(off.InterleaveSpeedup < full.InterleaveSpeedup/2) {
+		t.Errorf("interleave: %.3f (off) vs %.3f (full) — should collapse without contention",
+			off.InterleaveSpeedup, full.InterleaveSpeedup)
+	}
+	// Block-wise co-location still wins without contention (locality).
+	if off.BlockSpeedup <= 0.01 {
+		t.Errorf("block-wise without contention = %.3f, should stay positive", off.BlockSpeedup)
+	}
+	// And block-wise beats interleave at every setting.
+	for _, row := range res.Rows {
+		if row.BlockSpeedup <= row.InterleaveSpeedup {
+			t.Errorf("cap %.1f: block (%.3f) should beat interleave (%.3f)",
+				row.Cap, row.BlockSpeedup, row.InterleaveSpeedup)
+		}
+	}
+	if out := res.Render(); !strings.Contains(out, "contention cap") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestAblationDynamic(t *testing.T) {
+	res, err := RunAblationDynamic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	// Fixed binding: block-wise is the best placement.
+	sb := res.Speedup("static", "block-wise")
+	si := res.Speedup("static", "interleaved")
+	if sb <= si {
+		t.Errorf("static: block-wise (%v) should beat interleaved (%v)", sb, si)
+	}
+	// Churning binding: co-location is impossible. Block-wise
+	// degenerates into just another balanced distribution, so its
+	// edge over interleaving collapses to a tie (within 5 points),
+	// while both still beat the contended baseline.
+	db := res.Speedup("dynamic", "block-wise")
+	di := res.Speedup("dynamic", "interleaved")
+	// Tie = the residual gap is an order of magnitude below the
+	// static-schedule co-location edge.
+	gap := db - di
+	if gap < 0 {
+		gap = -gap
+	}
+	if gap > (sb-si)/3 {
+		t.Errorf("dynamic: block-wise (%v) and interleaved (%v) should roughly tie (static edge %v)",
+			db, di, sb-si)
+	}
+	if db < 0.5 || di < 0.5 {
+		t.Errorf("dynamic: both balanced placements should beat the contended baseline (%v, %v)", db, di)
+	}
+	// The block-wise edge must be real under static and gone under
+	// dynamic.
+	if sb-si < 0.05 {
+		t.Errorf("static: block-wise edge = %+.3f, want substantial", sb-si)
+	}
+	if out := res.Render(); !strings.Contains(out, "dynamic") {
+		t.Error("render incomplete")
+	}
+}

@@ -1,0 +1,328 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/addrcentric"
+	"repro/internal/core"
+	"repro/internal/proc"
+	"repro/internal/view"
+	"repro/internal/workloads"
+)
+
+// Figure3Result is the LULESH case study (Section 8.1 / Figure 3): the
+// whole-program metrics and the z variable's signatures under IBS on
+// the AMD machine.
+type Figure3Result struct {
+	Profile *core.Profile
+
+	LPI         float64 // paper: 0.466
+	PaperLPI    float64
+	Significant bool
+
+	// Z signatures.
+	ZMrOverMl    float64 // paper: ~7
+	ZNode0Share  float64 // paper: 1.0 (all accesses to domain 0)
+	ZRemoteShare float64 // paper: 0.113 of total remote latency
+	ZStaircase   bool    // Figure 3's per-thread pattern
+
+	// nodelist (static) signatures; paper: 20.3% of remote latency.
+	NodelistRemoteShare float64
+	NodelistIsStatic    bool
+
+	// First-touch pinpointing.
+	ZFirstTouchSerial bool
+	ZFirstTouchFunc   string
+}
+
+// RunFigure3 profiles LULESH with IBS on Magny-Cours and extracts the
+// Figure 3 signatures.
+func RunFigure3(iters int) (*Figure3Result, error) {
+	cfg := BaseConfig(MachineForMechanism("IBS"), 0, proc.Compact)
+	cfg.Mechanism = "IBS"
+	cfg.TrackFirstTouch = true
+	prof, err := core.Analyze(cfg, workloads.NewLULESH(workloads.Params{Iters: iters}))
+	if err != nil {
+		return nil, err
+	}
+	res := &Figure3Result{
+		Profile:     prof,
+		LPI:         prof.Totals.LPI,
+		PaperLPI:    0.466,
+		Significant: prof.Totals.Significant,
+	}
+	if zp, ok := prof.VarByName("z"); ok {
+		if zp.Ml > 0 {
+			res.ZMrOverMl = zp.Mr / zp.Ml
+		}
+		if total := zp.Ml + zp.Mr; total > 0 {
+			res.ZNode0Share = zp.PerDomain[0] / total
+		}
+		res.ZRemoteShare = zp.RemoteLatShare
+		res.ZFirstTouchSerial = len(zp.FirstTouchThreads) == 1
+		if len(zp.FirstTouchPath) > 0 {
+			if fn, ok := prof.Binary.Func(zp.FirstTouchPath[len(zp.FirstTouchPath)-1].Fn); ok {
+				res.ZFirstTouchFunc = fn.Name
+			}
+		}
+		if v, ok := prof.Registry.Lookup("z"); ok {
+			if pat, ok := prof.Patterns.Pattern(v, "CalcForceForNodes"); ok {
+				res.ZStaircase = pat.IsStaircase(0.15)
+			}
+		}
+	}
+	if np, ok := prof.VarByName("nodelist"); ok {
+		res.NodelistRemoteShare = np.RemoteLatShare
+		res.NodelistIsStatic = np.Var.Kind.String() == "static"
+	}
+	return res, nil
+}
+
+// Render prints the case study, including the address-centric plot.
+func (r *Figure3Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 3 / Section 8.1: LULESH under IBS on Magny-Cours.\n")
+	fmt.Fprintf(&b, "lpi_NUMA %.3f (paper %.3f), significant: %v\n", r.LPI, r.PaperLPI, r.Significant)
+	fmt.Fprintf(&b, "z: M_r/M_l %.1f (paper ~7), NUMA_NODE0 share %.0f%% (paper 100%%), remote-latency share %.1f%% (paper 11.3%%)\n",
+		r.ZMrOverMl, 100*r.ZNode0Share, 100*r.ZRemoteShare)
+	fmt.Fprintf(&b, "z staircase pattern: %v; first touch serial: %v in %q\n",
+		r.ZStaircase, r.ZFirstTouchSerial, r.ZFirstTouchFunc)
+	fmt.Fprintf(&b, "nodelist (static: %v): remote-latency share %.1f%% (paper 20.3%%)\n",
+		r.NodelistIsStatic, 100*r.NodelistRemoteShare)
+	if v, ok := r.Profile.Registry.Lookup("z"); ok {
+		if pat, ok := r.Profile.Patterns.Pattern(v, "CalcForceForNodes"); ok {
+			b.WriteString(view.AddressCentric(pat, 48))
+		}
+	}
+	b.WriteString(view.VarTable(r.Profile, 8))
+	return b.String()
+}
+
+// PatternContrast captures the Figures 4/5 (and 6/7) contrast: one
+// variable's whole-program pattern vs its pattern in the dominant
+// parallel region.
+type PatternContrast struct {
+	Variable string
+	Region   string
+
+	WholeStaircase  bool    // expect false (Figures 4, 6)
+	RegionStaircase bool    // expect true (Figures 5, 7)
+	RegionLatShare  float64 // paper: 74.2% (data), 73.6% (j)
+	PaperLatShare   float64
+
+	WholePlot  string
+	RegionPlot string
+}
+
+// Figures45Result bundles the AMG pattern contrasts and profile.
+type Figures45Result struct {
+	Profile *core.Profile
+	// Data is RAP_diag_data (Figures 4 vs 5); J is RAP_diag_j
+	// (Figures 6 vs 7).
+	Data PatternContrast
+	J    PatternContrast
+
+	LPI      float64 // paper: > 0.92
+	PaperLPI float64
+}
+
+// RunFigures47 profiles AMG2006 with IBS and extracts the whole-program
+// vs region-scoped pattern contrasts for both RAP_diag arrays.
+func RunFigures47(iters int) (*Figures45Result, error) {
+	cfg := BaseConfig(MachineForMechanism("IBS"), 0, proc.Compact)
+	cfg.Mechanism = "IBS"
+	prof, err := core.Analyze(cfg, workloads.NewAMG2006(workloads.Params{Iters: iters}))
+	if err != nil {
+		return nil, err
+	}
+	res := &Figures45Result{Profile: prof, LPI: prof.Totals.LPI, PaperLPI: 0.92}
+	var errs []string
+	contrast := func(name string, paperShare float64) PatternContrast {
+		pc := PatternContrast{Variable: name, Region: "hypre_BoomerAMGRelax", PaperLatShare: paperShare}
+		v, ok := prof.Registry.Lookup(name)
+		if !ok {
+			errs = append(errs, name+" not registered")
+			return pc
+		}
+		whole, okW := prof.Patterns.Pattern(v, addrcentric.WholeProgram)
+		region, okR := prof.Patterns.Pattern(v, "hypre_BoomerAMGRelax")
+		if !okW || !okR {
+			errs = append(errs, name+" patterns missing")
+			return pc
+		}
+		pc.WholeStaircase = whole.IsStaircase(0.15)
+		pc.RegionStaircase = region.IsStaircase(0.15)
+		if t := whole.TotalLatency(); t > 0 {
+			pc.RegionLatShare = float64(region.TotalLatency()) / float64(t)
+		}
+		pc.WholePlot = view.AddressCentric(whole, 48)
+		pc.RegionPlot = view.AddressCentric(region, 48)
+		return pc
+	}
+	res.Data = contrast("RAP_diag_data", 0.742)
+	res.J = contrast("RAP_diag_j", 0.736)
+	if len(errs) > 0 {
+		return nil, fmt.Errorf("figures 4-7: %s", strings.Join(errs, "; "))
+	}
+	return res, nil
+}
+
+// Render prints both contrasts with their plots.
+func (r *Figures45Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figures 4-7 / Section 8.2: AMG2006 under IBS on Magny-Cours.\n")
+	fmt.Fprintf(&b, "lpi_NUMA %.3f (paper > %.2f)\n", r.LPI, r.PaperLPI)
+	for _, pc := range []PatternContrast{r.Data, r.J} {
+		fmt.Fprintf(&b, "\n%s: whole-program staircase=%v (expect false), %s staircase=%v (expect true)\n",
+			pc.Variable, pc.WholeStaircase, pc.Region, pc.RegionStaircase)
+		fmt.Fprintf(&b, "region latency share %.1f%% (paper %.1f%%)\n",
+			100*pc.RegionLatShare, 100*pc.PaperLatShare)
+		b.WriteString("whole program:\n")
+		b.WriteString(pc.WholePlot)
+		b.WriteString("region only:\n")
+		b.WriteString(pc.RegionPlot)
+	}
+	return b.String()
+}
+
+// Figures89Result captures Blackscholes' buffer patterns (Section 8.3):
+// staggered overlapping ranges under the SoA layout (Figure 8/9a) and
+// disjoint ranges after the AoS regroup (Figure 9b), plus the lpi
+// verdict.
+type Figures89Result struct {
+	LPI          float64 // paper: 0.035
+	EstimatedLPI float64 // Equation 2 estimate
+	PaperLPI     float64
+	Significant  bool // expect false
+
+	BufferLatShare float64 // paper: 0.516
+
+	SoAOverlap   float64 // large
+	SoAStaircase bool    // false
+	AoSOverlap   float64 // small
+	AoSStaircase bool    // true
+
+	SoAPlot, AoSPlot string
+}
+
+// RunFigures89 profiles Blackscholes under both layouts.
+func RunFigures89(runs int) (*Figures89Result, error) {
+	cfg := BaseConfig(MachineForMechanism("IBS"), 0, proc.Compact)
+	cfg.Mechanism = "IBS"
+	res := &Figures89Result{PaperLPI: 0.035}
+
+	prof, err := core.Analyze(cfg, workloads.NewBlackscholes(workloads.Params{Iters: runs}))
+	if err != nil {
+		return nil, err
+	}
+	res.LPI = prof.Totals.LPIExact
+	res.Significant = prof.Totals.Significant
+	res.EstimatedLPI = prof.Totals.LPI
+	if bp, ok := prof.VarByName("buffer"); ok {
+		res.BufferLatShare = bp.RemoteLatShare
+	}
+	if v, ok := prof.Registry.Lookup("buffer"); ok {
+		if pat, ok := prof.Patterns.Pattern(v, "bs_thread"); ok {
+			res.SoAOverlap = pat.MeanOverlap()
+			res.SoAStaircase = pat.IsStaircase(0.1)
+			res.SoAPlot = view.AddressCentric(pat, 48)
+		}
+	}
+
+	aos := workloads.NewBlackscholes(workloads.Params{Iters: runs})
+	aos.AoS = true
+	prof2, err := core.Analyze(cfg, aos)
+	if err != nil {
+		return nil, err
+	}
+	if v, ok := prof2.Registry.Lookup("buffer"); ok {
+		if pat, ok := prof2.Patterns.Pattern(v, "bs_thread"); ok {
+			res.AoSOverlap = pat.MeanOverlap()
+			res.AoSStaircase = pat.IsStaircase(0.15)
+			res.AoSPlot = view.AddressCentric(pat, 48)
+		}
+	}
+	return res, nil
+}
+
+// Render prints the layout contrast.
+func (r *Figures89Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figures 8-9 / Section 8.3: Blackscholes buffer layouts.\n")
+	fmt.Fprintf(&b, "lpi_NUMA %.3f (paper %.3f) — significant: %v (expect false: below the 0.1 threshold)\n",
+		r.LPI, r.PaperLPI, r.Significant)
+	fmt.Fprintf(&b, "buffer share of NUMA latency: %.1f%% (paper 51.6%%)\n", 100*r.BufferLatShare)
+	fmt.Fprintf(&b, "\nSoA sections (Figure 9a): overlap %.2f, staircase %v (staggered, overlapping)\n",
+		r.SoAOverlap, r.SoAStaircase)
+	b.WriteString(r.SoAPlot)
+	fmt.Fprintf(&b, "\nAoS regroup (Figure 9b): overlap %.2f, staircase %v (disjoint per-thread ranges)\n",
+		r.AoSOverlap, r.AoSStaircase)
+	b.WriteString(r.AoSPlot)
+	return b.String()
+}
+
+// Figure10Result is the UMT2013 case study under MRK on POWER7
+// (Section 8.4).
+type Figure10Result struct {
+	// RemoteMissFraction is the fraction of sampled L3 misses that
+	// went remote; paper: 86%.
+	RemoteMissFraction float64
+	PaperRemoteMissFrc float64
+	// STimeMrShare is STime's share of sampled remote accesses;
+	// paper: 18.2% of remote accesses with much more traffic
+	// elsewhere (here the remainder is STotal).
+	STimeMrShare float64
+	// Staggered reports the round-robin plane pattern (overlapping,
+	// not a staircase).
+	Staggered bool
+	Overlap   float64
+	Plot      string
+	// KernelSource is the Figure 10 loop.
+	KernelSource string
+}
+
+// RunFigure10 profiles UMT2013 with MRK, 32 scattered threads on
+// POWER7.
+func RunFigure10(iters int) (*Figure10Result, error) {
+	cfg := BaseConfig(MachineForMechanism("MRK"), 32, proc.Scatter)
+	cfg.Mechanism = "MRK"
+	cfg.Period = 4
+	prof, err := core.Analyze(cfg, workloads.NewUMT2013(workloads.Params{Iters: iters}))
+	if err != nil {
+		return nil, err
+	}
+	res := &Figure10Result{
+		RemoteMissFraction: prof.Totals.RemoteFraction,
+		PaperRemoteMissFrc: 0.86,
+		KernelSource: "do c=1,nCorner\n" +
+			"  do ig=1,Groups\n" +
+			"    source=Z%STotal(ig,c)+Z%STime(ig,c,Angle)\n" +
+			"  enddo\nenddo",
+	}
+	if st, ok := prof.VarByName("STime"); ok {
+		res.STimeMrShare = st.MrShare
+	}
+	if v, ok := prof.Registry.Lookup("STime"); ok {
+		if pat, ok := prof.Patterns.Pattern(v, "snswp3d"); ok {
+			res.Staggered = !pat.IsStaircase(0.1) && pat.MeanOverlap() > 0.5
+			res.Overlap = pat.MeanOverlap()
+			res.Plot = view.AddressCentric(pat, 48)
+		}
+	}
+	return res, nil
+}
+
+// Render prints the case study.
+func (r *Figure10Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 10 / Section 8.4: UMT2013 under MRK on POWER7 (32 threads).\n")
+	b.WriteString(r.KernelSource + "\n")
+	fmt.Fprintf(&b, "remote fraction of sampled L3 misses: %.0f%% (paper %.0f%%)\n",
+		100*r.RemoteMissFraction, 100*r.PaperRemoteMissFrc)
+	fmt.Fprintf(&b, "STime share of remote accesses: %.0f%% (paper: 18.2%% of a much wider mix)\n",
+		100*r.STimeMrShare)
+	fmt.Fprintf(&b, "staggered round-robin pattern: %v (overlap %.2f)\n", r.Staggered, r.Overlap)
+	b.WriteString(r.Plot)
+	return b.String()
+}

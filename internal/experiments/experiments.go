@@ -1,0 +1,63 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (Section 8) on the simulated substrate:
+//
+//   - Table 1: the sampling-mechanism configuration matrix;
+//   - Table 2: monitoring overhead per mechanism per benchmark;
+//   - Figure 1: the three data-distribution strategies microbenchmark;
+//   - Figure 2: the first-touch trapping protocol;
+//   - Figure 3: the LULESH case study (code-, data-, address-centric);
+//   - Figures 4-7: AMG2006 whole-program vs region-scoped patterns;
+//   - Figures 8-9: Blackscholes' staggered sections and the AoS regroup;
+//   - Figure 10: the UMT2013 kernel under MRK on POWER7;
+//   - the Section 8 optimisation speedups for all four benchmarks.
+//
+// Each experiment returns a result struct carrying measured values
+// side by side with the paper's reported numbers, plus a Render method
+// producing the text the numabench command prints. Absolute numbers are
+// not expected to match (the substrate is a simulator, not the authors'
+// testbeds); the success criterion is shape: orderings, ratios,
+// threshold behaviour, and win/loss directions.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/proc"
+	"repro/internal/topology"
+	"repro/internal/workloads"
+)
+
+// MachineForMechanism returns the Table 1 testbed for a mechanism.
+func MachineForMechanism(mech string) *topology.Machine {
+	switch mech {
+	case "IBS", "Soft-IBS":
+		return topology.MagnyCours48()
+	case "MRK":
+		return topology.Power7x128()
+	case "PEBS":
+		return topology.Harpertown8()
+	case "DEAR":
+		return topology.Itanium2x8()
+	case "PEBS-LL":
+		return topology.IvyBridge8()
+	default:
+		return topology.MagnyCours48()
+	}
+}
+
+// BaseConfig assembles the standard experiment configuration for a
+// machine: tuned caches and the machine-specific memory model.
+func BaseConfig(m *topology.Machine, threads int, binding proc.Binding) core.Config {
+	return core.Config{
+		Machine:      m,
+		Threads:      threads,
+		Binding:      binding,
+		CacheConfig:  workloads.TunedCacheConfig(),
+		MemParams:    workloads.MemParamsFor(m),
+		FabricParams: workloads.FabricParamsFor(m),
+	}
+}
+
+// pct formats a fraction as a signed percentage.
+func pct(f float64) string { return fmt.Sprintf("%+.1f%%", 100*f) }

@@ -1,0 +1,344 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+func TestTable1CoversAllMechanisms(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 6 {
+		t.Fatalf("Table 1 has %d rows, want 6", len(rows))
+	}
+	wantProcessors := map[string]string{
+		"IBS":      "amd-magny-cours-48",
+		"MRK":      "ibm-power7-128",
+		"PEBS":     "intel-harpertown-8",
+		"DEAR":     "intel-itanium2-8",
+		"PEBS-LL":  "intel-ivybridge-8",
+		"Soft-IBS": "amd-magny-cours-48",
+	}
+	wantPeriods := map[string]uint64{
+		"IBS":      64 * 1024,
+		"MRK":      1,
+		"PEBS":     1000000,
+		"DEAR":     20000,
+		"PEBS-LL":  500000,
+		"Soft-IBS": 10000000,
+	}
+	for _, r := range rows {
+		if r.Processor != wantProcessors[r.Mechanism] {
+			t.Errorf("%s on %s, want %s", r.Mechanism, r.Processor, wantProcessors[r.Mechanism])
+		}
+		if r.PaperPeriod != wantPeriods[r.Mechanism] {
+			t.Errorf("%s paper period %d, want %d", r.Mechanism, r.PaperPeriod, wantPeriods[r.Mechanism])
+		}
+		if r.Event == "" {
+			t.Errorf("%s has no event", r.Mechanism)
+		}
+	}
+	out := RenderTable1(rows)
+	for _, frag := range []string{"IBS op", "PM_MRK_FROM_L3MISS", "LATENCY_ABOVE_THRESHOLD", "memory accesses"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("rendered table missing %q", frag)
+		}
+	}
+}
+
+func TestTable2OverheadShape(t *testing.T) {
+	tbl, err := RunTable2(0) // default workload lengths, as reported
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Cells) != 18 {
+		t.Fatalf("Table 2 has %d cells, want 18", len(tbl.Cells))
+	}
+	// Every cell: monitoring must cost something, never speed up.
+	for _, c := range tbl.Cells {
+		if c.Overhead <= 0 {
+			t.Errorf("%s/%s overhead = %s, want positive", c.Mechanism, c.Workload, pct(c.Overhead))
+		}
+	}
+	// The paper's ordering per workload: Soft-IBS >> PEBS > IBS >
+	// each of {MRK, DEAR, PEBS-LL}.
+	for _, wl := range Table2Order {
+		soft, pebs, ibs := tbl.Overhead("Soft-IBS", wl), tbl.Overhead("PEBS", wl), tbl.Overhead("IBS", wl)
+		if !(soft > pebs) {
+			t.Errorf("%s: Soft-IBS (%s) should exceed PEBS (%s)", wl, pct(soft), pct(pebs))
+		}
+		if !(pebs > ibs) {
+			t.Errorf("%s: PEBS (%s) should exceed IBS (%s)", wl, pct(pebs), pct(ibs))
+		}
+		for _, cheap := range []string{"MRK", "DEAR", "PEBS-LL"} {
+			if ov := tbl.Overhead(cheap, wl); !(ibs > ov) {
+				t.Errorf("%s: IBS (%s) should exceed %s (%s)", wl, pct(ibs), cheap, pct(ov))
+			}
+		}
+	}
+	// Soft-IBS is the most intrusive mechanism everywhere (the paper
+	// reports +30%..+200%). The paper's LULESH >> Blackscholes
+	// contrast for Soft-IBS does not reproduce here because the
+	// simulator's compute batches compress instruction counts, so the
+	// per-access instrumentation tax is not diluted by Blackscholes'
+	// real instruction stream; see EXPERIMENTS.md.
+	for _, wl := range Table2Order {
+		if ov := tbl.Overhead("Soft-IBS", wl); ov < 0.25 {
+			t.Errorf("Soft-IBS %s overhead = %s, want heavyweight (>25%%)", wl, pct(ov))
+		}
+	}
+	if out := tbl.Render(); !strings.Contains(out, "Soft-IBS") || !strings.Contains(out, "paper") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestFigure1Distributions(t *testing.T) {
+	res, err := RunFigure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(res.Rows))
+	}
+	central, inter, coloc := res.Rows[0], res.Rows[1], res.Rows[2]
+	// Centralised: imbalanced and remote-heavy.
+	if central.Imbalance < 4 {
+		t.Errorf("centralised imbalance = %.1f, want high", central.Imbalance)
+	}
+	if central.RemoteFraction < 0.7 {
+		t.Errorf("centralised remote fraction = %.2f, want ~7/8", central.RemoteFraction)
+	}
+	// Interleaved: balanced but still remote-heavy.
+	if inter.Imbalance > 1.5 {
+		t.Errorf("interleaved imbalance = %.1f, want ~1", inter.Imbalance)
+	}
+	if inter.RemoteFraction < 0.7 {
+		t.Errorf("interleaved remote fraction = %.2f, want ~7/8", inter.RemoteFraction)
+	}
+	// Co-located: balanced and local.
+	if coloc.Imbalance > 1.5 {
+		t.Errorf("co-located imbalance = %.1f, want ~1", coloc.Imbalance)
+	}
+	if coloc.RemoteFraction > 0.2 {
+		t.Errorf("co-located remote fraction = %.2f, want ~0", coloc.RemoteFraction)
+	}
+	// Performance ordering: co-located < interleaved < centralised time.
+	if !(coloc.Time < inter.Time && inter.Time < central.Time) {
+		t.Errorf("time ordering wrong: central %d, inter %d, coloc %d",
+			central.Time, inter.Time, coloc.Time)
+	}
+	if out := res.Render(); !strings.Contains(out, "interleaved") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestFigure2Protocol(t *testing.T) {
+	res, err := RunFigure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ProtectedPages != 16 {
+		t.Fatalf("protected %d pages, want 16", res.ProtectedPages)
+	}
+	if len(res.Events) != 16 {
+		t.Fatalf("trapped %d events, want 16 (one per page)", len(res.Events))
+	}
+	if !res.RefaultFree {
+		t.Error("re-touches must not refault")
+	}
+	threads := map[int]bool{}
+	for _, ev := range res.Events {
+		threads[ev.Thread] = true
+		if ev.Func != "init_array._omp" {
+			t.Errorf("fault attributed to %q, want init_array._omp", ev.Func)
+		}
+		if !ev.IsWrite {
+			t.Error("init stores should fault as writes")
+		}
+	}
+	if len(threads) < 2 {
+		t.Error("parallel init should trap faults on multiple threads")
+	}
+	if out := res.Render(); !strings.Contains(out, "refault-free: true") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestFigure3LULESH(t *testing.T) {
+	res, err := RunFigure3(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Significant {
+		t.Error("LULESH must be significant")
+	}
+	if res.LPI < 0.1 || res.LPI > 1.2 {
+		t.Errorf("lpi = %.3f, want same decade as paper's 0.466", res.LPI)
+	}
+	if res.ZMrOverMl < 4 || res.ZMrOverMl > 12 {
+		t.Errorf("z M_r/M_l = %.1f, want ~7", res.ZMrOverMl)
+	}
+	if res.ZNode0Share < 0.999 {
+		t.Errorf("z NUMA_NODE0 share = %.3f, want 1.0", res.ZNode0Share)
+	}
+	if !res.ZStaircase {
+		t.Error("z must show the staircase pattern")
+	}
+	if !res.ZFirstTouchSerial || res.ZFirstTouchFunc != "InitNodalArrays" {
+		t.Errorf("z first touch: serial=%v func=%q", res.ZFirstTouchSerial, res.ZFirstTouchFunc)
+	}
+	if !res.NodelistIsStatic || res.NodelistRemoteShare < 0.05 {
+		t.Errorf("nodelist: static=%v share=%.2f", res.NodelistIsStatic, res.NodelistRemoteShare)
+	}
+	if out := res.Render(); !strings.Contains(out, "address-centric view") {
+		t.Error("render should include the address-centric plot")
+	}
+}
+
+func TestFigures47AMG(t *testing.T) {
+	res, err := RunFigures47(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LPI < 0.5 {
+		t.Errorf("AMG lpi = %.3f, want > 0.5 (paper 0.92)", res.LPI)
+	}
+	for _, pc := range []PatternContrast{res.Data, res.J} {
+		if pc.WholeStaircase {
+			t.Errorf("%s: whole-program pattern should be irregular", pc.Variable)
+		}
+		if !pc.RegionStaircase {
+			t.Errorf("%s: region pattern should be a staircase", pc.Variable)
+		}
+		if pc.RegionLatShare < 0.5 {
+			t.Errorf("%s: region latency share = %.2f, want dominant (paper ~0.74)",
+				pc.Variable, pc.RegionLatShare)
+		}
+	}
+	if out := res.Render(); !strings.Contains(out, "RAP_diag_j") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestFigures89Blackscholes(t *testing.T) {
+	res, err := RunFigures89(0) // default run count, as measured
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Significant {
+		t.Error("Blackscholes must be below the significance threshold")
+	}
+	if res.BufferLatShare < 0.5 {
+		t.Errorf("buffer latency share = %.2f, want majority (paper 0.516)", res.BufferLatShare)
+	}
+	if res.SoAOverlap < 0.5 || res.SoAStaircase {
+		t.Errorf("SoA: overlap=%.2f staircase=%v, want staggered overlapping",
+			res.SoAOverlap, res.SoAStaircase)
+	}
+	if !res.AoSStaircase {
+		t.Errorf("AoS: staircase=%v, want disjoint ranges", res.AoSStaircase)
+	}
+	if out := res.Render(); !strings.Contains(out, "Figure 9b") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestFigure10UMT(t *testing.T) {
+	res, err := RunFigure10(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RemoteMissFraction < 0.5 {
+		t.Errorf("remote miss fraction = %.2f, want majority (paper 0.86)", res.RemoteMissFraction)
+	}
+	if res.STimeMrShare < 0.3 {
+		t.Errorf("STime M_r share = %.2f, want substantial", res.STimeMrShare)
+	}
+	if !res.Staggered {
+		t.Errorf("expected staggered pattern (overlap %.2f)", res.Overlap)
+	}
+	if out := res.Render(); !strings.Contains(out, "STime") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestSpeedupsMatchPaperShape(t *testing.T) {
+	amd, p7, err := RunSpeedupLULESH(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := amd.Speedup(workloads.BlockWise); s < 0.12 {
+		t.Errorf("LULESH AMD block-wise %s, want ~+25%%", pct(s))
+	}
+	if sb, si := amd.Speedup(workloads.BlockWise), amd.Speedup(workloads.Interleave); sb <= si {
+		t.Errorf("AMD: block (%s) must beat interleave (%s)", pct(sb), pct(si))
+	}
+	if s := p7.Speedup(workloads.Interleave); s >= 0 {
+		t.Errorf("LULESH POWER7 interleave %s, must regress", pct(s))
+	}
+	if s := p7.Speedup(workloads.BlockWise); s <= 0 {
+		t.Errorf("LULESH POWER7 block-wise %s, must help", pct(s))
+	}
+
+	amg, err := RunSpeedupAMG(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rg, ri := amg.Reduction(workloads.Guided), amg.Reduction(workloads.Interleave)
+	if rg < 0.35 || rg > 0.65 {
+		t.Errorf("AMG guided reduction %.0f%%, want ~51%%", 100*rg)
+	}
+	if rg <= ri {
+		t.Errorf("AMG: guided (%.0f%%) must beat interleave-all (%.0f%%)", 100*rg, 100*ri)
+	}
+
+	bs, err := RunSpeedupBlackscholes(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := bs.Speedup(workloads.ParallelInit); s > 0.08 || s < -0.01 {
+		t.Errorf("Blackscholes fix %s, want marginal", pct(s))
+	}
+
+	umt, err := RunSpeedupUMT(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := umt.Speedup(workloads.ParallelInit); s < 0.02 || s > 0.15 {
+		t.Errorf("UMT fix %s, want ~+7%%", pct(s))
+	}
+
+	// The headline cross-benchmark shape: the three significant codes
+	// gain far more than the insignificant one.
+	if !(amd.Speedup(workloads.BlockWise) > 2*bs.Speedup(workloads.ParallelInit)) {
+		t.Error("LULESH gain should dwarf Blackscholes gain")
+	}
+	for _, r := range []*SpeedupResult{amd, p7, amg, bs, umt} {
+		if out := r.Render(); !strings.Contains(out, "baseline") {
+			t.Errorf("%s render incomplete", r.Workload)
+		}
+	}
+}
+
+func TestScorecardAllClaimsHold(t *testing.T) {
+	sc, err := RunScorecard(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc.Claims) < 20 {
+		t.Fatalf("only %d claims", len(sc.Claims))
+	}
+	for _, c := range sc.Claims {
+		if !c.Pass {
+			t.Errorf("%s FAILED: %s [%s]", c.ID, c.Description, c.Detail)
+		}
+	}
+	if !sc.AllPass() {
+		t.Error("scorecard should pass in full")
+	}
+	out := sc.Render()
+	if !strings.Contains(out, "Reproduction scorecard") || !strings.Contains(out, "PASS") {
+		t.Error("render incomplete")
+	}
+}

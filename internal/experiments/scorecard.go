@@ -1,0 +1,243 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/metrics"
+	"repro/internal/workloads"
+)
+
+// Claim is one paper-shape assertion with its measured outcome.
+type Claim struct {
+	// ID ties the claim to its artifact (F3, S1, ...).
+	ID string
+	// Description states the paper's claim.
+	Description string
+	// Pass reports whether the measured shape matches.
+	Pass bool
+	// Detail carries the measured values.
+	Detail string
+}
+
+// Scorecard is the reproduction checklist: every claim from the
+// paper's evaluation that this repository undertakes to reproduce,
+// evaluated against a fresh run.
+type Scorecard struct {
+	Claims []Claim
+}
+
+// AllPass reports whether every claim holds.
+func (s *Scorecard) AllPass() bool {
+	for _, c := range s.Claims {
+		if !c.Pass {
+			return false
+		}
+	}
+	return true
+}
+
+// Passed counts passing claims.
+func (s *Scorecard) Passed() int {
+	n := 0
+	for _, c := range s.Claims {
+		if c.Pass {
+			n++
+		}
+	}
+	return n
+}
+
+func (s *Scorecard) add(id, desc string, pass bool, detail string) {
+	s.Claims = append(s.Claims, Claim{ID: id, Description: desc, Pass: pass, Detail: detail})
+}
+
+// RunScorecard evaluates the full checklist. iters scales the heavier
+// workload runs (0: the experiment defaults).
+func RunScorecard(iters int) (*Scorecard, error) {
+	s := &Scorecard{}
+
+	// F1 — the three distributions.
+	f1, err := RunFigure1()
+	if err != nil {
+		return nil, err
+	}
+	s.add("F1", "co-located < interleaved < centralised (time)",
+		f1.Rows[2].Time < f1.Rows[1].Time && f1.Rows[1].Time < f1.Rows[0].Time,
+		fmt.Sprintf("times %d / %d / %d", f1.Rows[2].Time, f1.Rows[1].Time, f1.Rows[0].Time))
+	s.add("F1", "centralised distribution saturates one controller",
+		f1.Rows[0].Imbalance > 4 && f1.Rows[1].Imbalance < 1.5,
+		fmt.Sprintf("imbalance %.1fx vs %.1fx", f1.Rows[0].Imbalance, f1.Rows[1].Imbalance))
+
+	// F2 — first-touch trapping.
+	f2, err := RunFigure2()
+	if err != nil {
+		return nil, err
+	}
+	s.add("F2", "one trapped fault per protected page, refault-free",
+		f2.RefaultFree && len(f2.Events) == f2.ProtectedPages,
+		fmt.Sprintf("%d faults / %d pages", len(f2.Events), f2.ProtectedPages))
+
+	// F3 — LULESH.
+	f3iters := iters
+	if f3iters == 0 {
+		f3iters = 4
+	}
+	f3, err := RunFigure3(f3iters)
+	if err != nil {
+		return nil, err
+	}
+	s.add("F3", "LULESH lpi_NUMA significant (paper 0.466)",
+		f3.Significant && f3.LPI > metrics.SignificanceThreshold && f3.LPI < 1.2,
+		fmt.Sprintf("lpi %.3f", f3.LPI))
+	s.add("F3", "z: M_r ~ 7x M_l (eight domains, one holds the data)",
+		f3.ZMrOverMl > 4 && f3.ZMrOverMl < 12,
+		fmt.Sprintf("M_r/M_l %.1f", f3.ZMrOverMl))
+	s.add("F3", "z: all accesses target NUMA_NODE0",
+		f3.ZNode0Share > 0.999, fmt.Sprintf("share %.3f", f3.ZNode0Share))
+	s.add("F3", "z: ascending per-thread staircase", f3.ZStaircase, "")
+	s.add("F3", "z: serial first touch pinpointed in the init code",
+		f3.ZFirstTouchSerial && f3.ZFirstTouchFunc != "",
+		f3.ZFirstTouchFunc)
+	s.add("F3", "nodelist (static) carries heavy remote latency (paper 20.3%)",
+		f3.NodelistIsStatic && f3.NodelistRemoteShare > 0.05,
+		fmt.Sprintf("share %.1f%%", 100*f3.NodelistRemoteShare))
+
+	// F4-F7 — AMG patterns.
+	f45iters := iters
+	if f45iters == 0 {
+		f45iters = 4
+	}
+	f45, err := RunFigures47(f45iters)
+	if err != nil {
+		return nil, err
+	}
+	s.add("F45", "AMG lpi worse than LULESH's (paper 0.92 vs 0.466)",
+		f45.LPI > f3.LPI, fmt.Sprintf("%.3f vs %.3f", f45.LPI, f3.LPI))
+	s.add("F45", "RAP_diag_data: whole-program blurred, relax region regular",
+		!f45.Data.WholeStaircase && f45.Data.RegionStaircase, "")
+	s.add("F45", "RAP_diag_j: same contrast",
+		!f45.J.WholeStaircase && f45.J.RegionStaircase, "")
+	s.add("F45", "relax dominates both variables' latency (paper 74.2%/73.6%)",
+		f45.Data.RegionLatShare > 0.5 && f45.J.RegionLatShare > 0.5,
+		fmt.Sprintf("%.0f%% / %.0f%%", 100*f45.Data.RegionLatShare, 100*f45.J.RegionLatShare))
+
+	// F8-F9 — Blackscholes.
+	f89, err := RunFigures89(0)
+	if err != nil {
+		return nil, err
+	}
+	s.add("F89", "Blackscholes lpi below the 0.1 threshold (paper 0.035)",
+		!f89.Significant && f89.LPI < metrics.SignificanceThreshold,
+		fmt.Sprintf("lpi %.3f", f89.LPI))
+	s.add("F89", "buffer: staggered overlapping SoA ranges (Figure 8)",
+		f89.SoAOverlap > 0.5 && !f89.SoAStaircase,
+		fmt.Sprintf("overlap %.2f", f89.SoAOverlap))
+	s.add("F89", "AoS regroup yields disjoint ranges (Figure 9b)",
+		f89.AoSStaircase, "")
+
+	// F10 — UMT.
+	f10, err := RunFigure10(0)
+	if err != nil {
+		return nil, err
+	}
+	s.add("F10", "majority of sampled L3 misses remote (paper 86%)",
+		f10.RemoteMissFraction > 0.5,
+		fmt.Sprintf("%.0f%%", 100*f10.RemoteMissFraction))
+	s.add("F10", "STime: staggered round-robin plane pattern",
+		f10.Staggered, fmt.Sprintf("overlap %.2f", f10.Overlap))
+
+	// S1 — LULESH speedups.
+	s1iters := iters
+	if s1iters == 0 {
+		s1iters = 4
+	}
+	amd, p7, err := RunSpeedupLULESH(s1iters)
+	if err != nil {
+		return nil, err
+	}
+	ab, ai := amd.Speedup(workloads.BlockWise), amd.Speedup(workloads.Interleave)
+	s.add("S1", "AMD: block-wise beats interleave beats baseline (paper +25%/+13%)",
+		ab > ai && ai > 0, fmt.Sprintf("%s vs %s", pct(ab), pct(ai)))
+	pb, pi := p7.Speedup(workloads.BlockWise), p7.Speedup(workloads.Interleave)
+	s.add("S1", "POWER7: block-wise helps, interleave hurts (paper +7.5%/-16.4%)",
+		pb > 0 && pi < 0, fmt.Sprintf("%s vs %s", pct(pb), pct(pi)))
+
+	// S2 — AMG reductions.
+	amg, err := RunSpeedupAMG(iters)
+	if err != nil {
+		return nil, err
+	}
+	rg, ri := amg.Reduction(workloads.Guided), amg.Reduction(workloads.Interleave)
+	s.add("S2", "guided mix halves the solver time (paper 51%)",
+		rg > 0.35 && rg < 0.65, fmt.Sprintf("%.0f%%", 100*rg))
+	s.add("S2", "guided beats interleave-everything (paper 51% vs 36%)",
+		rg > ri, fmt.Sprintf("%.0f%% vs %.0f%%", 100*rg, 100*ri))
+
+	// S3 — Blackscholes negative control.
+	bs, err := RunSpeedupBlackscholes(0)
+	if err != nil {
+		return nil, err
+	}
+	bsGain := bs.Speedup(workloads.ParallelInit)
+	s.add("S3", "fix gain marginal, far below the significant codes (paper <0.1%)",
+		bsGain < 0.08 && bsGain < ab/2, pct(bsGain))
+
+	// S4 — UMT.
+	umt, err := RunSpeedupUMT(0)
+	if err != nil {
+		return nil, err
+	}
+	ug := umt.Speedup(workloads.ParallelInit)
+	s.add("S4", "parallel-init of STime yields a mid-single-digit gain (paper +7%)",
+		ug > 0.02 && ug < 0.15, pct(ug))
+
+	// T2 — overhead ordering (cheapest workload pair for speed).
+	t2, err := RunTable2(2)
+	if err != nil {
+		return nil, err
+	}
+	ordering := true
+	for _, wl := range Table2Order {
+		soft, pebs, ibs := t2.Overhead("Soft-IBS", wl), t2.Overhead("PEBS", wl), t2.Overhead("IBS", wl)
+		if !(soft > pebs && pebs > ibs) {
+			ordering = false
+		}
+		for _, cheap := range []string{"MRK", "DEAR", "PEBS-LL"} {
+			if !(ibs > t2.Overhead(cheap, wl)) {
+				ordering = false
+			}
+		}
+	}
+	s.add("T2", "overhead ordering: Soft-IBS >> PEBS > IBS > {MRK, DEAR, PEBS-LL}",
+		ordering, "")
+
+	// A1 — estimator fidelity.
+	a1, err := RunAblationPeriod()
+	if err != nil {
+		return nil, err
+	}
+	s.add("A1", "Equation 2 tracks exact lpi at dense sampling",
+		a1.Rows[0].Ratio > 0.8 && a1.Rows[0].Ratio < 1.25,
+		fmt.Sprintf("ratio %.2f", a1.Rows[0].Ratio))
+
+	return s, nil
+}
+
+// Render prints the checklist.
+func (s *Scorecard) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Reproduction scorecard: %d/%d claims hold.\n", s.Passed(), len(s.Claims))
+	for _, c := range s.Claims {
+		mark := "PASS"
+		if !c.Pass {
+			mark = "FAIL"
+		}
+		detail := ""
+		if c.Detail != "" {
+			detail = "  [" + c.Detail + "]"
+		}
+		fmt.Fprintf(&b, "  %s %-4s %s%s\n", mark, c.ID, c.Description, detail)
+	}
+	return b.String()
+}

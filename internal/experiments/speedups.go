@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/proc"
+	"repro/internal/topology"
+	"repro/internal/units"
+	"repro/internal/workloads"
+)
+
+// SpeedupRow is one strategy's measured outcome for a workload.
+type SpeedupRow struct {
+	Strategy workloads.Strategy
+	Time     units.Cycles
+	// Speedup is time_base/time - 1 (positive = faster than baseline).
+	Speedup float64
+	// PaperSpeedup is the paper's figure where reported (NaN-free: 0
+	// with HasPaper=false means not reported).
+	PaperSpeedup float64
+	HasPaper     bool
+}
+
+// SpeedupResult is one workload's strategy comparison on one machine.
+type SpeedupResult struct {
+	Workload string
+	Machine  string
+	// Metric names what is measured (whole program, solver phase, ROI).
+	Metric string
+	Rows   []SpeedupRow
+}
+
+// Row returns the row for a strategy.
+func (r *SpeedupResult) Row(s workloads.Strategy) (SpeedupRow, bool) {
+	for _, row := range r.Rows {
+		if row.Strategy == s {
+			return row, true
+		}
+	}
+	return SpeedupRow{}, false
+}
+
+// Speedup returns the measured speedup for a strategy (0 if absent).
+func (r *SpeedupResult) Speedup(s workloads.Strategy) float64 {
+	row, _ := r.Row(s)
+	return row.Speedup
+}
+
+// Render prints the comparison.
+func (r *SpeedupResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s on %s (%s):\n", r.Workload, r.Machine, r.Metric)
+	for _, row := range r.Rows {
+		paper := ""
+		if row.HasPaper {
+			paper = fmt.Sprintf("  (paper %s)", pct(row.PaperSpeedup))
+		}
+		fmt.Fprintf(&b, "  %-14s %12d cyc  %8s%s\n", row.Strategy, uint64(row.Time), pct(row.Speedup), paper)
+	}
+	return b.String()
+}
+
+// measure runs the strategies and assembles a SpeedupResult. paper maps
+// strategies to the paper's reported speedups.
+func measure(workload, metric string, m *topology.Machine, threads int, binding proc.Binding,
+	mk func(workloads.Strategy) core.App,
+	strategies []workloads.Strategy,
+	paper map[workloads.Strategy]float64) (*SpeedupResult, error) {
+
+	res := &SpeedupResult{Workload: workload, Machine: m.Name, Metric: metric}
+	cfg := BaseConfig(m, threads, binding)
+	var base units.Cycles
+	for _, s := range strategies {
+		e, err := core.Run(cfg, mk(s))
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s: %w", workload, s, err)
+		}
+		t := e.TimeSince(workloads.ROIMark)
+		if s == workloads.Baseline {
+			base = t
+		}
+		row := SpeedupRow{Strategy: s, Time: t}
+		if base > 0 {
+			row.Speedup = float64(base)/float64(t) - 1
+		}
+		if p, ok := paper[s]; ok {
+			row.PaperSpeedup, row.HasPaper = p, true
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// RunSpeedupLULESH measures Section 8.1's optimisations on both
+// machines: block-wise distribution (paper: +25% AMD, +7.5% POWER7)
+// vs interleaving everything (paper: +13% AMD, -16.4% POWER7).
+func RunSpeedupLULESH(iters int) (amd, p7 *SpeedupResult, err error) {
+	strategies := []workloads.Strategy{workloads.Baseline, workloads.BlockWise, workloads.Interleave}
+	mk := func(s workloads.Strategy) core.App {
+		return workloads.NewLULESH(workloads.Params{Strategy: s, Iters: iters})
+	}
+	amd, err = measure("LULESH", "timestep phase", topology.MagnyCours48(), 0, proc.Compact, mk, strategies,
+		map[workloads.Strategy]float64{workloads.BlockWise: 0.25, workloads.Interleave: 0.13})
+	if err != nil {
+		return nil, nil, err
+	}
+	p7, err = measure("LULESH", "timestep phase", topology.Power7x128(), 0, proc.Compact, mk, strategies,
+		map[workloads.Strategy]float64{workloads.BlockWise: 0.075, workloads.Interleave: -0.164})
+	return amd, p7, err
+}
+
+// RunSpeedupAMG measures Section 8.2's solver-phase improvements:
+// the tool-guided per-variable mix (paper: 51% reduction) vs
+// interleave-everything (paper: 36% reduction). Reductions convert to
+// speedups as 1/(1-r)-1.
+func RunSpeedupAMG(iters int) (*SpeedupResult, error) {
+	mk := func(s workloads.Strategy) core.App {
+		return workloads.NewAMG2006(workloads.Params{Strategy: s, Iters: iters})
+	}
+	return measure("AMG2006", "solver phase", topology.MagnyCours48(), 0, proc.Compact, mk,
+		[]workloads.Strategy{workloads.Baseline, workloads.Guided, workloads.Interleave},
+		map[workloads.Strategy]float64{
+			workloads.Guided:     1/(1-0.51) - 1, // +104%
+			workloads.Interleave: 1/(1-0.36) - 1, // +56%
+		})
+}
+
+// Reduction converts a strategy's measured speedup into the paper's
+// "reduction in running time" form: 1 - t_opt/t_base.
+func (r *SpeedupResult) Reduction(s workloads.Strategy) float64 {
+	row, ok := r.Row(s)
+	if !ok || row.Speedup <= -1 {
+		return 0
+	}
+	return 1 - 1/(1+row.Speedup)
+}
+
+// RunSpeedupBlackscholes measures Section 8.3's negative control: the
+// co-location fix barely helps (paper: < 0.1%) because lpi_NUMA is
+// below the significance threshold.
+func RunSpeedupBlackscholes(runs int) (*SpeedupResult, error) {
+	mk := func(s workloads.Strategy) core.App {
+		return workloads.NewBlackscholes(workloads.Params{Strategy: s, Iters: runs})
+	}
+	return measure("Blackscholes", "PARSEC region of interest", topology.MagnyCours48(), 0, proc.Compact, mk,
+		[]workloads.Strategy{workloads.Baseline, workloads.ParallelInit},
+		map[workloads.Strategy]float64{workloads.ParallelInit: 0.001})
+}
+
+// RunSpeedupUMT measures Section 8.4's fix: parallelising STime's
+// initialisation (paper: +7% whole-program).
+func RunSpeedupUMT(iters int) (*SpeedupResult, error) {
+	mk := func(s workloads.Strategy) core.App {
+		return workloads.NewUMT2013(workloads.Params{Strategy: s, Iters: iters})
+	}
+	return measure("UMT2013", "sweep phase", topology.Power7x128(), 32, proc.Scatter, mk,
+		[]workloads.Strategy{workloads.Baseline, workloads.ParallelInit},
+		map[workloads.Strategy]float64{workloads.ParallelInit: 0.07})
+}

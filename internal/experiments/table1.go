@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/pmu"
+)
+
+// Table1Row is one row of the paper's Table 1: a sampling mechanism,
+// the processor it was evaluated on, and its configuration, augmented
+// with the Section 3/10 capability matrix.
+type Table1Row struct {
+	Mechanism string
+	Processor string
+	Threads   int
+	Event     string
+	// PaperPeriod is the sampling period from Table 1 (real hardware).
+	PaperPeriod uint64
+	// ScaledPeriod is the operating period on the scaled-down
+	// simulated workloads.
+	ScaledPeriod uint64
+	Caps         pmu.Capability
+}
+
+// Table1 regenerates Table 1 from the mechanism registry and the five
+// machine models.
+func Table1() []Table1Row {
+	var rows []Table1Row
+	for _, name := range pmu.Names() {
+		mech, err := pmu.ByName(name, 0)
+		if err != nil {
+			panic(err) // registry names are static
+		}
+		m := MachineForMechanism(name)
+		rows = append(rows, Table1Row{
+			Mechanism:    name,
+			Processor:    m.Name,
+			Threads:      m.NumCPUs(),
+			Event:        mech.PaperConfig().Event,
+			PaperPeriod:  mech.PaperConfig().Period,
+			ScaledPeriod: mech.Period(),
+			Caps:         mech.Caps(),
+		})
+	}
+	return rows
+}
+
+// RenderTable1 prints the table in the paper's layout, plus the
+// capability columns the paper discusses in Sections 3 and 10.
+func RenderTable1(rows []Table1Row) string {
+	var b strings.Builder
+	b.WriteString("Table 1. Configurations of sampling mechanisms on different architectures.\n")
+	fmt.Fprintf(&b, "%-10s %-20s %8s %-26s %14s %12s %s\n",
+		"Mechanism", "Processor", "Threads", "Event", "Paper period", "Sim period", "Capabilities")
+	for _, r := range rows {
+		var caps []string
+		if r.Caps.SamplesAllInstructions {
+			caps = append(caps, "all-instr")
+		}
+		if r.Caps.EventBased {
+			caps = append(caps, "event")
+		}
+		if r.Caps.MeasuresLatency {
+			caps = append(caps, "latency")
+		}
+		if !r.Caps.PreciseIP {
+			caps = append(caps, "off-by-1-IP")
+		}
+		if r.Caps.RequiresInstrumentation {
+			caps = append(caps, "instrumented")
+		}
+		if r.Caps.RequiresThreadBinding {
+			caps = append(caps, "needs-binding")
+		}
+		fmt.Fprintf(&b, "%-10s %-20s %8d %-26s %14d %12d %s\n",
+			r.Mechanism, r.Processor, r.Threads, r.Event,
+			r.PaperPeriod, r.ScaledPeriod, strings.Join(caps, ","))
+	}
+	return b.String()
+}

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/pmu"
+	"repro/internal/proc"
+	"repro/internal/units"
+	"repro/internal/workloads"
+)
+
+// Table2Cell is one measurement of the paper's Table 2: one sampling
+// mechanism monitoring one benchmark on that mechanism's machine.
+type Table2Cell struct {
+	Mechanism string
+	Workload  string
+	Machine   string
+	Base      units.Cycles
+	Monitored units.Cycles
+	// Overhead is (Monitored-Base)/Base, the parenthesised percentage
+	// of Table 2.
+	Overhead float64
+	// PaperOverhead is the corresponding Table 2 percentage.
+	PaperOverhead float64
+}
+
+// Table2 holds the full overhead matrix.
+type Table2 struct {
+	Cells []Table2Cell
+}
+
+// paperTable2 reproduces the percentages reported in Table 2.
+var paperTable2 = map[string]map[string]float64{
+	"IBS":      {"LULESH": 0.24, "AMG2006": 0.37, "Blackscholes": 0.06},
+	"MRK":      {"LULESH": 0.05, "AMG2006": 0.07, "Blackscholes": 0.04},
+	"PEBS":     {"LULESH": 0.45, "AMG2006": 0.52, "Blackscholes": 0.25},
+	"DEAR":     {"LULESH": 0.07, "AMG2006": 0.12, "Blackscholes": 0.04},
+	"PEBS-LL":  {"LULESH": 0.06, "AMG2006": 0.08, "Blackscholes": 0.03},
+	"Soft-IBS": {"LULESH": 2.00, "AMG2006": 1.80, "Blackscholes": 0.30},
+}
+
+// table2Workloads builds the three Table 2 benchmarks. The paper
+// adjusts benchmark inputs per machine ("the absolute execution time on
+// different architectures is incomparable"); here one scaled input per
+// benchmark serves all machines.
+func table2Workloads(iters int) map[string]func() core.App {
+	return map[string]func() core.App{
+		"LULESH":       func() core.App { return workloads.NewLULESH(workloads.Params{Iters: iters}) },
+		"AMG2006":      func() core.App { return workloads.NewAMG2006(workloads.Params{Iters: iters}) },
+		"Blackscholes": func() core.App { return workloads.NewBlackscholes(workloads.Params{}) },
+	}
+}
+
+// Table2Order lists workloads in the paper's column order.
+var Table2Order = []string{"LULESH", "AMG2006", "Blackscholes"}
+
+// RunTable2 measures monitoring overhead for every mechanism on its
+// Table 1 machine, across the three benchmarks. iters scales workload
+// length (0: defaults).
+func RunTable2(iters int) (*Table2, error) {
+	t := &Table2{}
+	for _, mech := range pmu.Names() {
+		m := MachineForMechanism(mech)
+		for _, wl := range Table2Order {
+			mk := table2Workloads(iters)[wl]
+			cfg := BaseConfig(m, 0, proc.Compact)
+			cfg.Mechanism = mech
+			ov, err := core.MeasureOverhead(cfg, mk)
+			if err != nil {
+				return nil, fmt.Errorf("table2 %s/%s: %w", mech, wl, err)
+			}
+			t.Cells = append(t.Cells, Table2Cell{
+				Mechanism:     mech,
+				Workload:      wl,
+				Machine:       m.Name,
+				Base:          ov.Base,
+				Monitored:     ov.Monitored,
+				Overhead:      ov.Percent(),
+				PaperOverhead: paperTable2[mech][wl],
+			})
+		}
+	}
+	return t, nil
+}
+
+// Cell returns the cell for a mechanism/workload pair.
+func (t *Table2) Cell(mech, wl string) (Table2Cell, bool) {
+	for _, c := range t.Cells {
+		if c.Mechanism == mech && c.Workload == wl {
+			return c, true
+		}
+	}
+	return Table2Cell{}, false
+}
+
+// Overhead returns the measured overhead fraction for a pair (0 if
+// absent).
+func (t *Table2) Overhead(mech, wl string) float64 {
+	c, _ := t.Cell(mech, wl)
+	return c.Overhead
+}
+
+// Render prints the matrix in the paper's layout, with the paper's
+// percentages alongside for comparison.
+func (t *Table2) Render() string {
+	var b strings.Builder
+	b.WriteString("Table 2. Runtime overhead of monitoring (measured vs paper).\n")
+	fmt.Fprintf(&b, "%-10s", "Method")
+	for _, wl := range Table2Order {
+		fmt.Fprintf(&b, " %26s", wl)
+	}
+	b.WriteString("\n")
+	for _, mech := range pmu.Names() {
+		fmt.Fprintf(&b, "%-10s", mech)
+		for _, wl := range Table2Order {
+			c, ok := t.Cell(mech, wl)
+			if !ok {
+				fmt.Fprintf(&b, " %26s", "-")
+				continue
+			}
+			fmt.Fprintf(&b, " %12s (paper %5s)",
+				pct(c.Overhead), pct(c.PaperOverhead))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

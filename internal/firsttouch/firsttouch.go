@@ -1,0 +1,187 @@
+// Package firsttouch implements the first-touch pinpointing of
+// Section 6 of the paper using page protection instead of access
+// instrumentation.
+//
+// The protocol, mirrored from Figure 2:
+//
+//  1. install a SIGSEGV handler before the program runs (here: a
+//     vm.FaultHandler on the simulated address space);
+//  2. wrap allocations: after each monitored allocation, mask off read
+//     and write permission on the pages between the first and last
+//     page boundaries *within* the variable's extent (partial edge
+//     pages are left accessible because neighbouring data may share
+//     them);
+//  3. on the first access to a protected page the handler (a) performs
+//     code-centric attribution from the faulting context (call path +
+//     faulting IP), (b) performs data-centric attribution from the
+//     faulting data address, and (c) restores access to the page.
+//
+// Multiple threads may first-touch different pages of one variable
+// concurrently (a parallel initialisation loop); each fault is recorded
+// independently and the per-variable call paths are merged postmortem
+// into one CCT (MergedPaths).
+package firsttouch
+
+import (
+	"sort"
+
+	"repro/internal/cct"
+	"repro/internal/isa"
+	"repro/internal/metrics"
+	"repro/internal/proc"
+	"repro/internal/topology"
+	"repro/internal/units"
+	"repro/internal/vm"
+)
+
+// Event is one recorded first touch: who touched which page of which
+// allocation, from where in the code.
+type Event struct {
+	// Region is the allocation containing the touched page.
+	Region vm.Region
+	// Addr is the faulting data address (siginfo's si_addr).
+	Addr uint64
+	// Page is the page index of Addr.
+	Page uint64
+	// IsWrite reports whether the faulting access was a store.
+	IsWrite bool
+	// Thread is the faulting thread's id; Domain its NUMA domain.
+	Thread int
+	Domain topology.DomainID
+	// Path is the thread's call path at the fault — the first-touch
+	// location for code-centric attribution.
+	Path []proc.Frame
+	// Site is the faulting instruction site (the precise IP).
+	Site isa.SiteID
+}
+
+// Recorder watches an engine's address space for first touches on
+// allocations it was asked to monitor.
+type Recorder struct {
+	engine *proc.Engine
+
+	// events per allocation id.
+	events map[int][]Event
+	// protectedPages per allocation id, for coverage reporting.
+	protectedPages map[int]int
+	// faultOverhead is the cost charged to the faulting thread per
+	// trapped first touch (signal delivery + handler). The paper's
+	// point is that this is cheap because it is per *page*, not per
+	// access.
+	faultOverhead units.Cycles
+}
+
+// DefaultFaultOverhead approximates signal delivery, attribution, and
+// mprotect restoration per trapped page.
+const DefaultFaultOverhead units.Cycles = 2000
+
+// New installs a Recorder on the engine's address space and returns
+// it. Only allocations subsequently passed to Protect are monitored.
+func New(e *proc.Engine) *Recorder {
+	r := &Recorder{
+		engine:         e,
+		events:         make(map[int][]Event),
+		protectedPages: make(map[int]int),
+		faultOverhead:  DefaultFaultOverhead,
+	}
+	e.AddressSpace().SetFaultHandler(r.handle)
+	return r
+}
+
+// Protect masks off access to the monitored allocation's interior
+// pages and returns how many pages were protected. Allocations smaller
+// than one full page are not monitorable (their only pages are partial)
+// and return 0, exactly as the real tool cannot trap variables that
+// share all their pages with others.
+func (r *Recorder) Protect(region vm.Region) int {
+	n := r.engine.AddressSpace().Protect(region.Base, region.Size, vm.ProtNone)
+	r.protectedPages[region.ID] = n
+	return n
+}
+
+// handle is the SIGSEGV handler of Figure 2.
+func (r *Recorder) handle(f vm.Fault) {
+	as := r.engine.AddressSpace()
+	// Restore access first so the faulting access can retry even if
+	// attribution fails; a concurrent toucher of the same page simply
+	// finds it already unprotected.
+	as.Unprotect(f.Addr)
+
+	t := r.engine.CurrentThread()
+	ev := Event{
+		Region:  f.Region,
+		Addr:    f.Addr,
+		Page:    units.PageOf(f.Addr),
+		IsWrite: f.IsWrite,
+		Thread:  -1,
+		Domain:  topology.NoDomain,
+		Site:    r.engine.CurrentSite(),
+	}
+	if t != nil {
+		ev.Thread = t.ID
+		ev.Domain = t.Domain
+		ev.Path = t.CallPath()
+		t.AddOverhead(r.faultOverhead)
+	}
+	r.events[f.Region.ID] = append(r.events[f.Region.ID], ev)
+}
+
+// Events returns the recorded first touches for an allocation, in
+// fault order.
+func (r *Recorder) Events(region vm.Region) []Event {
+	return r.events[region.ID]
+}
+
+// ProtectedPages returns how many pages Protect masked for the
+// allocation.
+func (r *Recorder) ProtectedPages(region vm.Region) int {
+	return r.protectedPages[region.ID]
+}
+
+// TouchingThreads returns the sorted ids of threads that first-touched
+// pages of the allocation — one entry means a serial initialiser (the
+// classic bottleneck); many entries mean a parallel initialisation.
+func (r *Recorder) TouchingThreads(region vm.Region) []int {
+	seen := make(map[int]bool)
+	for _, ev := range r.events[region.ID] {
+		seen[ev.Thread] = true
+	}
+	out := make([]int, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// FirstTouchLocation summarises where an allocation was first touched:
+// the call path of its first recorded fault (additional distinct paths
+// from other threads are merged in MergedPaths). Returns false if no
+// touch was trapped.
+func (r *Recorder) FirstTouchLocation(region vm.Region) ([]proc.Frame, bool) {
+	evs := r.events[region.ID]
+	if len(evs) == 0 {
+		return nil, false
+	}
+	return evs[0].Path, true
+}
+
+// MergedPaths merges the call paths of every trapped first touch of
+// the allocation into one CCT under a first-touch dummy node, counting
+// touched pages per path — the postmortem merge of Section 6's last
+// paragraph. Each path's leaf also records the per-thread [min,max]
+// touched addresses.
+func (r *Recorder) MergedPaths(region vm.Region) *cct.Tree {
+	tree := cct.New()
+	base := tree.Root().Child(cct.DummyKey(cct.DummyFirstTouch))
+	for _, ev := range r.events[region.ID] {
+		keys := make([]cct.Key, 0, len(ev.Path))
+		for _, fr := range ev.Path {
+			keys = append(keys, cct.FrameKey(fr.Fn, fr.CallLine))
+		}
+		leaf := base.InsertPath(keys)
+		leaf.AddMetric(metrics.FirstTouches, 1)
+		leaf.ExtendRange(ev.Thread, ev.Addr)
+	}
+	return tree
+}

@@ -1,0 +1,41 @@
+package metrics_test
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+)
+
+// The Equation 2 estimator: sampled remote latency over sampled
+// instructions, and the 0.1 cycles/instruction significance rule.
+func ExampleLPIFromInstructionSamples() {
+	// 10,000 sampled instructions; sampled remote accesses among them
+	// accumulated 4,660 cycles of latency.
+	lpi := metrics.LPIFromInstructionSamples(4660, 10000)
+	fmt.Printf("lpi_NUMA = %.3f, significant: %v\n", lpi, metrics.Significant(lpi))
+	// The Blackscholes situation: barely any remote latency.
+	lpi = metrics.LPIFromInstructionSamples(350, 10000)
+	fmt.Printf("lpi_NUMA = %.3f, significant: %v\n", lpi, metrics.Significant(lpi))
+	// Output:
+	// lpi_NUMA = 0.466, significant: true
+	// lpi_NUMA = 0.035, significant: false
+}
+
+// The Equation 3 estimator used with PEBS-LL: average sampled latency
+// per remote event, scaled by the absolute event rate.
+func ExampleLPIFromEventSamples() {
+	// 50 sampled remote events averaging 200 cycles; conventional
+	// counters report 1M remote events over 500M instructions.
+	lpi := metrics.LPIFromEventSamples(50*200, 50, 1_000_000, 500_000_000)
+	fmt.Printf("lpi_NUMA = %.3f\n", lpi)
+	// Output:
+	// lpi_NUMA = 0.400
+}
+
+// M_l / M_r bookkeeping: the LULESH z array's signature ratio.
+func ExampleRemoteFraction() {
+	ml, mr := 100.0, 700.0 // M_r ~ 7x M_l on an 8-domain machine
+	fmt.Printf("remote fraction = %.3f\n", metrics.RemoteFraction(ml, mr))
+	// Output:
+	// remote fraction = 0.875
+}

@@ -1,0 +1,152 @@
+// Package metrics defines the NUMA performance metrics of Section 4 of
+// the paper and the estimators used to compute them from address
+// samples:
+//
+//   - M_l and M_r ("NUMA_MATCH" / "NUMA_MISMATCH" in the viewer): the
+//     sampled accesses touching data in the local vs a remote NUMA
+//     domain (Section 4.1);
+//   - per-domain request counts NUMA_NODE<i> for detecting imbalanced
+//     requests (Section 4.1);
+//   - lpi_NUMA, the NUMA latency per instruction (Section 4.2),
+//     computable exactly (Equation 1), from IBS-style instruction
+//     samples (Equation 2), or from PEBS-LL-style event samples plus a
+//     conventional instruction counter (Equation 3);
+//   - the 0.1 cycles/instruction significance threshold the paper
+//     derives experimentally.
+package metrics
+
+import "fmt"
+
+// ID identifies a metric column.
+type ID int
+
+// Core metric ids. Per-domain counters are ID(NodeBase + domain).
+const (
+	// Match is M_l, sampled accesses whose page is local to the
+	// accessing thread (viewer label NUMA_MATCH).
+	Match ID = iota
+	// Mismatch is M_r, sampled accesses whose page is in a remote
+	// domain (viewer label NUMA_MISMATCH).
+	Mismatch
+	// Latency is the total sampled access latency (cycles).
+	Latency
+	// RemoteLatency is l_NUMA: total sampled latency of remote
+	// accesses (cycles).
+	RemoteLatency
+	// Samples counts address samples.
+	Samples
+	// Instructions counts sampled instructions (I^s, includes
+	// non-memory samples from instruction-sampling mechanisms).
+	Instructions
+	// FirstTouches counts trapped first-touch faults.
+	FirstTouches
+	// NodeBase is the first per-domain counter: NodeBase+d counts
+	// sampled accesses whose data resides in domain d.
+	NodeBase
+)
+
+// MaxDomains bounds the per-domain metric range for naming purposes.
+const MaxDomains = 64
+
+// Node returns the per-domain metric id for domain d.
+func Node(d int) ID { return NodeBase + ID(d) }
+
+// Name returns the viewer label for a metric id, following the paper's
+// figures: NUMA_MATCH, NUMA_MISMATCH, NUMA_NODE<i>, etc.
+func Name(id ID) string {
+	switch id {
+	case Match:
+		return "NUMA_MATCH"
+	case Mismatch:
+		return "NUMA_MISMATCH"
+	case Latency:
+		return "LATENCY"
+	case RemoteLatency:
+		return "NUMA_LATENCY"
+	case Samples:
+		return "SAMPLES"
+	case Instructions:
+		return "INSTRUCTIONS"
+	case FirstTouches:
+		return "FIRST_TOUCHES"
+	default:
+		if id >= NodeBase && id < NodeBase+MaxDomains {
+			return fmt.Sprintf("NUMA_NODE%d", int(id-NodeBase))
+		}
+		return fmt.Sprintf("METRIC_%d", int(id))
+	}
+}
+
+// SignificanceThreshold is the paper's experimentally derived rule of
+// thumb: if lpi_NUMA exceeds 0.1 cycles per instruction, the NUMA
+// losses of the program (or code region) are significant enough to
+// warrant optimisation (Section 4.2).
+const SignificanceThreshold = 0.1
+
+// LPIExact computes Equation 1 directly: lpi_NUMA = l_NUMA / I, where
+// remoteLatencyCycles is the total latency of all remote accesses and
+// instructions is the number of instructions executed. Returns 0 when
+// instructions is 0.
+func LPIExact(remoteLatencyCycles float64, instructions uint64) float64 {
+	if instructions == 0 {
+		return 0
+	}
+	return remoteLatencyCycles / float64(instructions)
+}
+
+// LPIFromInstructionSamples computes Equation 2, the IBS estimator:
+// lpi_NUMA ~= l^s_NUMA / I^s, where sampledRemoteLatency accumulates
+// the latency of sampled remote accesses and sampledInstructions counts
+// all sampled instructions (memory or not). Both are representative
+// subsets under uniform instruction sampling.
+func LPIFromInstructionSamples(sampledRemoteLatency float64, sampledInstructions uint64) float64 {
+	if sampledInstructions == 0 {
+		return 0
+	}
+	return sampledRemoteLatency / float64(sampledInstructions)
+}
+
+// LPIFromEventSamples computes Equation 3, the PEBS-LL estimator:
+// lpi_NUMA ~= (l^s_NUMA / E^s_NUMA) x (E_NUMA / I): the average
+// sampled latency per remote event, scaled by the absolute event rate
+// from conventional counters.
+func LPIFromEventSamples(sampledRemoteLatency float64, sampledRemoteEvents, absoluteEvents, instructions uint64) float64 {
+	if sampledRemoteEvents == 0 || instructions == 0 {
+		return 0
+	}
+	avg := sampledRemoteLatency / float64(sampledRemoteEvents)
+	return avg * float64(absoluteEvents) / float64(instructions)
+}
+
+// Significant reports whether an lpi_NUMA value crosses the paper's
+// optimisation-worthiness threshold.
+func Significant(lpi float64) bool { return lpi > SignificanceThreshold }
+
+// RemoteFraction returns M_r / (M_l + M_r), the share of sampled
+// accesses that were remote; 0 when no samples.
+func RemoteFraction(ml, mr float64) float64 {
+	if ml+mr == 0 {
+		return 0
+	}
+	return mr / (ml + mr)
+}
+
+// ImbalanceFactor summarises per-domain sampled request counts as
+// max/mean, mirroring mem.System.Imbalance for sampled data: 1.0 is
+// balanced, NumDomains is fully centralised; 0 with no samples.
+func ImbalanceFactor(perDomain []float64) float64 {
+	if len(perDomain) == 0 {
+		return 0
+	}
+	var total, max float64
+	for _, v := range perDomain {
+		total += v
+		if v > max {
+			max = v
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return max / (total / float64(len(perDomain)))
+}

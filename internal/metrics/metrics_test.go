@@ -1,0 +1,145 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNames(t *testing.T) {
+	cases := map[ID]string{
+		Match:         "NUMA_MATCH",
+		Mismatch:      "NUMA_MISMATCH",
+		Latency:       "LATENCY",
+		RemoteLatency: "NUMA_LATENCY",
+		Samples:       "SAMPLES",
+		Instructions:  "INSTRUCTIONS",
+		FirstTouches:  "FIRST_TOUCHES",
+		Node(0):       "NUMA_NODE0",
+		Node(7):       "NUMA_NODE7",
+	}
+	for id, want := range cases {
+		if got := Name(id); got != want {
+			t.Errorf("Name(%d) = %q, want %q", id, got, want)
+		}
+	}
+}
+
+func TestLPIExact(t *testing.T) {
+	if got := LPIExact(466, 1000); got != 0.466 {
+		t.Errorf("LPIExact = %v, want 0.466", got)
+	}
+	if got := LPIExact(100, 0); got != 0 {
+		t.Errorf("LPIExact with zero instructions = %v", got)
+	}
+}
+
+func TestLPIFromInstructionSamples(t *testing.T) {
+	// 50 sampled instructions, 10 of them remote accesses totalling
+	// 2000 cycles: lpi = 40.
+	if got := LPIFromInstructionSamples(2000, 50); got != 40 {
+		t.Errorf("Eq2 = %v, want 40", got)
+	}
+	if got := LPIFromInstructionSamples(2000, 0); got != 0 {
+		t.Errorf("Eq2 zero denominator = %v", got)
+	}
+}
+
+func TestLPIFromEventSamples(t *testing.T) {
+	// 4 sampled remote events totalling 800 cycles (avg 200); 1000
+	// absolute events over 1e6 instructions: lpi = 200 * 1e-3 = 0.2.
+	got := LPIFromEventSamples(800, 4, 1000, 1000000)
+	if math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("Eq3 = %v, want 0.2", got)
+	}
+	if LPIFromEventSamples(800, 0, 1000, 1000) != 0 {
+		t.Error("Eq3 with no sampled events should be 0")
+	}
+	if LPIFromEventSamples(800, 4, 1000, 0) != 0 {
+		t.Error("Eq3 with no instructions should be 0")
+	}
+}
+
+func TestEstimatorsAgreeUnderUniformSampling(t *testing.T) {
+	// If sampling is uniform at rate 1/k, Equation 2 over sampled
+	// quantities equals Equation 1 over totals.
+	const k = 100
+	totalRemoteLat, totalInstr := 5000.0, uint64(200000)
+	eq1 := LPIExact(totalRemoteLat, totalInstr)
+	eq2 := LPIFromInstructionSamples(totalRemoteLat/k, totalInstr/k)
+	if math.Abs(eq1-eq2) > 1e-9 {
+		t.Errorf("Eq1 = %v, Eq2 = %v", eq1, eq2)
+	}
+}
+
+func TestSignificance(t *testing.T) {
+	// Paper's case studies: LULESH 0.466 and AMG 0.92 warrant
+	// optimisation; Blackscholes 0.035 does not.
+	if !Significant(0.466) || !Significant(0.92) {
+		t.Error("LULESH/AMG lpi values must be significant")
+	}
+	if Significant(0.035) {
+		t.Error("Blackscholes lpi must be insignificant")
+	}
+	if Significant(0.1) {
+		t.Error("threshold itself is not significant (strict >)")
+	}
+}
+
+func TestRemoteFraction(t *testing.T) {
+	if got := RemoteFraction(100, 700); math.Abs(got-0.875) > 1e-12 {
+		t.Errorf("RemoteFraction = %v, want 0.875 (M_r ~ 7x M_l)", got)
+	}
+	if RemoteFraction(0, 0) != 0 {
+		t.Error("empty fraction should be 0")
+	}
+}
+
+func TestImbalanceFactor(t *testing.T) {
+	if got := ImbalanceFactor([]float64{10, 10, 10, 10}); got != 1.0 {
+		t.Errorf("balanced = %v", got)
+	}
+	if got := ImbalanceFactor([]float64{40, 0, 0, 0}); got != 4.0 {
+		t.Errorf("centralised = %v", got)
+	}
+	if ImbalanceFactor(nil) != 0 || ImbalanceFactor([]float64{0, 0}) != 0 {
+		t.Error("empty/zero should be 0")
+	}
+}
+
+// Property: Equation 2 is scale-invariant — sampling k times more
+// instructions with k times more remote latency gives the same lpi.
+func TestQuickEq2ScaleInvariant(t *testing.T) {
+	f := func(lat uint16, instr uint16, k uint8) bool {
+		if instr == 0 || k == 0 {
+			return true
+		}
+		a := LPIFromInstructionSamples(float64(lat), uint64(instr))
+		b := LPIFromInstructionSamples(float64(lat)*float64(k), uint64(instr)*uint64(k))
+		return math.Abs(a-b) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ImbalanceFactor is always in [1, n] for a non-zero vector
+// of n domains.
+func TestQuickImbalanceBounds(t *testing.T) {
+	f := func(vals [6]uint8) bool {
+		var fs []float64
+		var total float64
+		for _, v := range vals {
+			fs = append(fs, float64(v))
+			total += float64(v)
+		}
+		got := ImbalanceFactor(fs)
+		if total == 0 {
+			return got == 0
+		}
+		return got >= 1.0-1e-9 && got <= 6.0+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

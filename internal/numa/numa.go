@@ -1,0 +1,86 @@
+// Package numa reproduces the slice of the libnuma API that
+// HPCToolkit-NUMA depends on (Section 4.1 of the paper): move_pages to
+// query the home domain of an effective address, numa_node_of_cpu to
+// map a CPU to its NUMA domain, and the numa_alloc_* family for
+// policy-controlled allocation.
+//
+// The functions are thin, faithful adapters over the simulated virtual
+// memory (internal/vm) and machine topology (internal/topology), so the
+// profiler's measurement code reads like its real-world counterpart.
+package numa
+
+import (
+	"repro/internal/topology"
+	"repro/internal/vm"
+)
+
+// MovePages queries (without moving) the home domain of each address,
+// mirroring move_pages(pid, n, pages, NULL, status, 0). The returned
+// slice holds, per address, the domain id, NoDomain for untouched
+// pages, or NoDomain for addresses outside any allocation (where the
+// real call reports -EFAULT).
+func MovePages(as *vm.AddressSpace, addrs []uint64) []topology.DomainID {
+	out := make([]topology.DomainID, len(addrs))
+	for i, a := range addrs {
+		d, err := as.PageNode(a)
+		if err != nil {
+			out[i] = topology.NoDomain
+			continue
+		}
+		out[i] = d
+	}
+	return out
+}
+
+// PageNode is the single-address form of MovePages, the call the
+// profiler issues once per address sample.
+func PageNode(as *vm.AddressSpace, addr uint64) topology.DomainID {
+	d, err := as.PageNode(addr)
+	if err != nil {
+		return topology.NoDomain
+	}
+	return d
+}
+
+// NodeOfCPU mirrors numa_node_of_cpu: the NUMA domain that owns the
+// CPU, or NoDomain for an invalid CPU id.
+func NodeOfCPU(m *topology.Machine, cpu topology.CPUID) topology.DomainID {
+	return m.DomainOfCPU(cpu)
+}
+
+// NumNodes mirrors numa_num_configured_nodes.
+func NumNodes(m *topology.Machine) int { return m.NumDomains() }
+
+// AllocOnNode mirrors numa_alloc_onnode: every page of the allocation
+// is bound to one domain.
+func AllocOnNode(as *vm.AddressSpace, size uint64, node topology.DomainID) vm.Region {
+	return as.Alloc(size, vm.OnNode{Domain: node})
+}
+
+// AllocInterleaved mirrors numa_alloc_interleaved: pages are spread
+// round-robin over all domains.
+func AllocInterleaved(as *vm.AddressSpace, size uint64) vm.Region {
+	return as.Alloc(size, vm.Interleaved{})
+}
+
+// AllocInterleavedSubset mirrors numa_alloc_interleaved_subset.
+func AllocInterleavedSubset(as *vm.AddressSpace, size uint64, nodes []topology.DomainID) vm.Region {
+	return as.Alloc(size, vm.Interleaved{Domains: nodes})
+}
+
+// AllocLocal mirrors numa_alloc_local / plain malloc under the default
+// policy: pages are homed by first touch.
+func AllocLocal(as *vm.AddressSpace, size uint64) vm.Region {
+	return as.Alloc(size, vm.FirstTouch{})
+}
+
+// AllocBlocked distributes the allocation block-wise over the given
+// domains. Real libnuma has no single call for this; applications
+// build it from numa_tonode_memory on sub-ranges — this is the
+// co-location fix the paper applies to LULESH and AMG2006.
+func AllocBlocked(as *vm.AddressSpace, size uint64, nodes []topology.DomainID) vm.Region {
+	return as.Alloc(size, vm.Blocked{Domains: nodes})
+}
+
+// Distance mirrors numa_distance.
+func Distance(m *topology.Machine, a, b topology.DomainID) int { return m.Distance(a, b) }

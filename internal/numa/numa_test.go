@@ -1,0 +1,110 @@
+package numa
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+	"repro/internal/units"
+	"repro/internal/vm"
+)
+
+func testSetup() (*topology.Machine, *vm.AddressSpace) {
+	m := topology.New(topology.Config{
+		Name: "t", NumDomains: 4, CPUsPerDomain: 2,
+		MemoryPerDomain: units.GiB,
+	})
+	return m, vm.NewAddressSpace(m)
+}
+
+func TestMovePagesQueries(t *testing.T) {
+	_, as := testSetup()
+	ps := uint64(units.PageSize)
+	r := AllocOnNode(as, ps*2, 3)
+	as.Touch(r.Base, true, 0) // first page touched; policy homes it at 3
+
+	status := MovePages(as, []uint64{r.Base, r.Base + ps, 0x1})
+	if status[0] != 3 {
+		t.Errorf("touched page = %d, want 3", status[0])
+	}
+	if status[1] != topology.NoDomain {
+		t.Errorf("untouched page = %d, want NoDomain", status[1])
+	}
+	if status[2] != topology.NoDomain {
+		t.Errorf("invalid address = %d, want NoDomain", status[2])
+	}
+}
+
+func TestPageNodeSingle(t *testing.T) {
+	_, as := testSetup()
+	r := AllocLocal(as, 64)
+	as.Touch(r.Base, true, 2)
+	if d := PageNode(as, r.Base); d != 2 {
+		t.Errorf("PageNode = %d, want 2", d)
+	}
+	if d := PageNode(as, 0x2); d != topology.NoDomain {
+		t.Errorf("PageNode invalid = %d, want NoDomain", d)
+	}
+}
+
+func TestNodeOfCPU(t *testing.T) {
+	m, _ := testSetup()
+	if d := NodeOfCPU(m, 0); d != 0 {
+		t.Errorf("NodeOfCPU(0) = %d", d)
+	}
+	if d := NodeOfCPU(m, 7); d != 3 {
+		t.Errorf("NodeOfCPU(7) = %d, want 3", d)
+	}
+	if d := NodeOfCPU(m, 100); d != topology.NoDomain {
+		t.Errorf("NodeOfCPU(100) = %d, want NoDomain", d)
+	}
+	if NumNodes(m) != 4 {
+		t.Errorf("NumNodes = %d", NumNodes(m))
+	}
+}
+
+func TestAllocInterleaved(t *testing.T) {
+	_, as := testSetup()
+	ps := uint64(units.PageSize)
+	r := AllocInterleaved(as, ps*8)
+	for p := uint64(0); p < 8; p++ {
+		home, _, _ := as.Touch(r.Base+p*ps, false, 0)
+		if want := topology.DomainID(p % 4); home != want {
+			t.Errorf("page %d: home %d, want %d", p, home, want)
+		}
+	}
+}
+
+func TestAllocInterleavedSubset(t *testing.T) {
+	_, as := testSetup()
+	ps := uint64(units.PageSize)
+	r := AllocInterleavedSubset(as, ps*4, []topology.DomainID{2, 3})
+	wants := []topology.DomainID{2, 3, 2, 3}
+	for p, want := range wants {
+		home, _, _ := as.Touch(r.Base+uint64(p)*ps, false, 0)
+		if home != want {
+			t.Errorf("page %d: home %d, want %d", p, home, want)
+		}
+	}
+}
+
+func TestAllocBlocked(t *testing.T) {
+	_, as := testSetup()
+	ps := uint64(units.PageSize)
+	r := AllocBlocked(as, ps*4, []topology.DomainID{0, 1, 2, 3})
+	for p := uint64(0); p < 4; p++ {
+		home, _, _ := as.Touch(r.Base+p*ps, false, 0)
+		if home != topology.DomainID(p) {
+			t.Errorf("page %d: home %d, want %d", p, home, p)
+		}
+	}
+}
+
+func TestDistance(t *testing.T) {
+	m, _ := testSetup()
+	if Distance(m, 0, 0) != 10 {
+		t.Error("local distance should be 10")
+	}
+	if Distance(m, 0, 1) <= 10 {
+		t.Error("remote distance should exceed 10")
+	}
+}

@@ -1,0 +1,378 @@
+// Package profio serialises profiles to a versioned JSON measurement
+// format and loads them back, reproducing the file-based architecture
+// of the real tool (Section 7): hpcrun writes per-execution measurement
+// databases, and hpcprof/hpcviewer consume them offline — possibly on a
+// different machine, long after the run.
+//
+// Save captures everything a viewer needs: the program description
+// (functions, sites, statics), the merged augmented CCT with metric
+// columns and per-thread [min,max] ranges, the per-variable
+// data-centric profiles with bins and first-touch results, the
+// address-centric patterns per scope, totals, and (when traced) the
+// time-stamped sample list. Load reconstructs a core.Profile that every
+// view renders identically to the live one.
+package profio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/addrcentric"
+	"repro/internal/cct"
+	"repro/internal/core"
+	"repro/internal/datacentric"
+	"repro/internal/isa"
+	"repro/internal/metrics"
+	"repro/internal/pmu"
+	"repro/internal/proc"
+	"repro/internal/topology"
+	"repro/internal/trace"
+	"repro/internal/units"
+	"repro/internal/vm"
+)
+
+// FormatVersion identifies the measurement-file schema.
+const FormatVersion = 1
+
+// Document is the on-disk form of a profile.
+type Document struct {
+	Version   int             `json:"version"`
+	App       string          `json:"app"`
+	Machine   topology.Config `json:"machine"`
+	Mechanism string          `json:"mechanism"`
+	Period    uint64          `json:"period"`
+
+	Binary   BinaryDoc     `json:"binary"`
+	Totals   core.Totals   `json:"totals"`
+	Vars     []VarDoc      `json:"vars"`
+	Tree     *NodeDoc      `json:"tree"`
+	Patterns []PatternDoc  `json:"patterns"`
+	Timeline []trace.Event `json:"timeline,omitempty"`
+	HasFT    bool          `json:"has_first_touch"`
+}
+
+// BinaryDoc is the serialised program description.
+type BinaryDoc struct {
+	Name    string          `json:"name"`
+	Funcs   []isa.Function  `json:"funcs"`
+	Sites   []isa.Site      `json:"sites"`
+	Statics []isa.StaticVar `json:"statics"`
+}
+
+// FrameDoc is one serialised call-path frame.
+type FrameDoc struct {
+	Fn   isa.FuncID `json:"fn"`
+	Line int        `json:"line"`
+}
+
+// VarDoc is one variable's serialised data-centric profile.
+type VarDoc struct {
+	Name        string              `json:"name"`
+	Kind        datacentric.VarKind `json:"kind"`
+	Region      vm.Region           `json:"region"`
+	AllocPath   []FrameDoc          `json:"alloc_path,omitempty"`
+	AllocSite   isa.SiteID          `json:"alloc_site"`
+	AllocThread int                 `json:"alloc_thread"`
+	BinCount    int                 `json:"bin_count"`
+
+	Samples   float64         `json:"samples"`
+	Ml        float64         `json:"ml"`
+	Mr        float64         `json:"mr"`
+	PerDomain []float64       `json:"per_domain"`
+	Latency   units.Cycles    `json:"latency"`
+	RemoteLat units.Cycles    `json:"remote_lat"`
+	LPI       float64         `json:"lpi"`
+	RLatShare float64         `json:"rlat_share"`
+	MrShare   float64         `json:"mr_share"`
+	Bins      []core.BinStats `json:"bins,omitempty"`
+
+	FirstTouchThreads []int      `json:"ft_threads,omitempty"`
+	FirstTouchPath    []FrameDoc `json:"ft_path,omitempty"`
+	ProtectedPages    int        `json:"ft_pages,omitempty"`
+}
+
+// NodeDoc is one serialised CCT node.
+type NodeDoc struct {
+	Kind  uint8  `json:"k"`
+	Fn    int32  `json:"f,omitempty"`
+	Line  int    `json:"l,omitempty"`
+	Site  int32  `json:"s,omitempty"`
+	Label string `json:"n,omitempty"`
+
+	Metrics  map[metrics.ID]float64 `json:"m,omitempty"`
+	Ranges   map[int]cct.Range      `json:"r,omitempty"`
+	Children []*NodeDoc             `json:"c,omitempty"`
+}
+
+// PatternDoc is one (variable, bin, scope) address-centric pattern.
+// Bin is addrcentric.WholeVariable for the whole-extent pattern.
+type PatternDoc struct {
+	RegionID int                       `json:"region_id"`
+	Bin      int                       `json:"bin"`
+	Scope    string                    `json:"scope"`
+	Threads  []addrcentric.ThreadRange `json:"threads"`
+}
+
+// Save writes a profile as a measurement document.
+func Save(w io.Writer, p *core.Profile) error {
+	doc, err := Encode(p)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// Encode converts a live profile into its document form.
+func Encode(p *core.Profile) (*Document, error) {
+	if p == nil {
+		return nil, fmt.Errorf("profio: nil profile")
+	}
+	doc := &Document{
+		Version:   FormatVersion,
+		App:       p.AppName,
+		Machine:   p.Machine.Config(),
+		Mechanism: p.Mechanism,
+		Period:    p.Period,
+		Totals:    p.Totals,
+		HasFT:     p.FirstTouch != nil,
+	}
+	doc.Binary = BinaryDoc{
+		Name:    p.Binary.Name,
+		Funcs:   p.Binary.Funcs(),
+		Sites:   p.Binary.Sites(),
+		Statics: p.Binary.Statics(),
+	}
+	for _, v := range p.Vars {
+		doc.Vars = append(doc.Vars, encodeVar(v))
+	}
+	doc.Tree = encodeNode(p.Tree.Root())
+	for _, v := range p.Registry.Variables() {
+		for _, scope := range p.Patterns.Scopes(v) {
+			if pat, ok := p.Patterns.Pattern(v, scope); ok {
+				doc.Patterns = append(doc.Patterns, PatternDoc{
+					RegionID: v.Region.ID,
+					Bin:      addrcentric.WholeVariable,
+					Scope:    scope,
+					Threads:  pat.Threads(),
+				})
+			}
+			for b := 0; b < v.Bins; b++ {
+				if bp, ok := p.Patterns.BinPattern(v, b, scope); ok {
+					doc.Patterns = append(doc.Patterns, PatternDoc{
+						RegionID: v.Region.ID,
+						Bin:      b,
+						Scope:    scope,
+						Threads:  bp.Threads(),
+					})
+				}
+			}
+		}
+	}
+	if p.Timeline != nil {
+		doc.Timeline = p.Timeline.Events()
+	}
+	return doc, nil
+}
+
+func encodeFrames(path []proc.Frame) []FrameDoc {
+	out := make([]FrameDoc, 0, len(path))
+	for _, fr := range path {
+		out = append(out, FrameDoc{Fn: fr.Fn, Line: fr.CallLine})
+	}
+	return out
+}
+
+func decodeFrames(docs []FrameDoc) []proc.Frame {
+	out := make([]proc.Frame, 0, len(docs))
+	for _, fr := range docs {
+		out = append(out, proc.Frame{Fn: fr.Fn, CallLine: fr.Line})
+	}
+	return out
+}
+
+func encodeVar(v *core.VarProfile) VarDoc {
+	return VarDoc{
+		Name:        v.Var.Name,
+		Kind:        v.Var.Kind,
+		Region:      v.Var.Region,
+		AllocPath:   encodeFrames(v.Var.AllocPath),
+		AllocSite:   v.Var.AllocSite,
+		AllocThread: v.Var.AllocThread,
+		BinCount:    v.Var.Bins,
+
+		Samples:   v.Samples,
+		Ml:        v.Ml,
+		Mr:        v.Mr,
+		PerDomain: v.PerDomain,
+		Latency:   v.Latency,
+		RemoteLat: v.RemoteLat,
+		LPI:       v.LPI,
+		RLatShare: v.RemoteLatShare,
+		MrShare:   v.MrShare,
+		Bins:      v.Bins,
+
+		FirstTouchThreads: v.FirstTouchThreads,
+		FirstTouchPath:    encodeFrames(v.FirstTouchPath),
+		ProtectedPages:    v.ProtectedPages,
+	}
+}
+
+func encodeNode(n *cct.Node) *NodeDoc {
+	d := &NodeDoc{
+		Kind:  uint8(n.Key.Kind),
+		Fn:    int32(n.Key.Fn),
+		Line:  n.Key.Line,
+		Site:  int32(n.Key.Site),
+		Label: n.Key.Label,
+	}
+	if m := n.Metrics(); len(m) > 0 {
+		d.Metrics = m
+	}
+	if r := n.Ranges(); len(r) > 0 {
+		d.Ranges = r
+	}
+	for _, c := range n.Children() {
+		d.Children = append(d.Children, encodeNode(c))
+	}
+	return d
+}
+
+// Load reads a measurement document and reconstructs a core.Profile
+// suitable for every view. The profile is read-only in spirit: it has
+// no live engine, sampler, or first-touch recorder behind it.
+func Load(r io.Reader) (*core.Profile, error) {
+	var doc Document
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("profio: decode: %w", err)
+	}
+	return Decode(&doc)
+}
+
+// Decode reconstructs a core.Profile from its document form.
+func Decode(doc *Document) (*core.Profile, error) {
+	if doc.Version != FormatVersion {
+		return nil, fmt.Errorf("profio: unsupported format version %d (want %d)", doc.Version, FormatVersion)
+	}
+
+	machine := topology.New(doc.Machine)
+
+	prog := isa.NewProgram(doc.Binary.Name)
+	for _, f := range doc.Binary.Funcs {
+		prog.AddFunc(f.Name, f.File, f.StartLine)
+	}
+	for _, s := range doc.Binary.Sites {
+		prog.AddSite(s.Fn, s.Line, s.Kind)
+	}
+	for _, sv := range doc.Binary.Statics {
+		prog.AddStatic(sv.Name, sv.Size)
+	}
+
+	registry := datacentric.NewRegistry(datacentric.DefaultBins)
+	varsByRegion := make(map[int]*datacentric.Variable)
+	var vars []*core.VarProfile
+	for _, vd := range doc.Vars {
+		dv := &datacentric.Variable{
+			Name:        vd.Name,
+			Kind:        vd.Kind,
+			Region:      vd.Region,
+			AllocPath:   decodeFrames(vd.AllocPath),
+			AllocSite:   vd.AllocSite,
+			AllocThread: vd.AllocThread,
+			Bins:        vd.BinCount,
+		}
+		registry.Restore(dv)
+		varsByRegion[dv.Region.ID] = dv
+		vars = append(vars, &core.VarProfile{
+			Var:               dv,
+			Samples:           vd.Samples,
+			Ml:                vd.Ml,
+			Mr:                vd.Mr,
+			PerDomain:         vd.PerDomain,
+			Latency:           vd.Latency,
+			RemoteLat:         vd.RemoteLat,
+			LPI:               vd.LPI,
+			RemoteLatShare:    vd.RLatShare,
+			MrShare:           vd.MrShare,
+			Bins:              vd.Bins,
+			FirstTouchThreads: vd.FirstTouchThreads,
+			FirstTouchPath:    decodeFrames(vd.FirstTouchPath),
+			ProtectedPages:    vd.ProtectedPages,
+		})
+	}
+
+	tree := cct.New()
+	if doc.Tree != nil {
+		decodeNodeInto(tree.Root(), doc.Tree)
+	}
+
+	patterns := addrcentric.NewTracker()
+	for _, pd := range doc.Patterns {
+		v, ok := varsByRegion[pd.RegionID]
+		if !ok {
+			// The pattern's variable never accumulated samples; rebuild
+			// a minimal variable so the pattern still renders.
+			v = &datacentric.Variable{Name: fmt.Sprintf("<region %d>", pd.RegionID), Region: vm.Region{ID: pd.RegionID}, Bins: 1}
+		}
+		patterns.RestoreBin(v, pd.Bin, pd.Scope, pd.Threads)
+	}
+
+	var timeline *trace.Timeline
+	if len(doc.Timeline) > 0 {
+		timeline = trace.New()
+		for _, ev := range doc.Timeline {
+			timeline.Record(ev)
+		}
+	}
+
+	caps, err := capsFor(doc.Mechanism)
+	if err != nil {
+		return nil, err
+	}
+	return &core.Profile{
+		AppName:   doc.App,
+		Machine:   machine,
+		Mechanism: doc.Mechanism,
+		Caps:      caps,
+		Period:    doc.Period,
+		Tree:      tree,
+		Vars:      vars,
+		Patterns:  patterns,
+		Registry:  registry,
+		Timeline:  timeline,
+		Binary:    prog,
+		Totals:    doc.Totals,
+	}, nil
+}
+
+func decodeNodeInto(n *cct.Node, d *NodeDoc) {
+	for id, v := range d.Metrics {
+		n.AddMetric(id, v)
+	}
+	for owner, rg := range d.Ranges {
+		n.ExtendRange(owner, rg.Min)
+		n.ExtendRange(owner, rg.Max)
+	}
+	for _, cd := range d.Children {
+		key := cct.Key{
+			Kind:  cct.NodeKind(cd.Kind),
+			Fn:    isa.FuncID(cd.Fn),
+			Line:  cd.Line,
+			Site:  isa.SiteID(cd.Site),
+			Label: cd.Label,
+		}
+		decodeNodeInto(n.Child(key), cd)
+	}
+}
+
+// capsFor resolves the capability matrix for the mechanism recorded in
+// the file; unknown mechanisms (from newer tools) get empty caps rather
+// than failing the load.
+func capsFor(name string) (pmu.Capability, error) {
+	mech, err := pmu.ByName(name, 0)
+	if err != nil {
+		return pmu.Capability{}, nil
+	}
+	return mech.Caps(), nil
+}

@@ -1,0 +1,107 @@
+package profio
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cct"
+	"repro/internal/isa"
+	"repro/internal/metrics"
+)
+
+// buildRandomTree grows a deterministic pseudo-random CCT from a seed.
+func buildRandomTree(seed int64) *cct.Tree {
+	rng := rand.New(rand.NewSource(seed))
+	tree := cct.New()
+	nodes := []*cct.Node{tree.Root()}
+	n := 5 + rng.Intn(60)
+	for i := 0; i < n; i++ {
+		parent := nodes[rng.Intn(len(nodes))]
+		var key cct.Key
+		switch rng.Intn(4) {
+		case 0:
+			key = cct.FrameKey(isa.FuncID(rng.Intn(8)), rng.Intn(100))
+		case 1:
+			key = cct.SiteKey(isa.SiteID(rng.Intn(16)))
+		case 2:
+			key = cct.VariableKey([]string{"x", "y", "z"}[rng.Intn(3)])
+		default:
+			key = cct.DummyKey([]string{cct.DummyAlloc, cct.DummyAccess, cct.DummyFirstTouch}[rng.Intn(3)])
+		}
+		node := parent.Child(key)
+		if rng.Intn(2) == 0 {
+			node.AddMetric(metrics.ID(rng.Intn(10)), float64(rng.Intn(1000)))
+		}
+		if rng.Intn(3) == 0 {
+			base := rng.Uint64() % (1 << 40)
+			node.ExtendRange(rng.Intn(8), base)
+			node.ExtendRange(rng.Intn(8), base+uint64(rng.Intn(1<<16)))
+		}
+		nodes = append(nodes, node)
+	}
+	return tree
+}
+
+// treesEqual compares two CCTs structurally: same sizes, and every node
+// of a exists in b with identical metrics and ranges (and vice versa by
+// the size check).
+func treesEqual(a, b *cct.Tree) bool {
+	if a.Root().Size() != b.Root().Size() {
+		return false
+	}
+	equal := true
+	a.Root().Visit(func(n *cct.Node) {
+		if !equal {
+			return
+		}
+		var m *cct.Node
+		if n.Key.Kind == cct.KindRoot {
+			m = b.Root()
+		} else {
+			var ok bool
+			m, ok = b.Root().FindPath(n.Path())
+			if !ok {
+				equal = false
+				return
+			}
+		}
+		am, bm := n.Metrics(), m.Metrics()
+		if len(am) != len(bm) {
+			equal = false
+			return
+		}
+		for id, v := range am {
+			if bm[id] != v {
+				equal = false
+				return
+			}
+		}
+		ar, br := n.Ranges(), m.Ranges()
+		if len(ar) != len(br) {
+			equal = false
+			return
+		}
+		for owner, rg := range ar {
+			if br[owner] != rg {
+				equal = false
+				return
+			}
+		}
+	})
+	return equal
+}
+
+// Property: any CCT round-trips through the document encoding intact.
+func TestQuickTreeRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		tree := buildRandomTree(seed)
+		doc := encodeNode(tree.Root())
+		back := cct.New()
+		decodeNodeInto(back.Root(), doc)
+		return treesEqual(tree, back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

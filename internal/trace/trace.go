@@ -1,0 +1,193 @@
+// Package trace implements trace-based measurement of time-varying
+// NUMA behaviour — the third item of the paper's future work
+// (Section 10: "collect trace-based measurements to study time-varying
+// NUMA patterns in addition to profiles").
+//
+// Where a profile aggregates samples over the whole run, a Timeline
+// keeps every sample with its simulated timestamp, then slices the run
+// into equal-time buckets. Each bucket carries the Section 4 metrics
+// (M_l, M_r, remote latency) plus per-variable remote counts, so phase
+// changes — a program whose placement is right for one phase and wrong
+// for the next — become visible as a time series instead of averaging
+// out.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/units"
+)
+
+// Event is one time-stamped address sample.
+type Event struct {
+	// Time is the simulated timestamp (engine Now at the sample).
+	Time units.Cycles
+	// Thread is the sampling thread.
+	Thread int
+	// Var names the touched variable ("" if unattributed).
+	Var string
+	// EA is the sampled effective address.
+	EA uint64
+	// Remote reports a NUMA mismatch (M_r sample).
+	Remote bool
+	// Latency is the sampled latency (0 when the mechanism cannot
+	// measure it).
+	Latency units.Cycles
+}
+
+// Timeline records events in arrival order.
+type Timeline struct {
+	events []Event
+	maxT   units.Cycles
+}
+
+// New creates an empty timeline.
+func New() *Timeline { return &Timeline{} }
+
+// Record appends one event.
+func (t *Timeline) Record(ev Event) {
+	t.events = append(t.events, ev)
+	if ev.Time > t.maxT {
+		t.maxT = ev.Time
+	}
+}
+
+// Len returns the number of recorded events.
+func (t *Timeline) Len() int { return len(t.events) }
+
+// Events returns the recorded events. The slice must not be mutated.
+func (t *Timeline) Events() []Event { return t.events }
+
+// Span returns the largest timestamp recorded.
+func (t *Timeline) Span() units.Cycles { return t.maxT }
+
+// Bucket aggregates the samples of one time slice.
+type Bucket struct {
+	Start, End units.Cycles
+	Ml, Mr     float64
+	RemoteLat  units.Cycles
+	// RemoteByVar counts remote samples per variable.
+	RemoteByVar map[string]float64
+}
+
+// RemoteFraction returns M_r / (M_l + M_r) for the bucket.
+func (b Bucket) RemoteFraction() float64 {
+	if b.Ml+b.Mr == 0 {
+		return 0
+	}
+	return b.Mr / (b.Ml + b.Mr)
+}
+
+// Samples returns the bucket's sample count.
+func (b Bucket) Samples() float64 { return b.Ml + b.Mr }
+
+// Buckets slices the run into n equal time windows and aggregates each.
+func (t *Timeline) Buckets(n int) []Bucket {
+	if n <= 0 {
+		n = 1
+	}
+	span := t.maxT + 1
+	out := make([]Bucket, n)
+	width := span / units.Cycles(n)
+	if width == 0 {
+		width = 1
+	}
+	for i := range out {
+		out[i].Start = units.Cycles(i) * width
+		out[i].End = out[i].Start + width
+		out[i].RemoteByVar = make(map[string]float64)
+	}
+	out[n-1].End = span
+	for _, ev := range t.events {
+		idx := int(ev.Time / width)
+		if idx >= n {
+			idx = n - 1
+		}
+		b := &out[idx]
+		if ev.Remote {
+			b.Mr++
+			b.RemoteLat += ev.Latency
+			if ev.Var != "" {
+				b.RemoteByVar[ev.Var]++
+			}
+		} else {
+			b.Ml++
+		}
+	}
+	return out
+}
+
+// PhaseShift locates the largest jump in remote fraction between
+// consecutive non-empty buckets — a cheap change-point detector for
+// "the placement stopped matching the access pattern here". It returns
+// the boundary time and the delta (signed: positive means the run got
+// more remote). ok is false if fewer than two buckets have samples.
+func (t *Timeline) PhaseShift(n int) (at units.Cycles, delta float64, ok bool) {
+	buckets := t.Buckets(n)
+	prev := -1
+	for i, b := range buckets {
+		if b.Samples() == 0 {
+			continue
+		}
+		if prev >= 0 {
+			d := b.RemoteFraction() - buckets[prev].RemoteFraction()
+			if !ok || abs(d) > abs(delta) {
+				at, delta, ok = b.Start, d, true
+			}
+		}
+		prev = i
+	}
+	return at, delta, ok
+}
+
+func abs(f float64) float64 {
+	if f < 0 {
+		return -f
+	}
+	return f
+}
+
+// HotVar returns the variable with the most remote samples in the
+// bucket, with its count.
+func (b Bucket) HotVar() (string, float64) {
+	var name string
+	var best float64
+	// Deterministic tie-break by name.
+	keys := make([]string, 0, len(b.RemoteByVar))
+	for k := range b.RemoteByVar {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if b.RemoteByVar[k] > best {
+			name, best = k, b.RemoteByVar[k]
+		}
+	}
+	return name, best
+}
+
+// Render draws the remote-fraction time series as bucket rows with
+// bars, the time-varying analog of the metric pane.
+func Render(t *Timeline, n, width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "time-varying NUMA profile: %d samples over %v in %d buckets\n",
+		t.Len(), t.Span(), n)
+	for _, bk := range t.Buckets(n) {
+		frac := bk.RemoteFraction()
+		bar := int(frac * float64(width))
+		hot, hotN := bk.HotVar()
+		hotStr := ""
+		if hotN > 0 {
+			hotStr = fmt.Sprintf("  hot: %s (%.0f)", hot, hotN)
+		}
+		fmt.Fprintf(&b, "  [%12d,%12d) |%-*s| M_r %4.0f%% n=%-6.0f%s\n",
+			uint64(bk.Start), uint64(bk.End), width,
+			strings.Repeat("#", bar), 100*frac, bk.Samples(), hotStr)
+	}
+	return b.String()
+}

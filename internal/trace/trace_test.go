@@ -1,0 +1,169 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+func TestRecordAndSpan(t *testing.T) {
+	tl := New()
+	if tl.Len() != 0 || tl.Span() != 0 {
+		t.Fatal("fresh timeline not empty")
+	}
+	tl.Record(Event{Time: 100, Remote: true, Latency: 50, Var: "z"})
+	tl.Record(Event{Time: 40, Remote: false})
+	if tl.Len() != 2 {
+		t.Fatalf("Len = %d", tl.Len())
+	}
+	if tl.Span() != 100 {
+		t.Fatalf("Span = %v", tl.Span())
+	}
+}
+
+func TestBucketsAggregate(t *testing.T) {
+	tl := New()
+	// First half local, second half remote — a clean phase shift.
+	for i := 0; i < 50; i++ {
+		tl.Record(Event{Time: units.Cycles(i), Remote: false})
+	}
+	for i := 50; i < 100; i++ {
+		tl.Record(Event{Time: units.Cycles(i), Remote: true, Latency: 10, Var: "z"})
+	}
+	buckets := tl.Buckets(2)
+	if len(buckets) != 2 {
+		t.Fatalf("%d buckets", len(buckets))
+	}
+	if buckets[0].Mr != 0 || buckets[0].Ml != 50 {
+		t.Errorf("bucket 0 = %+v", buckets[0])
+	}
+	if buckets[1].Ml != 0 || buckets[1].Mr != 50 {
+		t.Errorf("bucket 1 = %+v", buckets[1])
+	}
+	if buckets[1].RemoteLat != 500 {
+		t.Errorf("bucket 1 remote latency = %v", buckets[1].RemoteLat)
+	}
+	if buckets[0].RemoteFraction() != 0 || buckets[1].RemoteFraction() != 1 {
+		t.Error("remote fractions wrong")
+	}
+	if hot, n := buckets[1].HotVar(); hot != "z" || n != 50 {
+		t.Errorf("HotVar = %q, %v", hot, n)
+	}
+	if hot, n := buckets[0].HotVar(); hot != "" || n != 0 {
+		t.Errorf("empty HotVar = %q, %v", hot, n)
+	}
+}
+
+func TestPhaseShiftDetection(t *testing.T) {
+	tl := New()
+	for i := 0; i < 500; i++ {
+		tl.Record(Event{Time: units.Cycles(i), Remote: false})
+	}
+	for i := 500; i < 1000; i++ {
+		tl.Record(Event{Time: units.Cycles(i), Remote: true})
+	}
+	at, delta, ok := tl.PhaseShift(10)
+	if !ok {
+		t.Fatal("no phase shift found")
+	}
+	if delta < 0.9 {
+		t.Errorf("delta = %v, want ~1.0", delta)
+	}
+	// The shift lands at the bucket boundary nearest t=500.
+	if at < 400 || at > 600 {
+		t.Errorf("shift at %v, want near 500", at)
+	}
+}
+
+func TestPhaseShiftRequiresTwoBuckets(t *testing.T) {
+	tl := New()
+	tl.Record(Event{Time: 1, Remote: true})
+	if _, _, ok := tl.PhaseShift(4); ok {
+		t.Error("single-bucket timeline should report no shift")
+	}
+}
+
+func TestBucketsDegenerate(t *testing.T) {
+	tl := New()
+	if got := tl.Buckets(0); len(got) != 1 {
+		t.Fatalf("Buckets(0) = %d buckets, want 1", len(got))
+	}
+	tl.Record(Event{Time: 0, Remote: true})
+	b := tl.Buckets(4)
+	var total float64
+	for _, bk := range b {
+		total += bk.Samples()
+	}
+	if total != 1 {
+		t.Fatalf("samples lost: %v", total)
+	}
+}
+
+func TestRender(t *testing.T) {
+	tl := New()
+	for i := 0; i < 100; i++ {
+		tl.Record(Event{Time: units.Cycles(i * 10), Remote: i%2 == 0, Var: "buf"})
+	}
+	out := Render(tl, 4, 20)
+	if !strings.Contains(out, "time-varying NUMA profile") {
+		t.Error("header missing")
+	}
+	if strings.Count(out, "\n") < 5 {
+		t.Errorf("expected 4 bucket rows:\n%s", out)
+	}
+	if !strings.Contains(out, "hot: buf") {
+		t.Error("hot variable missing")
+	}
+}
+
+// Property: bucketing never loses or invents samples, for any n.
+func TestQuickBucketsConserveSamples(t *testing.T) {
+	f := func(times []uint16, n uint8) bool {
+		tl := New()
+		for i, tm := range times {
+			tl.Record(Event{Time: units.Cycles(tm), Remote: i%3 == 0})
+		}
+		buckets := tl.Buckets(int(n%20) + 1)
+		var total float64
+		for _, b := range buckets {
+			total += b.Samples()
+		}
+		return total == float64(len(times))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: bucket windows tile [0, span] without gaps.
+func TestQuickBucketsTile(t *testing.T) {
+	f := func(span uint16, n uint8) bool {
+		tl := New()
+		tl.Record(Event{Time: units.Cycles(span)})
+		buckets := tl.Buckets(int(n%16) + 1)
+		var prev units.Cycles
+		for _, b := range buckets {
+			if b.Start != prev || b.End < b.Start {
+				return false
+			}
+			prev = b.End
+		}
+		return prev >= units.Cycles(span)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoteFractionBounds(t *testing.T) {
+	b := Bucket{Ml: 3, Mr: 1}
+	if got := b.RemoteFraction(); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("RemoteFraction = %v", got)
+	}
+	if (Bucket{}).RemoteFraction() != 0 {
+		t.Error("empty bucket fraction should be 0")
+	}
+}

@@ -1,0 +1,322 @@
+package view
+
+import (
+	"fmt"
+	"html/template"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/addrcentric"
+	"repro/internal/cct"
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// HTML renders a profile as a self-contained HTML page — the analog of
+// the hpcviewer GUI of Figure 3, with its three panes: the metric
+// table (bottom right), the address-centric plots (top right), and the
+// calling-context view (bottom left). topVars bounds the variables
+// detailed (0 means all).
+func HTML(p *core.Profile, topVars int) (string, error) {
+	data := buildHTMLData(p, topVars)
+	var b strings.Builder
+	if err := htmlTmpl.Execute(&b, data); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+type htmlData struct {
+	App       string
+	Machine   string
+	Mechanism string
+	Period    uint64
+
+	Samples        float64
+	Instructions   uint64
+	Ml, Mr         float64
+	RemotePct      float64
+	Imbalance      float64
+	LPI            string
+	LPIExact       string
+	Significant    bool
+	SimTime        uint64
+	Overhead       uint64
+	DomainRows     []domainRow
+	Vars           []htmlVar
+	CCT            []cctRow
+	HasFirstTouch  bool
+	TimelineBucket []timelineRow
+}
+
+type domainRow struct {
+	Domain int
+	Count  float64
+	Pct    float64
+}
+
+type htmlVar struct {
+	Name      string
+	Kind      string
+	Ml, Mr    float64
+	RemoteLat uint64
+	RLatPct   float64
+	MrPct     float64
+	LPI       float64
+	FirstT    string
+	Threads   []threadBar
+	Bins      []binRow
+}
+
+type threadBar struct {
+	Thread   int
+	LeftPct  float64
+	WidthPct float64
+	Count    uint64
+	Label    string
+}
+
+type binRow struct {
+	Index   int
+	Lo, Hi  string
+	Samples float64
+	Mr      float64
+	Pct     float64
+}
+
+type cctRow struct {
+	Indent   int
+	Label    string
+	Value    float64
+	Pct      float64
+	BarWidth float64
+}
+
+type timelineRow struct {
+	Start, End uint64
+	RemotePct  float64
+	Samples    float64
+	Hot        string
+}
+
+func fmtNaN(v float64, digits int) string {
+	if math.IsNaN(v) {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.*f", digits, v)
+}
+
+func buildHTMLData(p *core.Profile, topVars int) htmlData {
+	t := p.Totals
+	d := htmlData{
+		App:          p.AppName,
+		Machine:      p.Machine.Name,
+		Mechanism:    p.Mechanism,
+		Period:       p.Period,
+		Samples:      t.Samples,
+		Instructions: t.Instructions,
+		Ml:           t.Ml,
+		Mr:           t.Mr,
+		RemotePct:    100 * t.RemoteFraction,
+		Imbalance:    t.Imbalance,
+		LPI:          fmtNaN(t.LPI, 3),
+		LPIExact:     fmtNaN(t.LPIExact, 3),
+		Significant:  t.Significant,
+		SimTime:      uint64(t.SimTime),
+		Overhead:     uint64(t.Overhead),
+	}
+	for dom, n := range t.PerDomain {
+		if n == 0 {
+			continue
+		}
+		pct := 0.0
+		if t.Ml+t.Mr > 0 {
+			pct = 100 * n / (t.Ml + t.Mr)
+		}
+		d.DomainRows = append(d.DomainRows, domainRow{Domain: dom, Count: n, Pct: pct})
+	}
+
+	vars := p.Vars
+	if topVars > 0 && topVars < len(vars) {
+		vars = vars[:topVars]
+	}
+	for _, v := range vars {
+		hv := htmlVar{
+			Name:      v.Var.Name,
+			Kind:      v.Var.Kind.String(),
+			Ml:        v.Ml,
+			Mr:        v.Mr,
+			RemoteLat: uint64(v.RemoteLat),
+			RLatPct:   100 * v.RemoteLatShare,
+			MrPct:     100 * v.MrShare,
+			LPI:       v.LPI,
+			FirstT:    "-",
+		}
+		if len(v.FirstTouchThreads) == 1 {
+			hv.FirstT = fmt.Sprintf("serial (T%d)", v.FirstTouchThreads[0])
+			d.HasFirstTouch = true
+		} else if len(v.FirstTouchThreads) > 1 {
+			hv.FirstT = fmt.Sprintf("parallel (%d threads)", len(v.FirstTouchThreads))
+			d.HasFirstTouch = true
+		}
+		if pat, ok := p.Patterns.Pattern(v.Var, addrcentric.WholeProgram); ok {
+			for _, tr := range pat.Threads() {
+				lo, hi, _ := pat.Normalized(tr.Thread)
+				w := (hi - lo) * 100
+				if w < 1 {
+					w = 1
+				}
+				hv.Threads = append(hv.Threads, threadBar{
+					Thread:   tr.Thread,
+					LeftPct:  lo * 100,
+					WidthPct: w,
+					Count:    tr.Count,
+					Label:    fmt.Sprintf("[%.2f, %.2f]", lo, hi),
+				})
+			}
+		}
+		for _, b := range v.Bins {
+			if len(v.Bins) <= 1 {
+				break
+			}
+			pct := 0.0
+			if v.Samples > 0 {
+				pct = 100 * b.Samples / v.Samples
+			}
+			hv.Bins = append(hv.Bins, binRow{
+				Index: b.Index,
+				Lo:    fmt.Sprintf("%#x", b.Lo), Hi: fmt.Sprintf("%#x", b.Hi),
+				Samples: b.Samples, Mr: b.Mr, Pct: pct,
+			})
+		}
+		d.Vars = append(d.Vars, hv)
+	}
+
+	d.CCT = buildCCTRows(p)
+	if p.Timeline != nil && p.Timeline.Len() > 0 {
+		for _, b := range p.Timeline.Buckets(16) {
+			hot, _ := b.HotVar()
+			d.TimelineBucket = append(d.TimelineBucket, timelineRow{
+				Start: uint64(b.Start), End: uint64(b.End),
+				RemotePct: 100 * b.RemoteFraction(),
+				Samples:   b.Samples(),
+				Hot:       hot,
+			})
+		}
+	}
+	return d
+}
+
+func buildCCTRows(p *core.Profile) []cctRow {
+	var rows []cctRow
+	total := p.Tree.Root().InclusiveMetric(metrics.Mismatch)
+	if total == 0 {
+		return rows
+	}
+	var walk func(n *cct.Node, depth int)
+	walk = func(n *cct.Node, depth int) {
+		if depth > 6 {
+			return
+		}
+		kids := n.Children()
+		sort.SliceStable(kids, func(i, j int) bool {
+			return kids[i].InclusiveMetric(metrics.Mismatch) > kids[j].InclusiveMetric(metrics.Mismatch)
+		})
+		for _, c := range kids {
+			v := c.InclusiveMetric(metrics.Mismatch)
+			if v/total < 0.01 {
+				continue
+			}
+			rows = append(rows, cctRow{
+				Indent:   depth,
+				Label:    nodeLabel(p, c),
+				Value:    v,
+				Pct:      100 * v / total,
+				BarWidth: 100 * v / total,
+			})
+			walk(c, depth+1)
+		}
+	}
+	walk(p.Tree.Root(), 0)
+	return rows
+}
+
+var htmlTmpl = template.Must(template.New("report").Parse(`<!DOCTYPE html>
+<html><head><meta charset="utf-8">
+<title>{{.App}} — NUMA profile</title>
+<style>
+body { font: 14px/1.45 system-ui, sans-serif; margin: 2rem auto; max-width: 70rem; color: #1a1a1a; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }
+table { border-collapse: collapse; width: 100%; margin: .5rem 0; }
+th, td { text-align: left; padding: .25rem .6rem; border-bottom: 1px solid #ddd; font-variant-numeric: tabular-nums; }
+th { background: #f5f5f5; }
+.verdict { padding: .6rem 1rem; border-radius: 6px; margin: 1rem 0; font-weight: 600; }
+.sig { background: #fde8e8; color: #9b1c1c; }
+.insig { background: #e8f5e9; color: #1b5e20; }
+.track { position: relative; background: #eef; height: 14px; border-radius: 3px; margin: 2px 0; }
+.bar { position: absolute; top: 0; height: 100%; background: #3949ab; border-radius: 3px; }
+.tl { background: #fce4ec; } .tl .fill { background: #c2185b; height: 100%; border-radius: 3px; }
+.cct-bar { display: inline-block; background: #ffb74d; height: 10px; vertical-align: middle; }
+.mono { font-family: ui-monospace, monospace; font-size: 12px; }
+details { margin: .3rem 0; } summary { cursor: pointer; }
+.tag { font-size: 11px; background: #eee; border-radius: 3px; padding: 0 .35em; }
+</style></head><body>
+<h1>{{.App}} on {{.Machine}} via {{.Mechanism}} <span class="tag">period {{.Period}}</span></h1>
+
+<div class="verdict {{if .Significant}}sig{{else}}insig{{end}}">
+lpi_NUMA = {{.LPI}} (exact {{.LPIExact}}, threshold 0.1):
+{{if .Significant}}SIGNIFICANT — NUMA optimisation warranted{{else}}insignificant — NUMA optimisation would not pay off{{end}}
+</div>
+
+<h2>Program totals</h2>
+<table>
+<tr><th>samples</th><th>instructions</th><th>NUMA_MATCH</th><th>NUMA_MISMATCH</th><th>remote</th><th>imbalance</th><th>runtime (cyc)</th><th>monitor overhead (cyc)</th></tr>
+<tr><td>{{printf "%.0f" .Samples}}</td><td>{{.Instructions}}</td><td>{{printf "%.0f" .Ml}}</td><td>{{printf "%.0f" .Mr}}</td>
+<td>{{printf "%.1f" .RemotePct}}%</td><td>{{printf "%.2f" .Imbalance}}x</td><td>{{.SimTime}}</td><td>{{.Overhead}}</td></tr>
+</table>
+<table>
+<tr><th>domain</th><th>sampled accesses</th><th>share</th></tr>
+{{range .DomainRows}}<tr><td>NUMA_NODE{{.Domain}}</td><td>{{printf "%.0f" .Count}}</td><td>{{printf "%.1f" .Pct}}%</td></tr>
+{{end}}</table>
+
+<h2>Data-centric view</h2>
+<table>
+<tr><th>variable</th><th>kind</th><th>M_l</th><th>M_r</th><th>remote latency</th><th>rlat%</th><th>M_r%</th><th>lpi</th><th>first touch</th></tr>
+{{range .Vars}}<tr><td>{{.Name}}</td><td>{{.Kind}}</td><td>{{printf "%.0f" .Ml}}</td><td>{{printf "%.0f" .Mr}}</td>
+<td>{{.RemoteLat}}</td><td>{{printf "%.1f" .RLatPct}}%</td><td>{{printf "%.1f" .MrPct}}%</td><td>{{printf "%.1f" .LPI}}</td><td>{{.FirstT}}</td></tr>
+{{end}}</table>
+
+<h2>Address-centric views</h2>
+{{range .Vars}}{{if .Threads}}
+<details open><summary><b>{{.Name}}</b> — per-thread accessed range, normalised to [0,1]</summary>
+<table>{{range .Threads}}
+<tr><td style="width:4rem" class="mono">T{{printf "%02d" .Thread}}</td>
+<td><div class="track"><div class="bar" style="left:{{printf "%.1f" .LeftPct}}%;width:{{printf "%.1f" .WidthPct}}%"></div></div></td>
+<td style="width:9rem" class="mono">{{.Label}} n={{.Count}}</td></tr>
+{{end}}</table>
+{{if .Bins}}<table><tr><th>bin</th><th>range</th><th>samples</th><th>share</th><th>M_r</th></tr>
+{{range .Bins}}<tr><td>{{.Index}}</td><td class="mono">[{{.Lo}}, {{.Hi}})</td><td>{{printf "%.0f" .Samples}}</td><td>{{printf "%.0f" .Pct}}%</td><td>{{printf "%.0f" .Mr}}</td></tr>
+{{end}}</table>{{end}}
+</details>
+{{end}}{{end}}
+
+<h2>Calling-context view (by NUMA_MISMATCH)</h2>
+<table class="mono">
+{{range .CCT}}<tr><td style="padding-left:{{.Indent}}rem">{{.Label}}</td>
+<td style="width:12rem"><span class="cct-bar" style="width:{{printf "%.0f" .BarWidth}}px"></span> {{printf "%.0f" .Value}} ({{printf "%.1f" .Pct}}%)</td></tr>
+{{end}}</table>
+
+{{if .TimelineBucket}}
+<h2>Time-varying profile (trace)</h2>
+<table>
+<tr><th>window (cyc)</th><th>remote fraction</th><th>samples</th><th>hot variable</th></tr>
+{{range .TimelineBucket}}<tr><td class="mono">[{{.Start}}, {{.End}})</td>
+<td><div class="track tl"><div class="fill" style="width:{{printf "%.0f" .RemotePct}}%"></div></div>{{printf "%.0f" .RemotePct}}%</td>
+<td>{{printf "%.0f" .Samples}}</td><td>{{.Hot}}</td></tr>
+{{end}}</table>
+{{end}}
+
+<p class="mono">generated by hpcnuma (reproduction of Liu &amp; Mellor-Crummey, PPoPP 2014)</p>
+</body></html>
+`))

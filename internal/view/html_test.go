@@ -1,0 +1,57 @@
+package view
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHTMLReport(t *testing.T) {
+	prof := demoProfile(t)
+	out, err := HTML(prof, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{
+		"<!DOCTYPE html>",
+		"demo on view-t via IBS",
+		"NUMA_MISMATCH",
+		"bigarray",
+		"Address-centric views",
+		"Calling-context view",
+		"serial (T0)",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("HTML missing %q", frag)
+		}
+	}
+	// Significance verdict is rendered one way or the other.
+	if !strings.Contains(out, "SIGNIFICANT") && !strings.Contains(out, "insignificant") {
+		t.Error("no significance verdict")
+	}
+	// Thread bars exist.
+	if !strings.Contains(out, `class="bar"`) {
+		t.Error("no address-centric bars")
+	}
+	// No timeline section without tracing.
+	if strings.Contains(out, "Time-varying profile") {
+		t.Error("timeline section should be absent without Trace")
+	}
+}
+
+func TestHTMLEscapesNames(t *testing.T) {
+	prof := demoProfile(t)
+	// Variable names flow through html/template escaping; nothing in
+	// the demo contains markup, but the template must be well-formed
+	// enough to round-trip angle brackets in labels (dummy nodes are
+	// named "<access path>").
+	out, err := HTML(prof, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "<access path>") {
+		t.Error("dummy label should be escaped")
+	}
+	if !strings.Contains(out, "&lt;access path&gt;") {
+		t.Error("escaped dummy label missing")
+	}
+}

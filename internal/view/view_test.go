@@ -1,0 +1,222 @@
+package view
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/metrics"
+	"repro/internal/omp"
+	"repro/internal/proc"
+	"repro/internal/topology"
+	"repro/internal/units"
+	"repro/internal/vm"
+)
+
+// demoApp builds a small profile with a serial-init array processed in
+// parallel, to exercise every view.
+type demoApp struct {
+	prog           *isa.Program
+	fnMain, fnWork isa.FuncID
+	sAlloc, sInit  isa.SiteID
+	sLoad          isa.SiteID
+}
+
+func newDemoApp() *demoApp {
+	a := &demoApp{}
+	p := isa.NewProgram("demo")
+	a.fnMain = p.AddFunc("main", "demo.c", 1)
+	a.fnWork = p.AddFunc("work._omp", "demo.c", 20)
+	a.sAlloc = p.AddSite(a.fnMain, 3, isa.KindAlloc)
+	a.sInit = p.AddSite(a.fnMain, 5, isa.KindStore)
+	a.sLoad = p.AddSite(a.fnWork, 22, isa.KindLoad)
+	a.prog = p
+	return a
+}
+
+func (a *demoApp) Name() string         { return "demo" }
+func (a *demoApp) Binary() *isa.Program { return a.prog }
+
+func (a *demoApp) Run(e *proc.Engine) {
+	const n = 8192
+	var arr vm.Region
+	omp.Serial(e, a.fnMain, "main", func(c *proc.Ctx) {
+		arr = c.Alloc(a.sAlloc, "bigarray", n*64, nil)
+		for i := 0; i < n; i++ {
+			c.Store(a.sInit, arr.Base+uint64(i)*64)
+		}
+	})
+	for it := 0; it < 2; it++ {
+		omp.ParallelFor(e, a.fnWork, "work", n, omp.Static{}, func(c *proc.Ctx, i int) {
+			c.Load(a.sLoad, arr.Base+uint64(i)*64)
+			c.Compute(3)
+		})
+	}
+}
+
+func demoProfile(t *testing.T) *core.Profile {
+	t.Helper()
+	m := topology.New(topology.Config{
+		Name: "view-t", NumDomains: 4, CPUsPerDomain: 2,
+		MemoryPerDomain: units.GiB,
+	})
+	prof, err := core.Analyze(core.Config{
+		Machine:         m,
+		Mechanism:       "IBS",
+		Period:          32,
+		TrackFirstTouch: true,
+	}, newDemoApp())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prof
+}
+
+func TestTotalsRendering(t *testing.T) {
+	prof := demoProfile(t)
+	out := Totals(prof)
+	for _, frag := range []string{
+		"demo on view-t via IBS",
+		"NUMA_MATCH", "NUMA_MISMATCH",
+		"NUMA_NODE0",
+		"lpi_NUMA",
+		"simulated runtime",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("Totals missing %q:\n%s", frag, out)
+		}
+	}
+	if !strings.Contains(out, "SIGNIFICANT") && !strings.Contains(out, "insignificant") {
+		t.Error("Totals must state the significance verdict")
+	}
+}
+
+func TestVarTableRendering(t *testing.T) {
+	prof := demoProfile(t)
+	out := VarTable(prof, 0)
+	if !strings.Contains(out, "bigarray") {
+		t.Errorf("VarTable missing variable:\n%s", out)
+	}
+	if !strings.Contains(out, "serial (T0)") {
+		t.Errorf("VarTable should report serial first touch:\n%s", out)
+	}
+	if !strings.Contains(out, "MISMATCH") {
+		t.Error("VarTable missing header")
+	}
+}
+
+func TestAddressCentricRendering(t *testing.T) {
+	prof := demoProfile(t)
+	v, ok := prof.Registry.Lookup("bigarray")
+	if !ok {
+		t.Fatal("bigarray missing")
+	}
+	pat, ok := prof.Patterns.Pattern(v, "work")
+	if !ok {
+		t.Fatal("work pattern missing")
+	}
+	out := AddressCentric(pat, 40)
+	if !strings.Contains(out, "bigarray") || !strings.Contains(out, "scope=work") {
+		t.Errorf("header wrong:\n%s", out)
+	}
+	// One row per sampled thread, bars made of '#'.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 4 {
+		t.Fatalf("too few rows:\n%s", out)
+	}
+	var sawBar bool
+	for _, l := range lines[1:] {
+		if strings.Contains(l, "#") {
+			sawBar = true
+		}
+	}
+	if !sawBar {
+		t.Errorf("no bars rendered:\n%s", out)
+	}
+	// Empty pattern renders gracefully.
+	empty := AddressCentric(pat, 0)
+	if empty == "" {
+		t.Error("zero width should fall back to default")
+	}
+}
+
+func TestBinTableRendering(t *testing.T) {
+	prof := demoProfile(t)
+	vp, ok := prof.VarByName("bigarray")
+	if !ok {
+		t.Fatal("bigarray not profiled")
+	}
+	if len(vp.Bins) != 5 {
+		t.Fatalf("bins = %d, want 5 (512 KiB variable)", len(vp.Bins))
+	}
+	out := BinTable(vp)
+	if strings.Count(out, "bin ") < 5 {
+		t.Errorf("BinTable missing bins:\n%s", out)
+	}
+}
+
+func TestCCTRendering(t *testing.T) {
+	prof := demoProfile(t)
+	out := CCT(prof, metrics.Samples, 6, 0.001)
+	for _, frag := range []string{"SAMPLES", "work._omp", "<access path>"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("CCT missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestFirstTouchReportRendering(t *testing.T) {
+	prof := demoProfile(t)
+	vp, _ := prof.VarByName("bigarray")
+	out := FirstTouchReport(prof, vp)
+	if !strings.Contains(out, "serial initialisation") {
+		t.Errorf("report should flag serial init:\n%s", out)
+	}
+	if !strings.Contains(out, "main") {
+		t.Errorf("report should show the first-touch function:\n%s", out)
+	}
+}
+
+func TestFullReport(t *testing.T) {
+	prof := demoProfile(t)
+	out := Report(prof, 3)
+	for _, frag := range []string{"address-centric view", "VARIABLE", "first-touch report"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("Report missing %q", frag)
+		}
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	if got := truncate("short", 10); got != "short" {
+		t.Errorf("truncate(short) = %q", got)
+	}
+	if got := truncate("averyverylongname", 8); got != "averyve~" || len(got) != 8 {
+		t.Errorf("truncate = %q", got)
+	}
+}
+
+func TestHotPath(t *testing.T) {
+	prof := demoProfile(t)
+	path, share := HotPath(prof, metrics.Mismatch)
+	if len(path) == 0 {
+		t.Fatal("empty hot path")
+	}
+	if share <= 0 || share > 1 {
+		t.Fatalf("share = %v", share)
+	}
+	// The demo's mismatches all come from the parallel work loop.
+	joined := strings.Join(path, " / ")
+	if !strings.Contains(joined, "work._omp") {
+		t.Errorf("hot path %q should pass through work._omp", joined)
+	}
+	out := RenderHotPath(prof, metrics.Mismatch)
+	if !strings.Contains(out, "hot path") || !strings.Contains(out, "work._omp") {
+		t.Errorf("render incomplete:\n%s", out)
+	}
+	// A metric nobody recorded: graceful empty path.
+	if p, s := HotPath(prof, metrics.FirstTouches+100); p != nil || s != 0 {
+		t.Error("unknown metric should yield no path")
+	}
+}

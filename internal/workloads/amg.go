@@ -1,0 +1,271 @@
+package workloads
+
+import (
+	"repro/internal/isa"
+	"repro/internal/omp"
+	"repro/internal/proc"
+	"repro/internal/vm"
+)
+
+// AMG2006 reconstructs the Section 8.2 case study: LLNL's algebraic
+// multigrid benchmark (hypre), OpenMP flavour, solver phase.
+//
+// Structure mirrored from the paper's findings:
+//
+//   - All principal arrays are allocated and initialised by the master
+//     thread in hypre_BoomerAMGSetup, so first touch homes them in
+//     domain 0 (lpi_NUMA > 0.9, worse than LULESH).
+//   - RAP_diag_data and RAP_diag_j are accessed *indirectly*
+//     (RAP_diag_data[A_diag_i[i]]) inside hypre_BoomerAMGRelax._omp;
+//     the CSR row pointer keeps thread t's indices inside block t, so
+//     the region-scoped address-centric view is block-regular
+//     (Figures 5, 7) even though the whole-program view — polluted by
+//     the irregular accesses of hypre_BoomerAMGInterp._omp — is not
+//     (Figures 4, 6). Block-wise distribution is the right fix.
+//   - P_diag_data is a third block-distributable array.
+//   - A_offd_data and x_vec are swept in full by every thread in
+//     hypre_BoomerAMGCycle._omp; for them interleaving is the right
+//     fix, and block-wise would not help.
+//   - Each iteration runs a two-level V-cycle: fine relax, full-range
+//     cycle sweep, restriction to a coarse Galerkin operator
+//     (RAP_coarse_*), coarse relax, and prolongation — all coarse
+//     arrays master-allocated like the fine ones.
+//
+// The Guided strategy applies that per-variable mix (what the tool's
+// address-centric analysis dictates); Interleave applies the
+// prior-work recipe of interleaving every problematic variable.
+type AMG2006 struct {
+	params Params
+	prog   *isa.Program
+
+	rows  int
+	nnz   int
+	iters int
+
+	fnSetup, fnRelax, fnInterp, fnCycle isa.FuncID
+	fnRestrict, fnCoarse, fnProlong     isa.FuncID
+	sAlloc                              map[string]isa.SiteID
+	sInit                               isa.SiteID
+	sRowPtr, sData, sJ, sP, sPSt        isa.SiteID
+	sIData, sIJ                         isa.SiteID
+	sOffd, sXld, sXst                   isa.SiteID
+	sRLd, sRSt                          isa.SiteID
+	sCData, sCJ, sCB, sCXSt             isa.SiteID
+	sPLd, sPSt2                         isa.SiteID
+}
+
+// AMGDefaultRows is the unscaled row count per level.
+const AMGDefaultRows = 8192
+
+// AMGDefaultIters is the default number of solver iterations.
+const AMGDefaultIters = 10
+
+// AMGNnzPerRow is the stencil width of the coarse-grid operator.
+const AMGNnzPerRow = 6
+
+// AMGComputePerRow calibrates AMG's compute-to-memory ratio. AMG is
+// far more memory-bound than LULESH (sparse matrix traversal), which
+// is why its guided fix cuts solver time roughly in half in the paper.
+const AMGComputePerRow = 1300
+
+// NewAMG2006 builds an AMG2006 instance.
+func NewAMG2006(p Params) *AMG2006 {
+	a := &AMG2006{
+		params: p,
+		rows:   AMGDefaultRows * p.scale(),
+		iters:  AMGDefaultIters,
+		sAlloc: make(map[string]isa.SiteID),
+	}
+	a.nnz = a.rows * AMGNnzPerRow
+	if p.Iters > 0 {
+		a.iters = p.Iters
+	}
+	pr := isa.NewProgram("amg2006")
+	a.fnSetup = pr.AddFunc("hypre_BoomerAMGSetup", "par_amg_setup.c", 80)
+	a.fnRelax = pr.AddFunc("hypre_BoomerAMGRelax._omp", "par_relax.c", 330)
+	a.fnInterp = pr.AddFunc("hypre_BoomerAMGInterp._omp", "par_interp.c", 210)
+	a.fnCycle = pr.AddFunc("hypre_BoomerAMGCycle._omp", "par_cycle.c", 150)
+
+	for i, name := range []string{"A_diag_i", "RAP_diag_data", "RAP_diag_j", "P_diag_data", "A_offd_data", "x_vec"} {
+		a.sAlloc[name] = pr.AddSite(a.fnSetup, 100+i, isa.KindAlloc)
+	}
+	a.sInit = pr.AddSite(a.fnSetup, 140, isa.KindStore)
+
+	a.sRowPtr = pr.AddSite(a.fnRelax, 340, isa.KindLoad)
+	a.sData = pr.AddSite(a.fnRelax, 345, isa.KindLoad) // RAP_diag_data[A_diag_i[i]]
+	a.sJ = pr.AddSite(a.fnRelax, 346, isa.KindLoad)
+	a.sP = pr.AddSite(a.fnRelax, 350, isa.KindLoad)
+	a.sPSt = pr.AddSite(a.fnRelax, 352, isa.KindStore)
+
+	a.sIData = pr.AddSite(a.fnInterp, 220, isa.KindLoad)
+	a.sIJ = pr.AddSite(a.fnInterp, 221, isa.KindLoad)
+
+	a.sOffd = pr.AddSite(a.fnCycle, 160, isa.KindLoad)
+	a.sXld = pr.AddSite(a.fnCycle, 162, isa.KindLoad)
+	a.sXst = pr.AddSite(a.fnCycle, 164, isa.KindStore)
+
+	// The coarse half of the V-cycle.
+	a.fnRestrict = pr.AddFunc("hypre_BoomerAMGRestrict._omp", "par_cycle.c", 260)
+	a.fnCoarse = pr.AddFunc("hypre_BoomerAMGRelaxCoarse._omp", "par_relax.c", 430)
+	a.fnProlong = pr.AddFunc("hypre_BoomerAMGProlong._omp", "par_cycle.c", 320)
+	a.sRLd = pr.AddSite(a.fnRestrict, 262, isa.KindLoad)
+	a.sRSt = pr.AddSite(a.fnRestrict, 264, isa.KindStore)
+	a.sCData = pr.AddSite(a.fnCoarse, 432, isa.KindLoad)
+	a.sCJ = pr.AddSite(a.fnCoarse, 433, isa.KindLoad)
+	a.sCB = pr.AddSite(a.fnCoarse, 435, isa.KindLoad)
+	a.sCXSt = pr.AddSite(a.fnCoarse, 437, isa.KindStore)
+	a.sPLd = pr.AddSite(a.fnProlong, 322, isa.KindLoad)
+	a.sPSt2 = pr.AddSite(a.fnProlong, 324, isa.KindStore)
+
+	a.prog = pr
+	return a
+}
+
+// Name implements core.App.
+func (a *AMG2006) Name() string { return "AMG2006" }
+
+// Binary implements core.App.
+func (a *AMG2006) Binary() *isa.Program { return a.prog }
+
+// Run implements core.App.
+func (a *AMG2006) Run(e *proc.Engine) {
+	const elem = 8
+	strat := a.params.strategy()
+	m := e.Machine()
+	n := a.rows
+
+	// Block-patterned variables take the strategy's policy; full-range
+	// variables take interleave under Guided (the tool-guided mix).
+	blockPol := policyFor(strat, m)
+	fullPol := blockPol
+	if strat == Guided {
+		fullPol = vm.Interleaved{}
+	}
+
+	nc := n / 4 // coarse-grid rows
+	arrays := make(map[string]vm.Region)
+	omp.Serial(e, a.fnSetup, "hypre_BoomerAMGSetup", func(c *proc.Ctx) {
+		arrays["A_diag_i"] = c.Alloc(a.sAlloc["A_diag_i"], "A_diag_i", uint64(n+1)*elem, blockPol)
+		arrays["RAP_diag_data"] = c.Alloc(a.sAlloc["RAP_diag_data"], "RAP_diag_data", uint64(a.nnz)*elem, blockPol)
+		arrays["RAP_diag_j"] = c.Alloc(a.sAlloc["RAP_diag_j"], "RAP_diag_j", uint64(a.nnz)*elem, blockPol)
+		arrays["P_diag_data"] = c.Alloc(a.sAlloc["P_diag_data"], "P_diag_data", uint64(n)*elem, blockPol)
+		arrays["A_offd_data"] = c.Alloc(a.sAlloc["A_offd_data"], "A_offd_data", uint64(n)*elem, fullPol)
+		arrays["x_vec"] = c.Alloc(a.sAlloc["x_vec"], "x_vec", uint64(n)*elem, fullPol)
+		// The coarse level: the Galerkin operator and its vectors,
+		// also master-allocated (block-distributable under the fixes).
+		arrays["RAP_coarse_data"] = c.Alloc(a.sAlloc["RAP_diag_data"], "RAP_coarse_data", uint64(nc*AMGNnzPerRow)*elem, blockPol)
+		arrays["RAP_coarse_j"] = c.Alloc(a.sAlloc["RAP_diag_j"], "RAP_coarse_j", uint64(nc*AMGNnzPerRow)*elem, blockPol)
+		arrays["coarse_b"] = c.Alloc(a.sAlloc["P_diag_data"], "coarse_b", uint64(nc)*elem, blockPol)
+		arrays["coarse_x"] = c.Alloc(a.sAlloc["x_vec"], "coarse_x", uint64(nc)*elem, blockPol)
+	})
+	rowPtr := arrays["A_diag_i"]
+	data, j := arrays["RAP_diag_data"], arrays["RAP_diag_j"]
+	pDiag := arrays["P_diag_data"]
+	offd, xv := arrays["A_offd_data"], arrays["x_vec"]
+
+	cData, cJ := arrays["RAP_coarse_data"], arrays["RAP_coarse_j"]
+	cB, cX := arrays["coarse_b"], arrays["coarse_x"]
+
+	initRow := func(c *proc.Ctx, i int) {
+		c.Store(a.sInit, rowPtr.Base+uint64(i)*elem)
+		for k := 0; k < AMGNnzPerRow; k++ {
+			c.Store(a.sInit, data.Base+uint64(i*AMGNnzPerRow+k)*elem)
+			c.Store(a.sInit, j.Base+uint64(i*AMGNnzPerRow+k)*elem)
+		}
+		c.Store(a.sInit, pDiag.Base+uint64(i)*elem)
+		c.Store(a.sInit, offd.Base+uint64(i)*elem)
+		c.Store(a.sInit, xv.Base+uint64(i)*elem)
+		if i < nc {
+			for k := 0; k < AMGNnzPerRow; k++ {
+				c.Store(a.sInit, cData.Base+uint64(i*AMGNnzPerRow+k)*elem)
+				c.Store(a.sInit, cJ.Base+uint64(i*AMGNnzPerRow+k)*elem)
+			}
+			c.Store(a.sInit, cB.Base+uint64(i)*elem)
+			c.Store(a.sInit, cX.Base+uint64(i)*elem)
+		}
+	}
+	if strat == ParallelInit {
+		omp.ParallelFor(e, a.fnSetup, "hypre_BoomerAMGSetup", n, omp.Static{}, initRow)
+	} else {
+		omp.Serial(e, a.fnSetup, "hypre_BoomerAMGSetup", func(c *proc.Ctx) {
+			for i := 0; i < n; i++ {
+				initRow(c, i)
+			}
+		})
+	}
+
+	// The measured phase: the solver ("In production codes ... the
+	// running time of the solver is most important", Section 8.2).
+	e.Mark(ROIMark)
+
+	nthreads := e.NumThreads()
+	for it := 0; it < a.iters; it++ {
+		// The hot smoother: indirect accesses through the row pointer.
+		// Thread t's rows index only block t of RAP_diag_* — the
+		// regular pattern Figure 5 reveals.
+		omp.ParallelFor(e, a.fnRelax, "hypre_BoomerAMGRelax", n, omp.Static{}, func(c *proc.Ctx, i int) {
+			c.Load(a.sRowPtr, rowPtr.Base+uint64(i)*elem)
+			c.Load(a.sRowPtr, rowPtr.Base+uint64(i+1)*elem)
+			for k := 0; k < AMGNnzPerRow; k++ {
+				idx := uint64(i*AMGNnzPerRow + k) // A_diag_i[i]+k
+				c.Load(a.sData, data.Base+idx*elem)
+				c.Load(a.sJ, j.Base+idx*elem)
+			}
+			c.Load(a.sP, pDiag.Base+uint64(i)*elem)
+			c.Store(a.sPSt, pDiag.Base+uint64(i)*elem)
+			c.Compute(AMGComputePerRow)
+		})
+		// Interpolation: irregular indices into the same arrays, at a
+		// third of the volume — the pollution that blurs Figures 4/6.
+		omp.ParallelFor(e, a.fnInterp, "hypre_BoomerAMGInterp", n/3, omp.Static{}, func(c *proc.Ctx, i int) {
+			idx := uint64((i*2654435761)%a.nnz) * elem
+			c.Load(a.sIData, data.Base+idx)
+			c.Load(a.sIJ, j.Base+idx)
+			c.Compute(AMGComputePerRow / 4)
+		})
+		// Cycle: over the solve, every thread sweeps the full extent of
+		// A_offd_data and x_vec — a rotating contiguous chunk per
+		// iteration, so the whole-program pattern is full-range per
+		// thread (Section 8.2's "each thread accesses the whole range",
+		// for which interleaving, not blocking, is the fix).
+		omp.Parallel(e, a.fnCycle, "hypre_BoomerAMGCycle", func(c *proc.Ctx, tid int) {
+			chunk := (tid + it) % nthreads
+			lo := chunk * n / nthreads
+			hi := lo + (n/nthreads+1)/2
+			for i := lo; i < hi && i < n; i++ {
+				c.Load(a.sOffd, offd.Base+uint64(i)*elem)
+				c.Load(a.sXld, xv.Base+uint64(i)*elem)
+				c.Store(a.sXst, xv.Base+uint64(i)*elem)
+				c.Compute(AMGComputePerRow / 4)
+			}
+		})
+		// Restrict the residual to the coarse grid: coarse row i
+		// gathers fine rows 4i..4i+3 (block-aligned, so block-wise
+		// placement of both grids co-locates the transfer).
+		omp.ParallelFor(e, a.fnRestrict, "hypre_BoomerAMGRestrict", nc, omp.Static{}, func(c *proc.Ctx, i int) {
+			for k := 0; k < 4; k++ {
+				c.Load(a.sRLd, xv.Base+uint64(4*i+k)*elem)
+			}
+			c.Store(a.sRSt, cB.Base+uint64(i)*elem)
+			c.Compute(AMGComputePerRow / 4)
+		})
+		// Relax on the coarse operator: the same indirect CSR pattern
+		// at a quarter of the rows.
+		omp.ParallelFor(e, a.fnCoarse, "hypre_BoomerAMGRelaxCoarse", nc, omp.Static{}, func(c *proc.Ctx, i int) {
+			for k := 0; k < AMGNnzPerRow; k++ {
+				idx := uint64(i*AMGNnzPerRow + k)
+				c.Load(a.sCData, cData.Base+idx*elem)
+				c.Load(a.sCJ, cJ.Base+idx*elem)
+			}
+			c.Load(a.sCB, cB.Base+uint64(i)*elem)
+			c.Store(a.sCXSt, cX.Base+uint64(i)*elem)
+			c.Compute(AMGComputePerRow / 2)
+		})
+		// Prolong the coarse correction back to the fine grid.
+		omp.ParallelFor(e, a.fnProlong, "hypre_BoomerAMGProlong", n, omp.Static{}, func(c *proc.Ctx, i int) {
+			c.Load(a.sPLd, cX.Base+uint64(i/4)*elem)
+			c.Store(a.sPSt2, xv.Base+uint64(i)*elem)
+			c.Compute(AMGComputePerRow / 8)
+		})
+	}
+}

@@ -1,0 +1,152 @@
+package workloads
+
+import (
+	"repro/internal/isa"
+	"repro/internal/omp"
+	"repro/internal/proc"
+	"repro/internal/vm"
+)
+
+// Blackscholes reconstructs the Section 8.3 case study: the PARSEC
+// option-pricing benchmark. It is the paper's negative control — a
+// program with a textbook NUMA layout problem whose lpi_NUMA (0.035)
+// nevertheless falls below the 0.1 threshold, correctly predicting
+// that fixing the problem barely moves the bottom line.
+//
+// Structure mirrored from the paper's findings:
+//
+//   - One heap allocation, buffer, carved by five section pointers
+//     (sptprice, strike, rate, volatility, otime). The master thread
+//     initialises it serially, homing everything in domain 0; buffer
+//     carries 51.6% of the program's NUMA latency.
+//   - Each thread processes option block [t*n/T, (t+1)*n/T) in *every*
+//     section, so per-thread accessed ranges are staggered and heavily
+//     overlapping (Figure 8; the 0x100..0x900 example of Figure 9a).
+//   - The pricing loop re-runs many times over the same options (the
+//     PARSEC NUM_RUNS loop); after the first sweep per-thread slices
+//     live in local caches, so remote DRAM traffic — and therefore the
+//     achievable gain — is confined to the first sweep.
+//
+// The ParallelInit strategy applies the placement half of the paper's
+// fix: parallelise the initialisation loop so each thread
+// first-touches its own options. The other half — regrouping the five
+// sections into an array of structures (Figure 9b) — is exposed as the
+// AoS field, used by the Figure 8/9 pattern experiments.
+type Blackscholes struct {
+	params Params
+	prog   *isa.Program
+
+	// AoS selects the Figure 9b array-of-structures layout instead of
+	// the baseline five-section struct-of-arrays layout. The paper's
+	// fix regroups the sections; in the simulator the regroup is kept
+	// separate from the placement fix so the NUMA effect can be
+	// measured without conflating it with the cache-geometry change
+	// the layouts imply at simulated cache sizes.
+	AoS bool
+
+	options int
+	runs    int
+
+	fnMain, fnInit, fnWorker isa.FuncID
+	sAllocBuf, sAllocPrices  isa.SiteID
+	sInit, sLoad, sStore     isa.SiteID
+}
+
+// BSDefaultOptions is the unscaled option count, sized so each
+// thread's slice of all five sections fits in the tuned private caches
+// after the first sweep. The count is chosen so the five SoA section
+// streams spread across cache sets rather than aliasing into one.
+const BSDefaultOptions = 2440
+
+// BSDefaultRuns is the PARSEC-style repetition count.
+const BSDefaultRuns = 80
+
+// BSSections is the number of per-option input fields.
+const BSSections = 5
+
+// BSComputePerOption calibrates the Black-Scholes PDE arithmetic per
+// option per run; pricing is compute-dominated.
+const BSComputePerOption = 230
+
+// NewBlackscholes builds a Blackscholes instance.
+func NewBlackscholes(p Params) *Blackscholes {
+	b := &Blackscholes{
+		params:  p,
+		options: BSDefaultOptions * p.scale(),
+		runs:    BSDefaultRuns,
+	}
+	if p.Iters > 0 {
+		b.runs = p.Iters
+	}
+	pr := isa.NewProgram("blackscholes")
+	b.fnMain = pr.AddFunc("main", "blackscholes.c", 300)
+	b.fnInit = pr.AddFunc("init_options", "blackscholes.c", 330)
+	b.fnWorker = pr.AddFunc("bs_thread._omp", "blackscholes.c", 380)
+	b.sAllocBuf = pr.AddSite(b.fnMain, 310, isa.KindAlloc)
+	b.sAllocPrices = pr.AddSite(b.fnMain, 312, isa.KindAlloc)
+	b.sInit = pr.AddSite(b.fnInit, 335, isa.KindStore)
+	b.sLoad = pr.AddSite(b.fnWorker, 390, isa.KindLoad)
+	b.sStore = pr.AddSite(b.fnWorker, 398, isa.KindStore)
+	b.prog = pr
+	return b
+}
+
+// Name implements core.App.
+func (b *Blackscholes) Name() string { return "Blackscholes" }
+
+// Binary implements core.App.
+func (b *Blackscholes) Binary() *isa.Program { return b.prog }
+
+// fieldAddr returns the address of section s of option i under the
+// baseline struct-of-arrays layout (five section pointers into one
+// buffer) or the optimised array-of-structures layout of Figure 9b.
+func (b *Blackscholes) fieldAddr(buf vm.Region, aos bool, s, i int) uint64 {
+	const elem = 8
+	if aos {
+		return buf.Base + uint64(i*BSSections+s)*elem
+	}
+	return buf.Base + uint64(s*b.options+i)*elem
+}
+
+// Run implements core.App.
+func (b *Blackscholes) Run(e *proc.Engine) {
+	const elem = 8
+	strat := b.params.strategy()
+	aos := b.AoS
+	n := b.options
+
+	var buf, prices vm.Region
+	bufPol := policyFor(strat, e.Machine())
+	omp.Serial(e, b.fnMain, "main", func(c *proc.Ctx) {
+		buf = c.Alloc(b.sAllocBuf, "buffer", uint64(BSSections*n)*elem, bufPol)
+		prices = c.Alloc(b.sAllocPrices, "prices", uint64(n)*elem, nil)
+	})
+
+	initOption := func(c *proc.Ctx, i int) {
+		for s := 0; s < BSSections; s++ {
+			c.Store(b.sInit, b.fieldAddr(buf, aos, s, i))
+		}
+	}
+	if strat == ParallelInit {
+		omp.ParallelFor(e, b.fnInit, "init_options", n, omp.Static{}, initOption)
+	} else {
+		omp.Serial(e, b.fnInit, "init_options", func(c *proc.Ctx) {
+			for i := 0; i < n; i++ {
+				initOption(c, i)
+			}
+		})
+	}
+
+	// PARSEC's region of interest starts after input setup.
+	e.Mark(ROIMark)
+
+	for run := 0; run < b.runs; run++ {
+		omp.ParallelFor(e, b.fnWorker, "bs_thread", n, omp.Static{}, func(c *proc.Ctx, i int) {
+			for s := 0; s < BSSections; s++ {
+				c.Load(b.sLoad, b.fieldAddr(buf, aos, s, i))
+			}
+			c.Compute(BSComputePerOption)
+			c.Store(b.sStore, prices.Base+uint64(i)*elem)
+		})
+	}
+}

@@ -1,0 +1,154 @@
+package workloads
+
+import (
+	"repro/internal/isa"
+	"repro/internal/omp"
+	"repro/internal/proc"
+	"repro/internal/vm"
+)
+
+// UMT2013 reconstructs the Section 8.4 case study: LLNL's
+// deterministic radiation transport benchmark, run with 32 OpenMP
+// threads (its standard input limit) on the POWER7 system using MRK
+// sampling.
+//
+// Structure mirrored from the paper's findings:
+//
+//   - STime is a three-dimensional array (Groups x Corners x Angles in
+//     the Fortran kernel of Figure 10); two-dimensional planes indexed
+//     by Angle are assigned to threads round-robin. The master thread
+//     allocates and initialises it, so every plane lives in domain 0
+//     and 86% of L3 misses go remote; STime alone carries 18.2% of
+//     remote accesses.
+//   - STotal is a co-located companion array read in the same kernel
+//     (source = STotal(ig,c) + STime(ig,c,Angle)).
+//
+// The fix (ParallelInit) parallelises STime's initialisation with the
+// same round-robin plane mapping so each thread first-touches the
+// planes it later sweeps, which eliminated most remote accesses and
+// bought the paper a 7% whole-program speedup.
+type UMT2013 struct {
+	params Params
+	prog   *isa.Program
+
+	angles int
+	plane  int // elements per 2-D plane (Groups x Corners)
+	iters  int
+
+	fnMain, fnInit, fnSweep isa.FuncID
+	sAllocST, sAllocTot     isa.SiteID
+	sInit                   isa.SiteID
+	sSTime, sSTotal, sPsi   isa.SiteID
+}
+
+// UMTDefaultAngles is the unscaled angle count.
+const UMTDefaultAngles = 96
+
+// UMTDefaultPlane is Groups x Corners per angle plane. One plane is
+// exactly one 4 KiB page, so first-touch can place planes
+// independently; with smaller planes two angles share a page and the
+// round-robin parallel initialisation cannot fully co-locate.
+const UMTDefaultPlane = 512
+
+// UMTDefaultIters is the default sweep count.
+const UMTDefaultIters = 12
+
+// UMTComputePerEntry calibrates the transport arithmetic per
+// (group, corner, angle) entry.
+const UMTComputePerEntry = 600
+
+// NewUMT2013 builds a UMT2013 instance.
+func NewUMT2013(p Params) *UMT2013 {
+	u := &UMT2013{
+		params: p,
+		angles: UMTDefaultAngles,
+		plane:  UMTDefaultPlane * p.scale(),
+		iters:  UMTDefaultIters,
+	}
+	if p.Iters > 0 {
+		u.iters = p.Iters
+	}
+	pr := isa.NewProgram("umt2013")
+	u.fnMain = pr.AddFunc("main", "SnSweep.cc", 50)
+	u.fnInit = pr.AddFunc("initSTime", "snswp3d.f90", 80)
+	u.fnSweep = pr.AddFunc("snswp3d._omp", "snswp3d.f90", 120)
+	u.sAllocST = pr.AddSite(u.fnMain, 55, isa.KindAlloc)
+	u.sAllocTot = pr.AddSite(u.fnMain, 57, isa.KindAlloc)
+	u.sInit = pr.AddSite(u.fnInit, 85, isa.KindStore)
+	// Figure 10: source = Z%STotal(ig,c) + Z%STime(ig,c,Angle)
+	u.sSTotal = pr.AddSite(u.fnSweep, 131, isa.KindLoad)
+	u.sSTime = pr.AddSite(u.fnSweep, 132, isa.KindLoad)
+	u.sPsi = pr.AddSite(u.fnSweep, 134, isa.KindStore)
+	u.prog = pr
+	return u
+}
+
+// Name implements core.App.
+func (u *UMT2013) Name() string { return "UMT2013" }
+
+// Binary implements core.App.
+func (u *UMT2013) Binary() *isa.Program { return u.prog }
+
+// Run implements core.App.
+func (u *UMT2013) Run(e *proc.Engine) {
+	const elem = 8
+	strat := u.params.strategy()
+	planeBytes := uint64(u.plane) * elem
+	size := uint64(u.angles) * planeBytes
+
+	var stime, stotal vm.Region
+	pol := policyFor(strat, e.Machine())
+	omp.Serial(e, u.fnMain, "main", func(c *proc.Ctx) {
+		stime = c.Alloc(u.sAllocST, "STime", size, pol)
+		// STotal is also master-initialised and stays that way: the
+		// paper's fix touches only STime (STime is 18.2% of remote
+		// accesses; most remote traffic comes from elsewhere and 86%
+		// of L3 misses stay remote in the baseline).
+		stotal = c.Alloc(u.sAllocTot, "STotal", size, nil)
+	})
+
+	sched := omp.Cyclic{Chunk: 1} // planes dealt round-robin by Angle
+	initPlane := func(c *proc.Ctx, a int) {
+		base := stime.Base + uint64(a)*planeBytes
+		for g := 0; g < u.plane; g++ {
+			c.Store(u.sInit, base+uint64(g)*elem)
+		}
+	}
+	if strat == ParallelInit {
+		// The fix: each thread first-touches the planes it sweeps.
+		omp.ParallelFor(e, u.fnInit, "initSTime", u.angles, sched, initPlane)
+	} else {
+		omp.Serial(e, u.fnInit, "initSTime", func(c *proc.Ctx) {
+			for a := 0; a < u.angles; a++ {
+				initPlane(c, a)
+			}
+		})
+	}
+	// STotal: master-initialised in every variant (the unfixed
+	// remainder of UMT's remote traffic).
+	omp.Serial(e, u.fnInit, "initSTotal", func(c *proc.Ctx) {
+		for a := 0; a < u.angles; a++ {
+			base := stotal.Base + uint64(a)*planeBytes
+			for g := 0; g < u.plane; g++ {
+				c.Store(u.sInit, base+uint64(g)*elem)
+			}
+		}
+	})
+
+	e.Mark(ROIMark)
+
+	for it := 0; it < u.iters; it++ {
+		// The Figure 10 kernel: do c=1,nCorner; do ig=1,Groups;
+		// source = STotal(ig,c) + STime(ig,c,Angle).
+		omp.ParallelFor(e, u.fnSweep, "snswp3d", u.angles, sched, func(c *proc.Ctx, a int) {
+			tBase := stime.Base + uint64(a)*planeBytes
+			sBase := stotal.Base + uint64(a)*planeBytes
+			for g := 0; g < u.plane; g++ {
+				c.Load(u.sSTotal, sBase+uint64(g)*elem)
+				c.Load(u.sSTime, tBase+uint64(g)*elem)
+				c.Store(u.sPsi, sBase+uint64(g)*elem)
+				c.Compute(UMTComputePerEntry)
+			}
+		})
+	}
+}

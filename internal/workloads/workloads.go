@@ -1,0 +1,122 @@
+// Package workloads reconstructs the four multithreaded benchmarks of
+// the paper's Section 8 as simulated programs: LULESH, AMG2006,
+// Blackscholes, and UMT2013. Each reproduces the allocation structure
+// and per-thread access pattern the paper documents — who first-touches
+// which array, which loops read it with what schedule, and where
+// indirect indexing hides the pattern — because those are precisely the
+// properties the profiler's analyses key on.
+//
+// Each workload is parameterised by an optimisation Strategy so the
+// case-study experiments can compare the paper's alternatives:
+// untouched baseline, the tool-guided block-wise first-touch fix, the
+// prior-work interleave-everything recipe, and parallelised
+// initialisation.
+package workloads
+
+import (
+	"repro/internal/proc"
+	"repro/internal/topology"
+	"repro/internal/vm"
+)
+
+// Strategy selects the NUMA data-placement variant of a workload.
+type Strategy string
+
+// Strategies evaluated in Section 8.
+const (
+	// Baseline is the unmodified program: large arrays allocated and
+	// initialised by the master thread, homed in its domain by first
+	// touch.
+	Baseline Strategy = "baseline"
+	// BlockWise applies the paper's guided fix: distribute each
+	// problematic variable's pages block-wise across domains at its
+	// pinpointed first-touch site, co-locating block t with thread t.
+	BlockWise Strategy = "blockwise"
+	// Interleave applies the prior-work recipe [21]: interleaved page
+	// allocation for every problematic variable (and, wholesale, the
+	// well-placed ones — which is how it loses locality on POWER7,
+	// Section 8.1).
+	Interleave Strategy = "interleave"
+	// ParallelInit parallelises the initialisation loops so each
+	// thread first-touches the data it later computes on (the fix
+	// applied to Blackscholes and UMT2013).
+	ParallelInit Strategy = "parallel-init"
+	// Guided is the per-variable mix the tool's address-centric
+	// analysis selects for AMG2006: block-wise for variables with
+	// block-regular region patterns, interleaved for variables every
+	// thread sweeps in full (Section 8.2).
+	Guided Strategy = "guided"
+)
+
+// ROIMark is the engine mark each workload sets where its measured
+// phase begins: after allocation and initialisation, mirroring what
+// the paper's numbers measure (AMG's solver phase, PARSEC's region of
+// interest) and amortising setup exactly as the paper's full-size,
+// long-running inputs do.
+const ROIMark = proc.ROIMark
+
+// Strategies lists all placement variants.
+func Strategies() []Strategy {
+	return []Strategy{Baseline, BlockWise, Interleave, ParallelInit, Guided}
+}
+
+// Params configures a workload instance.
+type Params struct {
+	// Strategy is the placement variant (default Baseline).
+	Strategy Strategy
+	// Scale multiplies the default problem size; 0 means 1.
+	Scale int
+	// Iters overrides the number of timesteps/solver iterations; 0
+	// keeps the workload default.
+	Iters int
+}
+
+func (p Params) scale() int {
+	if p.Scale <= 0 {
+		return 1
+	}
+	return p.Scale
+}
+
+func (p Params) strategy() Strategy {
+	if p.Strategy == "" {
+		return Baseline
+	}
+	return p.Strategy
+}
+
+// allDomains enumerates a machine's domains for Blocked/Interleaved
+// policies.
+func allDomains(m *topology.Machine) []topology.DomainID {
+	out := make([]topology.DomainID, m.NumDomains())
+	for i := range out {
+		out[i] = topology.DomainID(i)
+	}
+	return out
+}
+
+// policyFor translates a strategy into the placement policy applied to
+// a *problematic* (master-initialised) variable at allocation time.
+// Baseline and ParallelInit keep the OS default first-touch policy;
+// their difference is who runs the initialisation loop.
+func policyFor(s Strategy, m *topology.Machine) vm.Policy {
+	switch s {
+	case BlockWise, Guided:
+		return vm.Blocked{Domains: allDomains(m)}
+	case Interleave:
+		return vm.Interleaved{}
+	default:
+		return nil // first touch
+	}
+}
+
+// wellPlacedPolicy translates a strategy into the policy applied to
+// variables that are already co-located in the baseline (initialised in
+// parallel regions). Only the wholesale Interleave recipe touches them;
+// the tool-guided strategies leave them alone.
+func wellPlacedPolicy(s Strategy) vm.Policy {
+	if s == Interleave {
+		return vm.Interleaved{}
+	}
+	return nil
+}
