@@ -13,9 +13,11 @@
 //	numabench -run S1,S2,S3,S4
 //
 // Ids: T1 T2 (tables), F1 F2 F3 F45 F89 F10 (figures), S1-S4 (the
-// Section 8 speedups: LULESH, AMG2006, Blackscholes, UMT2013), and
+// Section 8 speedups: LULESH, AMG2006, Blackscholes, UMT2013),
 // A1-A4 (design-choice ablations: sampling period, binning,
-// contention model, scheduling), and SC (the reproduction scorecard).
+// contention model, scheduling), RB (the robustness scorecard:
+// graceful degradation under injected sampler and file faults), and
+// SC (the reproduction scorecard).
 package main
 
 import (
@@ -142,6 +144,13 @@ func artifacts() []artifact {
 		}},
 		{"A4", "Ablation: placement under static vs dynamic scheduling", func(int) (string, error) {
 			r, err := experiments.RunAblationDynamic()
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"RB", "Robustness scorecard: graceful degradation under injected faults", func(iters int) (string, error) {
+			r, err := experiments.RunRobustness(iters)
 			if err != nil {
 				return "", err
 			}

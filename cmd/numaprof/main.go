@@ -9,6 +9,12 @@
 //	numaprof -workload amg2006 -strategy guided
 //	numaprof -workload umt2013 -machine ibm-power7-128 -threads 32 -binding scatter -mechanism MRK
 //	numaprof -workload blackscholes -first-touch=false -top 2
+//	numaprof -workload lulesh -chaos drop=0.2,fail=2000,seed=42
+//
+// The -chaos flag injects deterministic faults (sample drops, EA
+// corruption, IP skid, sampler stalls and hard failures) into the
+// sampling pipeline; the run completes by degrading gracefully and the
+// report carries a pipeline-health block accounting for every loss.
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/pmu"
 	"repro/internal/proc"
@@ -46,18 +53,19 @@ func main() {
 		doTrace   = flag.Bool("trace", false, "record time-stamped samples and print the time-varying profile")
 		htmlOut   = flag.String("html", "", "also write a self-contained HTML report to this path")
 		profOut   = flag.String("profile", "", "write the measurement file (for numaview) to this path")
+		chaos     = flag.String("chaos", "", "fault-injection plan, e.g. drop=0.2,corrupt=0.01,fail=2000,seed=42 (see internal/faults)")
 	)
 	flag.Parse()
 
 	if err := run(*workload, *mechanism, *machine, *threads, *binding, *strategy,
-		*period, *bins, *iters, *top, *firstT, *showCCT, *doTrace, *htmlOut, *profOut); err != nil {
+		*period, *bins, *iters, *top, *firstT, *showCCT, *doTrace, *htmlOut, *profOut, *chaos); err != nil {
 		fmt.Fprintln(os.Stderr, "numaprof:", err)
 		os.Exit(1)
 	}
 }
 
 func run(workload, mechanism, machine string, threads int, binding, strategy string,
-	period uint64, bins, iters, top int, firstTouch, showCCT, doTrace bool, htmlOut, profOut string) error {
+	period uint64, bins, iters, top int, firstTouch, showCCT, doTrace bool, htmlOut, profOut, chaos string) error {
 
 	var m *topology.Machine
 	if machine == "" {
@@ -117,7 +125,17 @@ func run(workload, mechanism, machine string, threads int, binding, strategy str
 		return fmt.Errorf("unknown workload %q (lulesh|amg2006|blackscholes|umt2013)", workload)
 	}
 
+	var plan *faults.Plan
+	if chaos != "" {
+		p, err := faults.ParsePlan(chaos)
+		if err != nil {
+			return err
+		}
+		plan = p
+	}
+
 	cfg := core.Config{
+		Faults:          plan,
 		Machine:         m,
 		Threads:         threads,
 		Binding:         bind,

@@ -7,6 +7,12 @@
 //	numaprof -workload lulesh -profile lulesh.numaprof
 //	numaview lulesh.numaprof
 //	numaview -html report.html lulesh.numaprof
+//	numaview -lenient damaged.numaprof
+//
+// By default the loader is strict: a truncated or corrupted measurement
+// file is rejected outright. With -lenient the viewer salvages every
+// intact checksummed section instead, prints a damage report, and
+// renders whatever survived.
 package main
 
 import (
@@ -29,6 +35,7 @@ func main() {
 		showCCT  = flag.Bool("cct", true, "print the calling-context view")
 		htmlOut  = flag.String("html", "", "write a self-contained HTML report to this path")
 		diffWith = flag.String("diff", "", "compare against this second measurement file (before vs after)")
+		lenient  = flag.Bool("lenient", false, "salvage intact sections of a damaged file instead of rejecting it")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -39,7 +46,7 @@ func main() {
 	if *diffWith != "" {
 		err = runDiff(flag.Arg(0), *diffWith)
 	} else {
-		err = run(flag.Arg(0), *top, *showCCT, *htmlOut)
+		err = run(flag.Arg(0), *top, *showCCT, *htmlOut, *lenient)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "numaview:", err)
@@ -71,18 +78,33 @@ func runDiff(beforePath, afterPath string) error {
 	return nil
 }
 
-func run(path string, top int, showCCT bool, htmlOut string) error {
+func run(path string, top int, showCCT bool, htmlOut string, lenient bool) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	prof, err := profio.Load(f)
-	if err != nil {
-		return err
+	var prof *core.Profile
+	if lenient {
+		var rep *profio.Report
+		prof, rep, err = profio.LoadLenient(f)
+		if err != nil {
+			return err
+		}
+		fmt.Println(rep.Summary())
+		fmt.Println()
+	} else {
+		prof, err = profio.Load(f)
+		if err != nil {
+			return fmt.Errorf("%w (try -lenient to salvage intact sections)", err)
+		}
 	}
 
 	fmt.Print(view.Totals(prof))
+	if h := view.HealthBlock(prof); h != "" {
+		fmt.Println()
+		fmt.Print(h)
+	}
 	fmt.Println()
 	fmt.Print(view.VarTable(prof, top))
 	vars := prof.Vars

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"testing"
@@ -37,7 +38,7 @@ func TestViewSavedProfile(t *testing.T) {
 	f.Close()
 
 	htmlPath := filepath.Join(dir, "report.html")
-	if err := run(path, 2, true, htmlPath); err != nil {
+	if err := run(path, 2, true, htmlPath, false); err != nil {
 		t.Fatal(err)
 	}
 	html, err := os.ReadFile(htmlPath)
@@ -50,7 +51,7 @@ func TestViewSavedProfile(t *testing.T) {
 }
 
 func TestViewRejectsMissingFile(t *testing.T) {
-	if err := run(filepath.Join(t.TempDir(), "absent"), 1, false, ""); err == nil {
+	if err := run(filepath.Join(t.TempDir(), "absent"), 1, false, "", false); err == nil {
 		t.Fatal("missing file should error")
 	}
 }
@@ -60,8 +61,37 @@ func TestViewRejectsGarbage(t *testing.T) {
 	if err := os.WriteFile(path, []byte("not a profile"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(path, 1, false, ""); err == nil {
+	if err := run(path, 1, false, "", false); err == nil {
 		t.Fatal("garbage file should error")
+	}
+}
+
+func TestViewLenientSalvagesTruncated(t *testing.T) {
+	m := topology.MagnyCours48()
+	prof, err := core.Analyze(core.Config{
+		Machine:      m,
+		Mechanism:    "IBS",
+		CacheConfig:  workloads.TunedCacheConfig(),
+		MemParams:    workloads.MemParamsFor(m),
+		FabricParams: workloads.FabricParamsFor(m),
+	}, workloads.NewBlackscholes(workloads.Params{Iters: 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := profio.Save(&buf, prof); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	path := filepath.Join(t.TempDir(), "cut.numaprof")
+	if err := os.WriteFile(path, data[:len(data)*3/5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, 1, false, "", false); err == nil {
+		t.Fatal("strict view of a truncated file should error")
+	}
+	if err := run(path, 1, false, "", true); err != nil {
+		t.Fatalf("lenient view should salvage: %v", err)
 	}
 }
 

@@ -354,6 +354,24 @@ func Merge(dst, src *Node) {
 // MergeTrees merges src into dst at the roots.
 func MergeTrees(dst, src *Tree) { Merge(dst.root, src.root) }
 
+// MergeForest folds a set of per-thread trees into dst, salvaging what
+// it can: nil entries (per-thread profiles lost or unreadable before
+// the hpcprof merge) are skipped rather than aborting the whole merge.
+// It returns how many trees merged and the indices of those skipped, so
+// the caller can report thread coverage instead of pretending the
+// merge was complete.
+func MergeForest(dst *Tree, trees []*Tree) (merged int, skipped []int) {
+	for i, tr := range trees {
+		if tr == nil {
+			skipped = append(skipped, i)
+			continue
+		}
+		MergeTrees(dst, tr)
+		merged++
+	}
+	return merged, skipped
+}
+
 // Size returns the number of nodes in the subtree, including n.
 func (n *Node) Size() int {
 	total := 1

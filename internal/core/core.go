@@ -29,6 +29,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/cct"
 	"repro/internal/datacentric"
+	"repro/internal/faults"
 	"repro/internal/firsttouch"
 	"repro/internal/interconnect"
 	"repro/internal/isa"
@@ -89,6 +90,13 @@ type Config struct {
 	// timestamp for time-varying analysis (internal/trace) — the
 	// paper's Section 10 future-work item on trace-based measurement.
 	Trace bool
+	// Faults injects the given fault plan into the sampling pipeline
+	// (nil: none). The profiler degrades gracefully — validating and
+	// quarantining malformed samples, retrying stalls with
+	// exponential backoff in simulated time, falling back to Soft-IBS
+	// on hard failure, and salvaging the merge when per-thread
+	// profiles are lost — and accounts for it all in Profile.Health.
+	Faults *faults.Plan
 }
 
 // Totals carries whole-program measurements and derived metrics.
@@ -114,6 +122,10 @@ type Totals struct {
 	// available only because our substrate is a simulator; the real
 	// tool cannot observe it and relies on the estimators.
 	LPIExact float64
+	// LPIInsufficient reports that the mechanism supports an lpi
+	// estimator but the run delivered too few usable samples to
+	// evaluate it; LPI is pinned to 0 rather than NaN/Inf.
+	LPIInsufficient bool
 	// Significant applies the 0.1 cycles/instruction rule of thumb to
 	// the best available lpi value.
 	Significant bool
@@ -206,6 +218,11 @@ type Profile struct {
 	Binary *isa.Program
 
 	Totals Totals
+
+	// Health is the degradation ledger: samples dropped or
+	// quarantined, sampler stalls/retries/fallbacks, and per-thread
+	// merge coverage. Its zero value means a fully healthy run.
+	Health Health
 }
 
 // VarByName finds a variable profile by name.
@@ -245,11 +262,20 @@ func Analyze(cfg Config, app App) (*Profile, error) {
 		Binding:      cfg.Binding,
 	})
 
+	if cfg.Faults != nil && !cfg.Faults.Zero() {
+		mech = faults.Wrap(mech, cfg.Faults)
+	}
+
 	p := newProfiler(cfg, e, prog)
 	e.AddHook(p)
 	mon := pmu.NewMonitor(mech, prog, p.onSample)
 	mon.CorrectOffByOne = cfg.CorrectOffByOne || !mech.Caps().PreciseIP
 	e.AddHook(mon)
+	p.mon = mon
+	if fm, ok := mech.(*faults.Faulty); ok {
+		p.faulty = fm
+		p.health.Plan = cfg.Faults.String()
+	}
 
 	app.Run(e)
 
@@ -331,6 +357,28 @@ type profiler struct {
 	perDomain   []float64
 	sampledLat  units.Cycles
 	sampledRLat units.Cycles
+
+	// Degradation machinery (nil/zero on healthy runs).
+	mon    *pmu.Monitor
+	faulty *faults.Faulty
+	health Health
+	// Stall supervision: pending retry deadline and current backoff.
+	retryAt units.Cycles
+	backoff units.Cycles
+	// fellBack is set once the Soft-IBS fallback is installed.
+	fellBack bool
+	// Estimator-window snapshot taken at fallback time (the fallback
+	// sampler cannot measure latency, so later samples must not
+	// dilute the estimate).
+	snapRemoteLat units.Cycles
+	snapInstr     uint64
+	snapRemote    uint64
+	// Quarantined samples were delivered (they count in I^s at the
+	// monitor) but rejected by validation; their contribution is
+	// subtracted from the estimator inputs.
+	quarInstr     uint64
+	quarRemote    uint64
+	quarRemoteLat units.Cycles
 }
 
 type varAgg struct {
@@ -401,6 +449,104 @@ func (p *profiler) OnFree(_ *proc.Thread, r vm.Region) {
 	p.registry.Remove(r)
 }
 
+// initialBackoff is the first stall-retry delay in simulated cycles;
+// each further stall doubles it up to maxBackoff (truncated exponential
+// backoff, the standard supervisor loop of a production collector).
+const (
+	initialBackoff units.Cycles = 4096
+	maxBackoff     units.Cycles = 1 << 20
+)
+
+// OnAccess implements proc.Hook: the profiler's supervision pass. It
+// runs before the PMU monitor on every access (hooks fire in
+// registration order) and watches the sampler's health: a stalled
+// sampler is restarted after an exponential backoff in simulated time;
+// a hard-failed sampler is replaced by Soft-IBS, the software sampler
+// that needs no PMU (Section 3's fallback for machines without
+// address-sampling hardware — reused here as the degradation path).
+func (p *profiler) OnAccess(ev *proc.AccessEvent) {
+	if p.faulty == nil || p.fellBack {
+		return
+	}
+	now := p.engine.Now(ev.Thread)
+	if p.faulty.Failed() {
+		p.fallBack(now)
+		return
+	}
+	if p.faulty.Stalled() {
+		if p.retryAt == 0 {
+			if p.backoff == 0 {
+				p.backoff = initialBackoff
+			} else if p.backoff < maxBackoff {
+				p.backoff *= 2
+			}
+			p.retryAt = now + p.backoff
+			p.health.BackoffCycles += p.backoff
+		} else if now >= p.retryAt {
+			p.faulty.Restart()
+			p.health.SamplerRetries++
+			p.retryAt = 0
+		}
+	}
+}
+
+// fallBack snapshots the estimator window and swaps the monitored
+// mechanism for Soft-IBS. Collection continues — M_l/M_r, data-centric
+// and address-centric attribution all keep accumulating — but latency
+// stops arriving, so lpi_NUMA is later computed from the snapshot.
+func (p *profiler) fallBack(now units.Cycles) {
+	p.fellBack = true
+	p.snapRemoteLat = p.mon.SampledRemoteLatency()
+	p.snapInstr = p.mon.SampledInstructions()
+	p.snapRemote = p.mon.SampledRemote()
+	soft := pmu.NewSoftIBS(0)
+	p.mon.SetMechanism(soft)
+	p.health.Fallback = soft.Name()
+	p.health.FallbackAt = now
+}
+
+// saneLatencyCeiling bounds a believable single-access latency: no
+// memory access on any modelled machine costs more than a million
+// cycles, so anything above is a garbled measurement.
+const saneLatencyCeiling units.Cycles = 1 << 20
+
+// validate checks one delivered sample against the machine topology,
+// the mapped address space, and latency sanity. Malformed samples are
+// quarantined into health counters — never attributed, never a crash.
+func (p *profiler) validate(s *pmu.Sample) bool {
+	ok := true
+	if int(s.CPU) < 0 || int(s.CPU) >= p.engine.Machine().NumCPUs() ||
+		s.ThreadID < 0 || s.ThreadID >= p.engine.NumThreads() {
+		p.health.QuarantinedCPU++
+		ok = false
+	}
+	if s.IP != isa.NoSite && (int(s.IP) < 0 || int(s.IP) >= p.prog.NumSites()) {
+		p.health.QuarantinedIP++
+		ok = false
+	}
+	if s.HasEA && s.RegionValid && !s.Region.Contains(s.EA) {
+		p.health.QuarantinedEA++
+		ok = false
+	}
+	if s.HasLatency && s.Latency > saneLatencyCeiling {
+		p.health.QuarantinedLatency++
+		ok = false
+	}
+	if !ok {
+		// The monitor already counted this sample into I^s and the
+		// sampled remote latency; remember how much to subtract so
+		// the estimators only see validated samples.
+		p.quarInstr++
+		if s.Source.IsRemote() {
+			p.quarRemote++
+			if s.HasLatency {
+				p.quarRemoteLat += s.Latency
+			}
+		}
+	}
+	return ok
+}
+
 // OnRegionBegin implements proc.Hook: scope address-centric patterns
 // to the region.
 func (p *profiler) OnRegionBegin(name string, _ []*proc.Thread) {
@@ -413,8 +559,14 @@ func (p *profiler) OnRegionEnd(string) {
 }
 
 // onSample is the PMU monitor's callback: attribute one address sample.
+// Samples are validated first; malformed ones are quarantined into
+// Health counters rather than crashing the collector or silently
+// skewing the attribution.
 func (p *profiler) onSample(s *pmu.Sample) {
 	p.samples++
+	if !p.validate(s) {
+		return
+	}
 	if !s.HasEA {
 		return // non-memory sample: counts toward I^s only
 	}
@@ -519,14 +671,29 @@ func (p *profiler) onSample(s *pmu.Sample) {
 // finish merges per-thread trees, grafts data-centric and first-touch
 // subtrees, computes derived metrics, and packages the Profile.
 func (p *profiler) finish(appName string, mon *pmu.Monitor) *Profile {
+	// Report the run under the *configured* mechanism; a mid-run
+	// fallback is recorded in Health, not silently relabelled.
 	mech := mon.Mechanism()
 	caps := mech.Caps()
-
-	// hpcprof: merge per-thread trees into the global augmented CCT.
-	global := cct.New()
-	for _, tr := range p.trees {
-		cct.MergeTrees(global, tr)
+	if p.faulty != nil {
+		mech = p.faulty.Inner()
+		caps = mech.Caps()
+		p.accountFaults(mon)
 	}
+
+	// Simulate per-thread measurement-file loss before the merge.
+	if plan := p.cfg.Faults; plan != nil {
+		for _, i := range plan.LoseThreads(len(p.trees)) {
+			p.trees[i] = nil
+			p.health.ThreadsLost = append(p.health.ThreadsLost, i)
+		}
+	}
+	p.health.ThreadsTotal = len(p.trees)
+
+	// hpcprof: merge the surviving per-thread trees into the global
+	// augmented CCT, skipping lost profiles instead of aborting.
+	global := cct.New()
+	cct.MergeForest(global, p.trees)
 
 	// Graft data-centric subtrees: allocation path -> alloc site ->
 	// variable -> bins.
@@ -593,6 +760,7 @@ func (p *profiler) finish(appName string, mon *pmu.Monitor) *Profile {
 
 	totals := p.buildTotals(mon, caps)
 	return &Profile{
+		Health:         p.health,
 		AppName:        appName,
 		Machine:        p.engine.Machine(),
 		Mechanism:      mech.Name(),
@@ -608,6 +776,24 @@ func (p *profiler) finish(appName string, mon *pmu.Monitor) *Profile {
 		Binary:         p.prog,
 		Totals:         totals,
 	}
+}
+
+// accountFaults folds the injector's counters into the health ledger.
+// Samples delivered after a Soft-IBS fallback bypass the injector, so
+// they are added to the fired count to keep the delivery identity
+// (fired == delivered + dropped + lost) true for the whole run.
+func (p *profiler) accountFaults(mon *pmu.Monitor) {
+	c := p.faulty.Counters()
+	postFallback := mon.SamplesTaken() - c.Delivered
+	p.health.SamplesFired = c.Fired + postFallback
+	p.health.SamplesDelivered = mon.SamplesTaken()
+	p.health.SamplesDropped = c.Dropped
+	p.health.LostToStall = c.LostToStall
+	p.health.LostToFailure = c.LostToFailure
+	p.health.InjectedCorruptEA = c.CorruptedEA
+	p.health.InjectedIPSkid = c.SkiddedIP
+	p.health.InjectedGarbleLat = c.GarbledLatency
+	p.health.SamplerStalls = c.Stalls
 }
 
 func (p *profiler) buildVarProfile(agg *varAgg) *VarProfile {
@@ -664,18 +850,36 @@ func (p *profiler) buildTotals(mon *pmu.Monitor, caps pmu.Capability) Totals {
 	}
 	t.Overhead = overhead
 
+	// Estimator inputs. On a hard sampler failure the fallback
+	// mechanism measures no latency, so the estimate comes from the
+	// window collected before the failure; quarantined samples are
+	// subtracted so garbage never reaches an equation.
+	remLat := mon.SampledRemoteLatency()
+	instr := mon.SampledInstructions()
+	remEvents := mon.SampledRemote()
+	if p.fellBack {
+		remLat, instr, remEvents = p.snapRemoteLat, p.snapInstr, p.snapRemote
+	}
+	remLat -= min(p.quarRemoteLat, remLat)
+	instr -= min(p.quarInstr, instr)
+	remEvents -= min(p.quarRemote, remEvents)
+
+	var ok bool
 	switch {
 	case caps.SamplesAllInstructions && caps.MeasuresLatency:
 		// Equation 2 (IBS).
-		t.LPI = metrics.LPIFromInstructionSamples(
-			float64(mon.SampledRemoteLatency()), mon.SampledInstructions())
+		t.LPI, ok = metrics.LPIFromInstructionSamples(float64(remLat), instr)
+		t.LPIInsufficient = !ok
+		p.health.LPIWindowed = p.fellBack
 	case caps.EventBased && caps.MeasuresLatency:
 		// Equation 3 (PEBS-LL): average sampled remote latency times
 		// the absolute remote-event rate. The engine's full remote
 		// count plays the conventional counter.
-		t.LPI = metrics.LPIFromEventSamples(
-			float64(mon.SampledRemoteLatency()), mon.SampledRemote(),
+		t.LPI, ok = metrics.LPIFromEventSamples(
+			float64(remLat), remEvents,
 			e.TotalRemoteAccesses(), e.TotalInstructions())
+		t.LPIInsufficient = !ok
+		p.health.LPIWindowed = p.fellBack
 	default:
 		t.LPI = math.NaN()
 	}

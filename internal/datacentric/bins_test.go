@@ -1,0 +1,118 @@
+package datacentric
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestParseBins(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    int
+		errPart string
+	}{
+		{"5", 5, ""},
+		{"1", 1, ""},
+		{" 12 ", 12, ""},
+		{fmt.Sprint(MaxBins), MaxBins, ""},
+		{"", 0, "empty"},
+		{"   ", 0, "empty"},
+		{"0", 0, "positive"},
+		{"-3", 0, "positive"},
+		{"4.5", 0, "not an integer"},
+		{"abc", 0, "not an integer"},
+		{"5bins", 0, "not an integer"},
+		{"0x10", 0, "not an integer"},
+		{fmt.Sprint(MaxBins + 1), 0, "exceeds the maximum"},
+		{"99999999999999999999", 0, "not an integer"},
+	}
+	for _, c := range cases {
+		got, err := ParseBins(c.in)
+		if c.errPart == "" {
+			if err != nil || got != c.want {
+				t.Errorf("ParseBins(%q) = %d, %v; want %d", c.in, got, err, c.want)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("ParseBins(%q) = %d, want error containing %q", c.in, got, c.errPart)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.errPart) {
+			t.Errorf("ParseBins(%q) error %q does not mention %q", c.in, err, c.errPart)
+		}
+	}
+}
+
+func TestBinsFromEnv(t *testing.T) {
+	// Capture warnings instead of logging them.
+	var warnings []string
+	orig := warnf
+	warnf = func(format string, args ...any) {
+		warnings = append(warnings, fmt.Sprintf(format, args...))
+	}
+	defer func() { warnf = orig }()
+
+	t.Run("unset uses default silently", func(t *testing.T) {
+		// t.Setenv registers env restoration even though we unset.
+		t.Setenv(BinsEnvVar, "")
+		if err := os.Unsetenv(BinsEnvVar); err != nil {
+			t.Fatal(err)
+		}
+		warnings = nil
+		if got := BinsFromEnv(); got != DefaultBins {
+			t.Errorf("unset: %d, want %d", got, DefaultBins)
+		}
+		if len(warnings) != 0 {
+			t.Errorf("unset must not warn: %v", warnings)
+		}
+	})
+
+	t.Run("valid value wins silently", func(t *testing.T) {
+		t.Setenv(BinsEnvVar, "17")
+		warnings = nil
+		if got := BinsFromEnv(); got != 17 {
+			t.Errorf("got %d, want 17", got)
+		}
+		if len(warnings) != 0 {
+			t.Errorf("valid value must not warn: %v", warnings)
+		}
+	})
+
+	for _, bad := range []string{"0", "-1", "junk", "4.5", fmt.Sprint(MaxBins + 1)} {
+		t.Run("bad value "+bad+" warns and defaults", func(t *testing.T) {
+			t.Setenv(BinsEnvVar, bad)
+			warnings = nil
+			if got := BinsFromEnv(); got != DefaultBins {
+				t.Errorf("got %d, want default %d", got, DefaultBins)
+			}
+			if len(warnings) != 1 || !strings.Contains(warnings[0], bad) {
+				t.Errorf("expected one warning naming %q, got %v", bad, warnings)
+			}
+		})
+	}
+}
+
+// NewRegistry treats a non-positive bin count as "resolve from the
+// environment", so a caller passing the zero value gets the documented
+// default (or the operator's override) rather than a degenerate
+// zero-bin registry.
+func TestNewRegistryResolvesBinsFromEnv(t *testing.T) {
+	orig := warnf
+	warnf = func(string, ...any) {}
+	defer func() { warnf = orig }()
+
+	t.Setenv(BinsEnvVar, "9")
+	if got := NewRegistry(0).defaultBins; got != 9 {
+		t.Errorf("NewRegistry(0) bins = %d, want env override 9", got)
+	}
+	if got := NewRegistry(7).defaultBins; got != 7 {
+		t.Errorf("NewRegistry(7) bins = %d, want explicit 7", got)
+	}
+	t.Setenv(BinsEnvVar, "nonsense")
+	if got := NewRegistry(0).defaultBins; got != DefaultBins {
+		t.Errorf("NewRegistry(0) with bad env = %d, want default %d", got, DefaultBins)
+	}
+}

@@ -15,9 +15,11 @@ package datacentric
 
 import (
 	"fmt"
+	"log"
 	"math/bits"
 	"os"
 	"strconv"
+	"strings"
 
 	"repro/internal/isa"
 	"repro/internal/proc"
@@ -65,6 +67,53 @@ const DefaultBins = 5
 // BinThresholdPages is the size, in pages, above which a variable is
 // binned.
 const BinThresholdPages = 5
+
+// MaxBins caps the per-variable bin count: beyond this, per-bin
+// attribution costs more memory than it buys resolution, and an
+// absurd environment value is almost certainly a typo.
+const MaxBins = 4096
+
+// warnf reports a rejected configuration value; swappable for tests.
+var warnf = log.Printf
+
+// ParseBins validates a NUMAPROF_BINS value: it must be a plain
+// decimal integer in [1, MaxBins]. Anything else — zero, negative,
+// non-numeric, fractional, or absurdly large — is rejected with an
+// explicit error rather than silently falling back.
+func ParseBins(s string) (int, error) {
+	t := strings.TrimSpace(s)
+	if t == "" {
+		return 0, fmt.Errorf("datacentric: %s is empty", BinsEnvVar)
+	}
+	v, err := strconv.Atoi(t)
+	if err != nil {
+		return 0, fmt.Errorf("datacentric: %s=%q is not an integer", BinsEnvVar, s)
+	}
+	if v <= 0 {
+		return 0, fmt.Errorf("datacentric: %s=%q must be positive", BinsEnvVar, s)
+	}
+	if v > MaxBins {
+		return 0, fmt.Errorf("datacentric: %s=%q exceeds the maximum of %d", BinsEnvVar, s, MaxBins)
+	}
+	return v, nil
+}
+
+// BinsFromEnv resolves the bin count from NUMAPROF_BINS. A malformed
+// value is rejected loudly — a logged warning naming the offending
+// value — and the documented default (DefaultBins, 5) is used; there
+// is no silent fallback.
+func BinsFromEnv() int {
+	s, set := os.LookupEnv(BinsEnvVar)
+	if !set {
+		return DefaultBins
+	}
+	v, err := ParseBins(s)
+	if err != nil {
+		warnf("datacentric: ignoring %s: %v (using default %d)", BinsEnvVar, err, DefaultBins)
+		return DefaultBins
+	}
+	return v
+}
 
 // Variable is one tracked data object.
 type Variable struct {
@@ -160,15 +209,12 @@ type Registry struct {
 }
 
 // NewRegistry creates a registry. bins <= 0 selects the default bin
-// count, honouring NUMAPROF_BINS if set.
+// count, honouring NUMAPROF_BINS if set and valid (see BinsFromEnv: a
+// malformed value is rejected with a logged warning, never silently
+// accepted).
 func NewRegistry(bins int) *Registry {
 	if bins <= 0 {
-		bins = DefaultBins
-		if s := os.Getenv(BinsEnvVar); s != "" {
-			if v, err := strconv.Atoi(s); err == nil && v > 0 {
-				bins = v
-			}
-		}
+		bins = BinsFromEnv()
 	}
 	return &Registry{
 		defaultBins: bins,

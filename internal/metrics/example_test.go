@@ -11,10 +11,10 @@ import (
 func ExampleLPIFromInstructionSamples() {
 	// 10,000 sampled instructions; sampled remote accesses among them
 	// accumulated 4,660 cycles of latency.
-	lpi := metrics.LPIFromInstructionSamples(4660, 10000)
+	lpi, _ := metrics.LPIFromInstructionSamples(4660, 10000)
 	fmt.Printf("lpi_NUMA = %.3f, significant: %v\n", lpi, metrics.Significant(lpi))
 	// The Blackscholes situation: barely any remote latency.
-	lpi = metrics.LPIFromInstructionSamples(350, 10000)
+	lpi, _ = metrics.LPIFromInstructionSamples(350, 10000)
 	fmt.Printf("lpi_NUMA = %.3f, significant: %v\n", lpi, metrics.Significant(lpi))
 	// Output:
 	// lpi_NUMA = 0.466, significant: true
@@ -26,7 +26,7 @@ func ExampleLPIFromInstructionSamples() {
 func ExampleLPIFromEventSamples() {
 	// 50 sampled remote events averaging 200 cycles; conventional
 	// counters report 1M remote events over 500M instructions.
-	lpi := metrics.LPIFromEventSamples(50*200, 50, 1_000_000, 500_000_000)
+	lpi, _ := metrics.LPIFromEventSamples(50*200, 50, 1_000_000, 500_000_000)
 	fmt.Printf("lpi_NUMA = %.3f\n", lpi)
 	// Output:
 	// lpi_NUMA = 0.400

@@ -15,7 +15,10 @@
 //     derives experimentally.
 package metrics
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // ID identifies a metric column.
 type ID int
@@ -83,39 +86,54 @@ func Name(id ID) string {
 // warrant optimisation (Section 4.2).
 const SignificanceThreshold = 0.1
 
+// saneLatency rejects latency accumulators that cannot have come from
+// a healthy pipeline: negative sums, NaN, or Inf. Each estimator runs
+// its inputs through this gate so a degraded sampler can never turn an
+// lpi value into NaN/Inf — the caller gets 0 plus an explicit
+// insufficient-samples signal instead.
+func saneLatency(cycles float64) bool {
+	return cycles >= 0 && !math.IsInf(cycles, 0) && !math.IsNaN(cycles)
+}
+
 // LPIExact computes Equation 1 directly: lpi_NUMA = l_NUMA / I, where
 // remoteLatencyCycles is the total latency of all remote accesses and
-// instructions is the number of instructions executed. Returns 0 when
-// instructions is 0.
-func LPIExact(remoteLatencyCycles float64, instructions uint64) float64 {
-	if instructions == 0 {
-		return 0
+// instructions is the number of instructions executed. The second
+// result is false — with the value pinned to 0 — when the inputs are
+// insufficient (zero instructions) or insane (negative/NaN/Inf
+// latency), never NaN or Inf.
+func LPIExact(remoteLatencyCycles float64, instructions uint64) (float64, bool) {
+	if instructions == 0 || !saneLatency(remoteLatencyCycles) {
+		return 0, false
 	}
-	return remoteLatencyCycles / float64(instructions)
+	return remoteLatencyCycles / float64(instructions), true
 }
 
 // LPIFromInstructionSamples computes Equation 2, the IBS estimator:
 // lpi_NUMA ~= l^s_NUMA / I^s, where sampledRemoteLatency accumulates
 // the latency of sampled remote accesses and sampledInstructions counts
 // all sampled instructions (memory or not). Both are representative
-// subsets under uniform instruction sampling.
-func LPIFromInstructionSamples(sampledRemoteLatency float64, sampledInstructions uint64) float64 {
-	if sampledInstructions == 0 {
-		return 0
+// subsets under uniform instruction sampling. The second result is
+// false — with the value pinned to 0 — when the sample set is
+// insufficient (I^s = 0) or the latency sum insane.
+func LPIFromInstructionSamples(sampledRemoteLatency float64, sampledInstructions uint64) (float64, bool) {
+	if sampledInstructions == 0 || !saneLatency(sampledRemoteLatency) {
+		return 0, false
 	}
-	return sampledRemoteLatency / float64(sampledInstructions)
+	return sampledRemoteLatency / float64(sampledInstructions), true
 }
 
 // LPIFromEventSamples computes Equation 3, the PEBS-LL estimator:
 // lpi_NUMA ~= (l^s_NUMA / E^s_NUMA) x (E_NUMA / I): the average
 // sampled latency per remote event, scaled by the absolute event rate
-// from conventional counters.
-func LPIFromEventSamples(sampledRemoteLatency float64, sampledRemoteEvents, absoluteEvents, instructions uint64) float64 {
-	if sampledRemoteEvents == 0 || instructions == 0 {
-		return 0
+// from conventional counters. The second result is false — with the
+// value pinned to 0 — when any denominator is zero (no sampled remote
+// events, no instructions) or the latency sum insane.
+func LPIFromEventSamples(sampledRemoteLatency float64, sampledRemoteEvents, absoluteEvents, instructions uint64) (float64, bool) {
+	if sampledRemoteEvents == 0 || instructions == 0 || !saneLatency(sampledRemoteLatency) {
+		return 0, false
 	}
 	avg := sampledRemoteLatency / float64(sampledRemoteEvents)
-	return avg * float64(absoluteEvents) / float64(instructions)
+	return avg * float64(absoluteEvents) / float64(instructions), true
 }
 
 // Significant reports whether an lpi_NUMA value crosses the paper's

@@ -26,37 +26,72 @@ func TestNames(t *testing.T) {
 }
 
 func TestLPIExact(t *testing.T) {
-	if got := LPIExact(466, 1000); got != 0.466 {
-		t.Errorf("LPIExact = %v, want 0.466", got)
+	if got, ok := LPIExact(466, 1000); !ok || got != 0.466 {
+		t.Errorf("LPIExact = %v (ok %v), want 0.466", got, ok)
 	}
-	if got := LPIExact(100, 0); got != 0 {
-		t.Errorf("LPIExact with zero instructions = %v", got)
+	if got, ok := LPIExact(100, 0); ok || got != 0 {
+		t.Errorf("LPIExact with zero instructions = %v (ok %v), want 0,false", got, ok)
 	}
 }
 
 func TestLPIFromInstructionSamples(t *testing.T) {
 	// 50 sampled instructions, 10 of them remote accesses totalling
 	// 2000 cycles: lpi = 40.
-	if got := LPIFromInstructionSamples(2000, 50); got != 40 {
-		t.Errorf("Eq2 = %v, want 40", got)
+	if got, ok := LPIFromInstructionSamples(2000, 50); !ok || got != 40 {
+		t.Errorf("Eq2 = %v (ok %v), want 40", got, ok)
 	}
-	if got := LPIFromInstructionSamples(2000, 0); got != 0 {
-		t.Errorf("Eq2 zero denominator = %v", got)
+	if got, ok := LPIFromInstructionSamples(2000, 0); ok || got != 0 {
+		t.Errorf("Eq2 zero denominator = %v (ok %v), want 0,false", got, ok)
 	}
 }
 
 func TestLPIFromEventSamples(t *testing.T) {
 	// 4 sampled remote events totalling 800 cycles (avg 200); 1000
 	// absolute events over 1e6 instructions: lpi = 200 * 1e-3 = 0.2.
-	got := LPIFromEventSamples(800, 4, 1000, 1000000)
-	if math.Abs(got-0.2) > 1e-12 {
-		t.Errorf("Eq3 = %v, want 0.2", got)
+	got, ok := LPIFromEventSamples(800, 4, 1000, 1000000)
+	if !ok || math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("Eq3 = %v (ok %v), want 0.2", got, ok)
 	}
-	if LPIFromEventSamples(800, 0, 1000, 1000) != 0 {
-		t.Error("Eq3 with no sampled events should be 0")
+	if v, ok := LPIFromEventSamples(800, 0, 1000, 1000); ok || v != 0 {
+		t.Error("Eq3 with no sampled events should be 0,false")
 	}
-	if LPIFromEventSamples(800, 4, 1000, 0) != 0 {
-		t.Error("Eq3 with no instructions should be 0")
+	if v, ok := LPIFromEventSamples(800, 4, 1000, 0); ok || v != 0 {
+		t.Error("Eq3 with no instructions should be 0,false")
+	}
+}
+
+// The degraded-pipeline guarantee: no combination of insufficient or
+// insane inputs may produce NaN or Inf — the estimators return 0 with
+// ok=false instead, and the caller surfaces "insufficient samples".
+func TestEstimatorsNeverNaNOrInf(t *testing.T) {
+	cases := []struct {
+		name string
+		lat  float64
+		n    uint64
+	}{
+		{"zero-zero", 0, 0},
+		{"zero instructions", 1000, 0},
+		{"negative latency", -5, 100},
+		{"NaN latency", math.NaN(), 100},
+		{"+Inf latency", math.Inf(1), 100},
+		{"-Inf latency", math.Inf(-1), 100},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if v, ok := LPIExact(c.lat, c.n); ok || math.IsNaN(v) || math.IsInf(v, 0) || v != 0 {
+				t.Errorf("LPIExact(%v,%d) = %v (ok %v)", c.lat, c.n, v, ok)
+			}
+			if v, ok := LPIFromInstructionSamples(c.lat, c.n); ok || math.IsNaN(v) || math.IsInf(v, 0) || v != 0 {
+				t.Errorf("Eq2(%v,%d) = %v (ok %v)", c.lat, c.n, v, ok)
+			}
+			if v, ok := LPIFromEventSamples(c.lat, c.n, 1000, c.n); ok || math.IsNaN(v) || math.IsInf(v, 0) || v != 0 {
+				t.Errorf("Eq3(%v,...,%d) = %v (ok %v)", c.lat, c.n, v, ok)
+			}
+		})
+	}
+	// Sane inputs still produce finite values with ok=true.
+	if v, ok := LPIExact(1, 1); !ok || v != 1 {
+		t.Errorf("sane LPIExact = %v (ok %v)", v, ok)
 	}
 }
 
@@ -65,9 +100,9 @@ func TestEstimatorsAgreeUnderUniformSampling(t *testing.T) {
 	// quantities equals Equation 1 over totals.
 	const k = 100
 	totalRemoteLat, totalInstr := 5000.0, uint64(200000)
-	eq1 := LPIExact(totalRemoteLat, totalInstr)
-	eq2 := LPIFromInstructionSamples(totalRemoteLat/k, totalInstr/k)
-	if math.Abs(eq1-eq2) > 1e-9 {
+	eq1, ok1 := LPIExact(totalRemoteLat, totalInstr)
+	eq2, ok2 := LPIFromInstructionSamples(totalRemoteLat/k, totalInstr/k)
+	if !ok1 || !ok2 || math.Abs(eq1-eq2) > 1e-9 {
 		t.Errorf("Eq1 = %v, Eq2 = %v", eq1, eq2)
 	}
 }
@@ -114,9 +149,9 @@ func TestQuickEq2ScaleInvariant(t *testing.T) {
 		if instr == 0 || k == 0 {
 			return true
 		}
-		a := LPIFromInstructionSamples(float64(lat), uint64(instr))
-		b := LPIFromInstructionSamples(float64(lat)*float64(k), uint64(instr)*uint64(k))
-		return math.Abs(a-b) < 1e-9
+		a, okA := LPIFromInstructionSamples(float64(lat), uint64(instr))
+		b, okB := LPIFromInstructionSamples(float64(lat)*float64(k), uint64(instr)*uint64(k))
+		return okA && okB && math.Abs(a-b) < 1e-9
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)

@@ -135,6 +135,16 @@ type Mechanism interface {
 	ObserveCompute(t *proc.Thread, n uint64) (samples int, overhead units.Cycles)
 }
 
+// SampleTransformer is an optional Mechanism extension: a decorator
+// (e.g. faults.Faulty) that mutates or suppresses samples after capture
+// but before delivery. Returning false drops the sample — the Monitor
+// still charges the capture cost (the PMU did the work) but the sample
+// never reaches the profiler or the I^s counters, exactly like a
+// ring-buffer overflow.
+type SampleTransformer interface {
+	TransformSample(s *Sample) bool
+}
+
 // Monitor connects a Mechanism to an Engine as a proc.Hook and delivers
 // samples to a callback: it is the PMU interrupt handler of hpcrun.
 type Monitor struct {
@@ -153,6 +163,7 @@ type Monitor struct {
 
 	// Counters the profiler reads back.
 	samplesTaken     uint64
+	samplesLost      uint64 // suppressed by a SampleTransformer
 	sampledInstr     uint64 // I^s: all sampled instructions (incl. non-memory)
 	sampledMemAccess uint64
 	sampledRemote    uint64
@@ -173,6 +184,18 @@ func NewMonitor(mech Mechanism, prog *isa.Program, cb func(*Sample)) *Monitor {
 
 // Mechanism returns the monitored mechanism.
 func (m *Monitor) Mechanism() Mechanism { return m.mech }
+
+// SetMechanism swaps the monitored mechanism mid-run — the profiler's
+// fallback path when the configured sampler hard-fails. The overhead
+// model follows the new mechanism; accumulated counters carry over.
+func (m *Monitor) SetMechanism(mech Mechanism) {
+	m.mech = mech
+	m.costs = DefaultCosts(mech.Name())
+}
+
+// SamplesLost returns the number of captured samples a
+// SampleTransformer suppressed before delivery.
+func (m *Monitor) SamplesLost() uint64 { return m.samplesLost }
 
 // SamplesTaken returns the total number of samples delivered.
 func (m *Monitor) SamplesTaken() uint64 { return m.samplesTaken }
@@ -241,6 +264,13 @@ func (m *Monitor) OnAccess(ev *proc.AccessEvent) {
 	ev.Thread.AddOverhead(cost)
 	m.overheadCharged += cost
 
+	if tr, ok := m.mech.(SampleTransformer); ok && !tr.TransformSample(&s) {
+		// Captured but lost before delivery: the cost was paid, but
+		// the sample must not count toward I^s or reach the profiler.
+		m.samplesLost++
+		return
+	}
+
 	m.samplesTaken++
 	m.sampledInstr++
 	m.sampledMemAccess++
@@ -272,14 +302,18 @@ func (m *Monitor) OnCompute(t *proc.Thread, n uint64) {
 		}
 		t.AddOverhead(cost)
 		m.overheadCharged += cost
-		m.samplesTaken++
-		m.sampledInstr++
 		s := Sample{
 			ThreadID:  t.ID,
 			CPU:       t.CPU,
 			IP:        isa.NoSite,
 			PreciseIP: m.mech.Caps().PreciseIP,
 		}
+		if tr, ok := m.mech.(SampleTransformer); ok && !tr.TransformSample(&s) {
+			m.samplesLost++
+			continue
+		}
+		m.samplesTaken++
+		m.sampledInstr++
 		if m.cb != nil {
 			m.cb(&s)
 		}

@@ -1,0 +1,203 @@
+package profio
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/faults"
+)
+
+// savedBytes serialises a live profile to v2 file bytes.
+func savedBytes(t testing.TB) []byte {
+	var buf bytes.Buffer
+	if err := Save(&buf, liveProfile(t)); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// The truncation property: a v2 file cut at ANY point is either
+// rejected outright (cut inside the magic line) or salvaged — strict
+// Load refuses anything incomplete, LoadLenient recovers every section
+// that survived whole and itemises the rest. Sections are lines, so we
+// probe every line boundary plus a mid-line point after each.
+func TestLenientSalvagesEveryTruncationPoint(t *testing.T) {
+	data := savedBytes(t)
+
+	var cuts []int
+	for i, b := range data {
+		if b == '\n' {
+			cuts = append(cuts, i+1)
+			if i+20 < len(data) {
+				cuts = append(cuts, i+20) // mid-record: an unparseable line
+			}
+		}
+	}
+	cuts = append(cuts, 0, 1, len(magicV2)/2)
+
+	for _, c := range cuts {
+		cut := data[:c]
+		_, strictErr := Load(bytes.NewReader(cut))
+		prof, rep, err := LoadLenient(bytes.NewReader(cut))
+		if c < len(magicV2)+1 {
+			// Not even the magic line survived: nothing to salvage.
+			if strictErr == nil || err == nil {
+				t.Fatalf("cut at %d: loading a non-file should error", c)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("cut at %d/%d: lenient load failed: %v", c, len(data), err)
+		}
+		if prof == nil || rep == nil {
+			t.Fatalf("cut at %d: lenient load returned nil profile or report", c)
+		}
+		if strictErr == nil {
+			// Strict acceptance is only legitimate at a clean line
+			// boundary with every core section present — a prefix
+			// indistinguishable from a file saved without the optional
+			// tail. Both loaders must then agree the file is fine.
+			if data[c-1] != '\n' {
+				t.Fatalf("cut at %d: strict Load accepted a mid-record cut", c)
+			}
+			if !rep.Clean() {
+				t.Fatalf("cut at %d: loaders disagree — strict ok, lenient reports %+v", c, rep)
+			}
+			continue
+		}
+		// Strict refused, so the lenient report must itemise damage
+		// and the salvaged profile must wear it.
+		if rep.Clean() {
+			t.Fatalf("cut at %d/%d: report claims a damaged file is clean", c, len(data))
+		}
+		if len(prof.Health.FileDamage) == 0 {
+			t.Fatalf("cut at %d: salvaged profile must carry FileDamage", c)
+		}
+	}
+
+	// The full file round-trips cleanly through both loaders.
+	if _, err := Load(bytes.NewReader(data)); err != nil {
+		t.Fatalf("strict load of intact file: %v", err)
+	}
+	prof, rep, err := LoadLenient(bytes.NewReader(data))
+	if err != nil || !rep.Clean() || len(prof.Health.FileDamage) != 0 {
+		t.Fatalf("lenient load of intact file: err %v, report %+v", err, rep)
+	}
+}
+
+// A single flipped bit in one section is confined there: the checksum
+// catches it, strict Load refuses, and LoadLenient recovers every other
+// section.
+func TestLenientConfinesBitFlips(t *testing.T) {
+	data := savedBytes(t)
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	// lines[0] is the magic; flip bits inside the tree record (fourth
+	// section: meta, binary, vars, tree).
+	if len(lines) < 5 {
+		t.Fatalf("expected at least 5 lines, got %d", len(lines))
+	}
+	target := lines[4]
+	flipped := faults.FlipBits(target[:len(target)-1], 0.001, 99)
+	if bytes.Equal(flipped, target[:len(target)-1]) {
+		t.Fatal("no bit flipped; raise the rate")
+	}
+	var damaged []byte
+	for i, ln := range lines {
+		if i == 4 {
+			damaged = append(damaged, flipped...)
+			damaged = append(damaged, '\n')
+		} else {
+			damaged = append(damaged, ln...)
+		}
+	}
+
+	if _, err := Load(bytes.NewReader(damaged)); err == nil {
+		t.Fatal("strict Load accepted a bit-flipped file")
+	}
+	prof, rep, err := LoadLenient(bytes.NewReader(damaged))
+	if err != nil {
+		t.Fatalf("lenient load: %v", err)
+	}
+	if rep.Clean() || len(rep.Corrupt) == 0 {
+		t.Fatalf("damage not reported: %+v", rep)
+	}
+	// The undamaged sections all survive.
+	for _, want := range []string{SectionMeta, SectionBinary, SectionVars} {
+		found := false
+		for _, s := range rep.Intact {
+			if s == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("section %s should have survived: intact %v", want, rep.Intact)
+		}
+	}
+	// Meta survived, so the headline numbers are authentic.
+	orig := liveProfile(t)
+	if prof.Totals.Samples != orig.Totals.Samples {
+		t.Errorf("salvaged totals %v != original %v", prof.Totals.Samples, orig.Totals.Samples)
+	}
+}
+
+// Version-1 files are a single JSON object; both loaders accept them,
+// and the lenient loader reports them as atomically intact.
+func TestV1BackCompat(t *testing.T) {
+	doc, err := Encode(liveProfile(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc.Version = 1
+	v1, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := Load(bytes.NewReader(v1))
+	if err != nil {
+		t.Fatalf("strict load of v1: %v", err)
+	}
+	if prof.Totals.Samples == 0 {
+		t.Fatal("v1 load lost the totals")
+	}
+	lp, rep, err := LoadLenient(bytes.NewReader(v1))
+	if err != nil {
+		t.Fatalf("lenient load of v1: %v", err)
+	}
+	if !rep.Clean() || len(rep.Intact) != 1 || rep.Intact[0] != "v1 document" {
+		t.Fatalf("v1 report %+v", rep)
+	}
+	if lp.Totals.Samples != prof.Totals.Samples {
+		t.Fatal("lenient and strict v1 loads disagree")
+	}
+	// A damaged v1 file has no section boundaries: lenient is honest
+	// that nothing is recoverable.
+	if _, _, err := LoadLenient(bytes.NewReader(v1[:len(v1)/2])); err == nil ||
+		!strings.Contains(err.Error(), "unrecoverable") {
+		t.Fatalf("truncated v1 should be unrecoverable, got %v", err)
+	}
+}
+
+// A file whose sections are all gone (or whose meta is invalid) still
+// loads leniently, on a synthesized placeholder machine.
+func TestLenientSynthesizesMachine(t *testing.T) {
+	prof, rep, err := LoadLenient(strings.NewReader(magicV2 + "\n"))
+	if err != nil {
+		t.Fatalf("lenient load of bare magic: %v", err)
+	}
+	if len(rep.Synthesized) == 0 || len(rep.Missing) == 0 {
+		t.Fatalf("synthesis not reported: %+v", rep)
+	}
+	if prof.Machine == nil || prof.Machine.Name != "<salvaged-1-domain>" {
+		t.Fatalf("expected the placeholder machine, got %+v", prof.Machine)
+	}
+}
+
+func TestLenientRejectsGarbage(t *testing.T) {
+	for _, in := range []string{"", "not a profile", "#wrong-magic\njunk"} {
+		if _, _, err := LoadLenient(strings.NewReader(in)); err == nil {
+			t.Errorf("LoadLenient(%q) should error", in)
+		}
+	}
+}

@@ -1,22 +1,45 @@
-// Package profio serialises profiles to a versioned JSON measurement
-// format and loads them back, reproducing the file-based architecture
-// of the real tool (Section 7): hpcrun writes per-execution measurement
+// Package profio serialises profiles to a versioned measurement format
+// and loads them back, reproducing the file-based architecture of the
+// real tool (Section 7): hpcrun writes per-execution measurement
 // databases, and hpcprof/hpcviewer consume them offline — possibly on a
 // different machine, long after the run.
+//
+// Format v2 is sectioned and checksummed: a magic first line followed
+// by one JSON record per line, each carrying a section name, the
+// CRC32 (IEEE) of its body, and the body itself. Sections are written
+// in a fixed order (meta, binary, vars, tree, patterns, timeline), so a
+// file truncated mid-write loses only its tail, and a bit-flip is
+// confined to the section it lands in. Two loaders consume the format:
+//
+//   - Load is strict: any checksum mismatch, unparseable line, or
+//     missing core section rejects the whole file. Use it when a wrong
+//     answer is worse than no answer.
+//   - LoadLenient salvages: it recovers every section that is intact,
+//     synthesises placeholders for what is lost, and returns a
+//     structured Report of the damage, which is also folded into the
+//     profile's Health block so every view shows the degradation.
+//
+// Version-1 files (a single JSON document, no checksums) are still
+// readable by both loaders.
 //
 // Save captures everything a viewer needs: the program description
 // (functions, sites, statics), the merged augmented CCT with metric
 // columns and per-thread [min,max] ranges, the per-variable
 // data-centric profiles with bins and first-touch results, the
-// address-centric patterns per scope, totals, and (when traced) the
-// time-stamped sample list. Load reconstructs a core.Profile that every
-// view renders identically to the live one.
+// address-centric patterns per scope, totals, the pipeline health
+// ledger, and (when traced) the time-stamped sample list. Load
+// reconstructs a core.Profile that every view renders identically to
+// the live one.
 package profio
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"io"
+	"strings"
 
 	"repro/internal/addrcentric"
 	"repro/internal/cct"
@@ -33,9 +56,30 @@ import (
 )
 
 // FormatVersion identifies the measurement-file schema.
-const FormatVersion = 1
+const FormatVersion = 2
 
-// Document is the on-disk form of a profile.
+// magicV2 is the first line of a v2 measurement file. Version-1 files
+// start with '{' instead, which is how the loaders tell them apart.
+const magicV2 = "#numaprof-measurement-v2"
+
+// Section names, in the order Save writes them. The core sections are
+// required by the strict loader; timeline is optional (written only
+// when the run was traced).
+const (
+	SectionMeta     = "meta"
+	SectionBinary   = "binary"
+	SectionVars     = "vars"
+	SectionTree     = "tree"
+	SectionPatterns = "patterns"
+	SectionTimeline = "timeline"
+)
+
+// coreSections lists the sections a strict Load requires.
+var coreSections = []string{SectionMeta, SectionBinary, SectionVars, SectionTree, SectionPatterns}
+
+// Document is the in-memory assembly of a measurement file: the union
+// of all sections. Version-1 files are exactly one Document as a single
+// JSON object; version-2 files shard it into checksummed sections.
 type Document struct {
 	Version   int             `json:"version"`
 	App       string          `json:"app"`
@@ -45,11 +89,32 @@ type Document struct {
 
 	Binary   BinaryDoc     `json:"binary"`
 	Totals   core.Totals   `json:"totals"`
+	Health   core.Health   `json:"health,omitempty"`
 	Vars     []VarDoc      `json:"vars"`
 	Tree     *NodeDoc      `json:"tree"`
 	Patterns []PatternDoc  `json:"patterns"`
 	Timeline []trace.Event `json:"timeline,omitempty"`
 	HasFT    bool          `json:"has_first_touch"`
+}
+
+// metaDoc is the v2 meta section: everything small enough to want
+// first, so a tail-truncated file still identifies itself.
+type metaDoc struct {
+	Version   int             `json:"version"`
+	App       string          `json:"app"`
+	Machine   topology.Config `json:"machine"`
+	Mechanism string          `json:"mechanism"`
+	Period    uint64          `json:"period"`
+	HasFT     bool            `json:"has_first_touch"`
+	Totals    core.Totals     `json:"totals"`
+	Health    core.Health     `json:"health"`
+}
+
+// sectionRec is one line of a v2 file after the magic.
+type sectionRec struct {
+	Name string          `json:"section"`
+	CRC  uint32          `json:"crc"`
+	Body json.RawMessage `json:"body"`
 }
 
 // BinaryDoc is the serialised program description.
@@ -114,14 +179,124 @@ type PatternDoc struct {
 	Threads  []addrcentric.ThreadRange `json:"threads"`
 }
 
-// Save writes a profile as a measurement document.
+// Report is the structured outcome of a lenient load: which sections
+// survived, which were damaged or missing, and what had to be
+// synthesised to keep going.
+type Report struct {
+	// Version is the format version announced by the file (0 when even
+	// that could not be recovered).
+	Version int
+	// Intact lists sections recovered with matching checksums.
+	Intact []string
+	// Corrupt lists damage found: checksum mismatches, unparseable
+	// lines (the signature of truncation mid-record), undecodable
+	// bodies.
+	Corrupt []string
+	// Missing lists core sections absent from the file — the signature
+	// of truncation at a section boundary.
+	Missing []string
+	// Synthesized lists placeholders invented for lost state (e.g. a
+	// 1-domain machine when the meta section is gone).
+	Synthesized []string
+}
+
+// Clean reports whether the file loaded with no damage at all.
+func (r *Report) Clean() bool {
+	return len(r.Corrupt) == 0 && len(r.Missing) == 0 && len(r.Synthesized) == 0
+}
+
+// Damage flattens the report into the strings core.Health carries as
+// FileDamage; nil when clean.
+func (r *Report) Damage() []string {
+	var out []string
+	for _, c := range r.Corrupt {
+		out = append(out, "corrupt: "+c)
+	}
+	for _, m := range r.Missing {
+		out = append(out, "missing section: "+m)
+	}
+	for _, s := range r.Synthesized {
+		out = append(out, "synthesized: "+s)
+	}
+	return out
+}
+
+// Summary renders the report for the CLI.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	if r.Clean() {
+		fmt.Fprintf(&b, "measurement file clean (v%d, sections: %s)", r.Version, strings.Join(r.Intact, ", "))
+		return b.String()
+	}
+	fmt.Fprintf(&b, "measurement file damaged (v%d)\n", r.Version)
+	fmt.Fprintf(&b, "  recovered: %s\n", strings.Join(r.Intact, ", "))
+	for _, d := range r.Damage() {
+		fmt.Fprintf(&b, "  %s\n", d)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// Save writes a profile as a v2 sectioned measurement document.
 func Save(w io.Writer, p *core.Profile) error {
 	doc, err := Encode(p)
 	if err != nil {
 		return err
 	}
-	enc := json.NewEncoder(w)
-	return enc.Encode(doc)
+	return writeDocument(w, doc)
+}
+
+// writeDocument shards doc into checksummed sections.
+func writeDocument(w io.Writer, doc *Document) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, magicV2); err != nil {
+		return err
+	}
+	writeSection := func(name string, v any) error {
+		body, err := json.Marshal(v)
+		if err != nil {
+			return fmt.Errorf("profio: encode section %s: %w", name, err)
+		}
+		rec := sectionRec{Name: name, CRC: crc32.ChecksumIEEE(body), Body: body}
+		line, err := json.Marshal(&rec)
+		if err != nil {
+			return fmt.Errorf("profio: encode section %s: %w", name, err)
+		}
+		if _, err := bw.Write(line); err != nil {
+			return err
+		}
+		return bw.WriteByte('\n')
+	}
+	meta := metaDoc{
+		Version:   doc.Version,
+		App:       doc.App,
+		Machine:   doc.Machine,
+		Mechanism: doc.Mechanism,
+		Period:    doc.Period,
+		HasFT:     doc.HasFT,
+		Totals:    doc.Totals,
+		Health:    doc.Health,
+	}
+	if err := writeSection(SectionMeta, &meta); err != nil {
+		return err
+	}
+	if err := writeSection(SectionBinary, &doc.Binary); err != nil {
+		return err
+	}
+	if err := writeSection(SectionVars, doc.Vars); err != nil {
+		return err
+	}
+	if err := writeSection(SectionTree, doc.Tree); err != nil {
+		return err
+	}
+	if err := writeSection(SectionPatterns, doc.Patterns); err != nil {
+		return err
+	}
+	if len(doc.Timeline) > 0 {
+		if err := writeSection(SectionTimeline, doc.Timeline); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
 }
 
 // Encode converts a live profile into its document form.
@@ -136,6 +311,7 @@ func Encode(p *core.Profile) (*Document, error) {
 		Mechanism: p.Mechanism,
 		Period:    p.Period,
 		Totals:    p.Totals,
+		Health:    p.Health,
 		HasFT:     p.FirstTouch != nil,
 	}
 	doc.Binary = BinaryDoc{
@@ -239,23 +415,306 @@ func encodeNode(n *cct.Node) *NodeDoc {
 	return d
 }
 
-// Load reads a measurement document and reconstructs a core.Profile
-// suitable for every view. The profile is read-only in spirit: it has
-// no live engine, sampler, or first-touch recorder behind it.
+// Load reads a measurement document strictly and reconstructs a
+// core.Profile suitable for every view. Any damage — a checksum
+// mismatch, an unparseable section line, a missing core section, an
+// invalid machine description — rejects the whole file. The profile is
+// read-only in spirit: it has no live engine, sampler, or first-touch
+// recorder behind it.
 func Load(r io.Reader) (*core.Profile, error) {
-	var doc Document
-	if err := json.NewDecoder(r).Decode(&doc); err != nil {
-		return nil, fmt.Errorf("profio: decode: %w", err)
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("profio: read: %w", err)
 	}
-	return Decode(&doc)
+	doc, err := parseStrict(data)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(doc)
 }
 
-// Decode reconstructs a core.Profile from its document form.
-func Decode(doc *Document) (*core.Profile, error) {
-	if doc.Version != FormatVersion {
-		return nil, fmt.Errorf("profio: unsupported format version %d (want %d)", doc.Version, FormatVersion)
+// LoadLenient reads a measurement document salvaging everything it can:
+// intact sections load normally, damaged or missing ones are replaced
+// with placeholders, and the returned Report itemises the damage (also
+// folded into the profile's Health.FileDamage). It returns an error
+// only when nothing recognisable as a measurement file survives — in
+// the spirit of the paper's offline analyzer, a partial profile with an
+// honest damage report beats no profile.
+func LoadLenient(r io.Reader) (*core.Profile, *Report, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, nil, fmt.Errorf("profio: read: %w", err)
 	}
+	doc, rep, err := parseLenient(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	prof, err := decode(doc, rep)
+	if err != nil {
+		return nil, nil, err
+	}
+	if d := rep.Damage(); len(d) > 0 {
+		prof.Health.FileDamage = append(prof.Health.FileDamage, d...)
+	}
+	return prof, rep, nil
+}
 
+// looksV1 reports whether data is a version-1 single-object document.
+func looksV1(data []byte) bool {
+	t := bytes.TrimLeft(data, " \t\r\n")
+	return len(t) > 0 && t[0] == '{'
+}
+
+// parseStrict assembles a Document from file bytes, rejecting any
+// damage.
+func parseStrict(data []byte) (*Document, error) {
+	if looksV1(data) {
+		var doc Document
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return nil, fmt.Errorf("profio: decode v1 document: %w", err)
+		}
+		return &doc, nil
+	}
+	bodies, anomalies := scanSections(data)
+	if len(anomalies) > 0 {
+		return nil, fmt.Errorf("profio: %s", anomalies[0])
+	}
+	for _, name := range coreSections {
+		if _, ok := bodies[name]; !ok {
+			return nil, fmt.Errorf("profio: missing section %q (truncated file?)", name)
+		}
+	}
+	doc, decodeErrs := assemble(bodies)
+	if len(decodeErrs) > 0 {
+		return nil, fmt.Errorf("profio: %s", decodeErrs[0])
+	}
+	return doc, nil
+}
+
+// parseLenient assembles what it can, itemising damage in the report.
+// It fails only when the bytes are not recognisable as any version of
+// the format.
+func parseLenient(data []byte) (*Document, *Report, error) {
+	rep := &Report{}
+	if looksV1(data) {
+		var doc Document
+		if err := json.Unmarshal(data, &doc); err != nil {
+			// A v1 file is one JSON object: there are no section
+			// boundaries to salvage at.
+			return nil, nil, fmt.Errorf("profio: v1 document unrecoverable: %w", err)
+		}
+		rep.Version = doc.Version
+		rep.Intact = append(rep.Intact, "v1 document")
+		return &doc, rep, nil
+	}
+	bodies, anomalies := scanSections(data)
+	if bodies == nil {
+		return nil, nil, fmt.Errorf("profio: not a measurement file")
+	}
+	rep.Corrupt = append(rep.Corrupt, anomalies...)
+	doc, decodeErrs := assemble(bodies)
+	rep.Corrupt = append(rep.Corrupt, decodeErrs...)
+	rep.Version = doc.Version
+	for _, name := range coreSections {
+		if _, ok := bodies[name]; !ok {
+			rep.Missing = append(rep.Missing, name)
+		}
+	}
+	for _, name := range []string{SectionMeta, SectionBinary, SectionVars, SectionTree, SectionPatterns, SectionTimeline} {
+		if _, ok := bodies[name]; ok && !damaged(rep, name) {
+			rep.Intact = append(rep.Intact, name)
+		}
+	}
+	return doc, rep, nil
+}
+
+// damaged reports whether a recovered section later failed to decode.
+func damaged(rep *Report, name string) bool {
+	for _, c := range rep.Corrupt {
+		if strings.HasPrefix(c, "section "+name+":") {
+			return true
+		}
+	}
+	return false
+}
+
+// scanSections splits v2 file bytes into verified section bodies. It
+// returns nil bodies when the magic line is absent (not our format);
+// otherwise it returns every section whose line parses and whose
+// checksum matches, plus a list of anomalies for everything else.
+func scanSections(data []byte) (map[string]json.RawMessage, []string) {
+	lines := bytes.Split(data, []byte("\n"))
+	if len(lines) == 0 || strings.TrimRight(string(lines[0]), "\r") != magicV2 {
+		return nil, []string{"missing magic line (not a v2 measurement file)"}
+	}
+	bodies := make(map[string]json.RawMessage)
+	var anomalies []string
+	for i, line := range lines[1:] {
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 {
+			continue
+		}
+		var rec sectionRec
+		if err := json.Unmarshal(line, &rec); err != nil {
+			anomalies = append(anomalies, fmt.Sprintf("line %d: unparseable section record (truncated or garbled)", i+2))
+			continue
+		}
+		if rec.Name == "" {
+			anomalies = append(anomalies, fmt.Sprintf("line %d: section record without a name", i+2))
+			continue
+		}
+		if got := crc32.ChecksumIEEE(rec.Body); got != rec.CRC {
+			anomalies = append(anomalies, fmt.Sprintf("section %s: checksum mismatch (stored %08x, computed %08x)", rec.Name, rec.CRC, got))
+			continue
+		}
+		if _, dup := bodies[rec.Name]; dup {
+			anomalies = append(anomalies, fmt.Sprintf("section %s: duplicate record ignored", rec.Name))
+			continue
+		}
+		bodies[rec.Name] = rec.Body
+	}
+	return bodies, anomalies
+}
+
+// assemble unmarshals verified section bodies into a Document. Bodies
+// that fail to unmarshal (possible under fuzzing: a record whose CRC
+// happens to match a garbled body) are reported, not fatal — the
+// caller decides strict vs lenient.
+func assemble(bodies map[string]json.RawMessage) (*Document, []string) {
+	doc := &Document{}
+	var errs []string
+	report := func(name string, err error) {
+		errs = append(errs, fmt.Sprintf("section %s: undecodable body: %v", name, err))
+	}
+	if b, ok := bodies[SectionMeta]; ok {
+		var meta metaDoc
+		if err := json.Unmarshal(b, &meta); err != nil {
+			report(SectionMeta, err)
+		} else {
+			doc.Version = meta.Version
+			doc.App = meta.App
+			doc.Machine = meta.Machine
+			doc.Mechanism = meta.Mechanism
+			doc.Period = meta.Period
+			doc.HasFT = meta.HasFT
+			doc.Totals = meta.Totals
+			doc.Health = meta.Health
+		}
+	}
+	if b, ok := bodies[SectionBinary]; ok {
+		if err := json.Unmarshal(b, &doc.Binary); err != nil {
+			report(SectionBinary, err)
+		}
+	}
+	if b, ok := bodies[SectionVars]; ok {
+		if err := json.Unmarshal(b, &doc.Vars); err != nil {
+			report(SectionVars, err)
+		}
+	}
+	if b, ok := bodies[SectionTree]; ok {
+		if err := json.Unmarshal(b, &doc.Tree); err != nil {
+			report(SectionTree, err)
+		}
+	}
+	if b, ok := bodies[SectionPatterns]; ok {
+		if err := json.Unmarshal(b, &doc.Patterns); err != nil {
+			report(SectionPatterns, err)
+		}
+	}
+	if b, ok := bodies[SectionTimeline]; ok {
+		if err := json.Unmarshal(b, &doc.Timeline); err != nil {
+			report(SectionTimeline, err)
+		}
+	}
+	return doc, errs
+}
+
+// maxSaneDomains and maxSaneCPUs bound the machine description a
+// loaded file may request, so a corrupted (or fuzzed) meta section
+// cannot make topology.New allocate gigabytes — or merely burn
+// hundreds of milliseconds per load building a machine no profile
+// this tool writes could describe. maxSaneCPUs bounds the TOTAL CPU
+// count (domains x cpus-per-domain): the per-CPU structures dominate
+// the allocation cost.
+const (
+	maxSaneDomains = 1 << 8
+	maxSaneCPUs    = 1 << 12
+)
+
+// validateMachine mirrors topology.New's panic conditions (plus sanity
+// bounds) as a returnable error, because a measurement file is
+// untrusted input where the machine description is static trusted data.
+func validateMachine(cfg topology.Config) error {
+	if cfg.NumDomains <= 0 || cfg.CPUsPerDomain <= 0 {
+		return fmt.Errorf("non-positive domain or CPU count (%d domains x %d cpus)", cfg.NumDomains, cfg.CPUsPerDomain)
+	}
+	if cfg.NumDomains > maxSaneDomains || cfg.CPUsPerDomain > maxSaneCPUs ||
+		cfg.NumDomains*cfg.CPUsPerDomain > maxSaneCPUs {
+		return fmt.Errorf("implausible machine size (%d domains x %d cpus)", cfg.NumDomains, cfg.CPUsPerDomain)
+	}
+	if cfg.RemoteDistance < 0 {
+		return fmt.Errorf("negative remote distance %d", cfg.RemoteDistance)
+	}
+	if cfg.Distances != nil {
+		if len(cfg.Distances) != cfg.NumDomains {
+			return fmt.Errorf("distance matrix has %d rows, want %d", len(cfg.Distances), cfg.NumDomains)
+		}
+		for i := range cfg.Distances {
+			if len(cfg.Distances[i]) != cfg.NumDomains {
+				return fmt.Errorf("distance row %d has %d entries, want %d", i, len(cfg.Distances[i]), cfg.NumDomains)
+			}
+			for j, d := range cfg.Distances[i] {
+				switch {
+				case i == j && d != 10:
+					return fmt.Errorf("diagonal distance [%d][%d] = %d, want 10", i, j, d)
+				case i != j && d <= 10:
+					return fmt.Errorf("off-diagonal distance [%d][%d] = %d, want > 10", i, j, d)
+				case cfg.Distances[j][i] != d:
+					return fmt.Errorf("asymmetric distance [%d][%d]", i, j)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// salvageMachine is the placeholder topology a lenient load installs
+// when the file's machine description is lost or invalid.
+func salvageMachine() topology.Config {
+	return topology.Config{
+		Name:            "<salvaged-1-domain>",
+		NumDomains:      1,
+		CPUsPerDomain:   1,
+		MemoryPerDomain: 1 << 30,
+	}
+}
+
+// Decode reconstructs a core.Profile from its document form, strictly:
+// unsupported versions and invalid machine descriptions are errors.
+func Decode(doc *Document) (*core.Profile, error) {
+	if doc.Version < 1 || doc.Version > FormatVersion {
+		return nil, fmt.Errorf("profio: unsupported format version %d (support 1..%d)", doc.Version, FormatVersion)
+	}
+	if err := validateMachine(doc.Machine); err != nil {
+		return nil, fmt.Errorf("profio: invalid machine description: %w", err)
+	}
+	return decode(doc, nil)
+}
+
+// decode builds the profile. With a non-nil report it runs leniently:
+// a bad machine description or version is replaced and reported instead
+// of failing.
+func decode(doc *Document, rep *Report) (*core.Profile, error) {
+	if rep != nil {
+		if doc.Version < 1 || doc.Version > FormatVersion {
+			rep.Synthesized = append(rep.Synthesized, fmt.Sprintf("format version (file said %d, treating as %d)", doc.Version, FormatVersion))
+			doc.Version = FormatVersion
+		}
+		if err := validateMachine(doc.Machine); err != nil {
+			rep.Synthesized = append(rep.Synthesized, fmt.Sprintf("machine topology (1-domain placeholder; file's was invalid: %v)", err))
+			doc.Machine = salvageMachine()
+		}
+	}
 	machine := topology.New(doc.Machine)
 
 	prog := isa.NewProgram(doc.Binary.Name)
@@ -343,6 +802,7 @@ func Decode(doc *Document) (*core.Profile, error) {
 		Timeline:  timeline,
 		Binary:    prog,
 		Totals:    doc.Totals,
+		Health:    doc.Health,
 	}, nil
 }
 
@@ -355,6 +815,9 @@ func decodeNodeInto(n *cct.Node, d *NodeDoc) {
 		n.ExtendRange(owner, rg.Max)
 	}
 	for _, cd := range d.Children {
+		if cd == nil {
+			continue
+		}
 		key := cct.Key{
 			Kind:  cct.NodeKind(cd.Kind),
 			Fn:    isa.FuncID(cd.Fn),

@@ -67,7 +67,7 @@ func (a *demoApp) Run(e *proc.Engine) {
 	}
 }
 
-func liveProfile(t *testing.T) *core.Profile {
+func liveProfile(t testing.TB) *core.Profile {
 	t.Helper()
 	m := topology.New(topology.Config{
 		Name: "profio-m", NumDomains: 4, CPUsPerDomain: 2,

@@ -48,6 +48,10 @@ type htmlData struct {
 	CCT            []cctRow
 	HasFirstTouch  bool
 	TimelineBucket []timelineRow
+
+	// HealthLines is the degradation ledger, one rendered line per
+	// entry; empty for a fully healthy run.
+	HealthLines []string
 }
 
 type domainRow struct {
@@ -125,6 +129,14 @@ func buildHTMLData(p *core.Profile, topVars int) htmlData {
 		Significant:  t.Significant,
 		SimTime:      uint64(t.SimTime),
 		Overhead:     uint64(t.Overhead),
+	}
+	if t.LPIInsufficient {
+		d.LPI = "0.000 [insufficient samples]"
+	}
+	if s := p.Health.Summary(); s != "" {
+		for _, line := range strings.Split(strings.TrimRight(s, "\n"), "\n") {
+			d.HealthLines = append(d.HealthLines, strings.TrimSpace(line))
+		}
 	}
 	for dom, n := range t.PerDomain {
 		if n == 0 {
@@ -268,6 +280,12 @@ details { margin: .3rem 0; } summary { cursor: pointer; }
 lpi_NUMA = {{.LPI}} (exact {{.LPIExact}}, threshold 0.1):
 {{if .Significant}}SIGNIFICANT — NUMA optimisation warranted{{else}}insignificant — NUMA optimisation would not pay off{{end}}
 </div>
+
+{{if .HealthLines}}
+<div class="verdict sig">
+{{range .HealthLines}}{{.}}<br>
+{{end}}</div>
+{{end}}
 
 <h2>Program totals</h2>
 <table>

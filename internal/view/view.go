@@ -92,8 +92,14 @@ func Totals(p *core.Profile) string {
 		}
 	}
 	fmt.Fprintf(&b, "request imbalance %.2fx (1.0 = balanced)\n", t.Imbalance)
+	lpi := fmtLPI(t.LPI)
+	if t.LPIInsufficient {
+		// The estimator refused to divide by zero: the run delivered
+		// too few usable samples for Eq.2/Eq.3 to mean anything.
+		lpi = "0.000 [insufficient samples]"
+	}
 	fmt.Fprintf(&b, "lpi_NUMA %s (exact %.3f)  threshold %.1f  => ",
-		fmtLPI(t.LPI), t.LPIExact, metrics.SignificanceThreshold)
+		lpi, t.LPIExact, metrics.SignificanceThreshold)
 	if t.Significant {
 		b.WriteString("SIGNIFICANT: NUMA optimisation warranted\n")
 	} else {
@@ -236,12 +242,23 @@ func truncate(s string, n int) string {
 	return s[:n-1] + "~"
 }
 
+// HealthBlock renders the pipeline-health ledger: every sample lost,
+// quarantined, or worked around during collection, plus thread coverage
+// and measurement-file damage. Empty for a fully healthy run.
+func HealthBlock(p *core.Profile) string {
+	return p.Health.Summary()
+}
+
 // Report renders a full profile: totals, variable table, the hottest
-// variable's bins, address-centric views for the top variables, and
-// first-touch reports.
+// variable's bins, address-centric views for the top variables,
+// first-touch reports, and — when anything degraded — the health block.
 func Report(p *core.Profile, topVars int) string {
 	var b strings.Builder
 	b.WriteString(Totals(p))
+	if h := HealthBlock(p); h != "" {
+		b.WriteString("\n")
+		b.WriteString(h)
+	}
 	b.WriteString("\n")
 	b.WriteString(VarTable(p, topVars))
 	vars := p.Vars
