@@ -13,6 +13,7 @@ package repro
 
 import (
 	"testing"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/cct"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/metrics"
 	"repro/internal/proc"
+	"repro/internal/sched"
 	"repro/internal/topology"
 	"repro/internal/vm"
 	"repro/internal/workloads"
@@ -256,6 +258,57 @@ func BenchmarkAblationDynamic(b *testing.B) {
 	}
 	b.ReportMetric(100*res.Speedup("static", "block-wise"), "static_block_pct")
 	b.ReportMetric(100*res.Speedup("dynamic", "interleaved"), "dynamic_interleave_pct")
+}
+
+// --- scheduler benchmarks ---
+
+// benchSweepPair times the same sweep at 1 worker and at the session's
+// default worker count, and reports the wall-clock ratio as speedup_x.
+// On a single-CPU runner the ratio hovers around 1; on the 4-core CI
+// machine the Table 2 sweep's 30 independent cells should clear 2x.
+func benchSweepPair(b *testing.B, run func() error) {
+	b.Helper()
+	prev := sched.SetWorkers(1)
+	defer sched.SetWorkers(prev)
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		if err := run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	serial := time.Since(start)
+
+	sched.SetWorkers(0) // back to the default (env override or GOMAXPROCS)
+	workers := sched.Workers()
+	start = time.Now()
+	for i := 0; i < b.N; i++ {
+		if err := run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	parallel := time.Since(start)
+
+	b.ReportMetric(serial.Seconds()/parallel.Seconds(), "speedup_x")
+	b.ReportMetric(float64(workers), "workers")
+}
+
+// BenchmarkParallelSweep is the acceptance benchmark for the scheduler:
+// the full Table 2 sweep (6 mechanisms x 5 workloads, each cell a
+// base+monitored run pair) serial vs parallel.
+func BenchmarkParallelSweep(b *testing.B) {
+	benchSweepPair(b, func() error {
+		_, err := experiments.RunTable2(2)
+		return err
+	})
+}
+
+// BenchmarkParallelAblations covers a second sweep shape: the 9-cell
+// contention ablation (3 fabric capacities x 3 placement strategies).
+func BenchmarkParallelAblations(b *testing.B) {
+	benchSweepPair(b, func() error {
+		_, err := experiments.RunAblationContention()
+		return err
+	})
 }
 
 func boolMetric(v bool) float64 {

@@ -12,6 +12,13 @@
 //	numabench -run F3,F45,F89,F10
 //	numabench -run S1,S2,S3,S4
 //
+// Fan the independent experiment cells (and the artifacts themselves)
+// out across worker goroutines; the printed report is byte-identical
+// to the serial run, only faster:
+//
+//	numabench -parallel 8
+//	numabench -parallel 1   # today's serial path
+//
 // Ids: T1 T2 (tables), F1 F2 F3 F45 F89 F10 (figures), S1-S4 (the
 // Section 8 speedups: LULESH, AMG2006, Blackscholes, UMT2013),
 // A1-A4 (design-choice ablations: sampling period, binning,
@@ -28,6 +35,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/sched"
 )
 
 type artifact struct {
@@ -168,11 +176,14 @@ func artifacts() []artifact {
 
 func main() {
 	var (
-		runList = flag.String("run", "", "comma-separated artifact ids (empty: all)")
-		iters   = flag.Int("iters", 0, "workload iterations for the heavy runs (0: defaults)")
-		mdOut   = flag.String("out", "", "also write the results as a markdown report to this path")
+		runList  = flag.String("run", "", "comma-separated artifact ids (empty: all)")
+		iters    = flag.Int("iters", 0, "workload iterations for the heavy runs (0: defaults)")
+		mdOut    = flag.String("out", "", "also write the results as a markdown report to this path")
+		parallel = flag.Int("parallel", sched.Workers(),
+			"worker goroutines for experiment cells and artifacts (1: today's serial path; results are identical either way)")
 	)
 	flag.Parse()
+	sched.SetWorkers(*parallel)
 
 	want := map[string]bool{}
 	if *runList != "" {
@@ -188,25 +199,68 @@ func main() {
 		md.WriteString("paper's reported numbers where the paper reports them.\n\n")
 	}
 
-	failed := false
+	var selected []artifact
 	for _, a := range artifacts() {
 		if len(want) > 0 && !want[a.id] {
 			continue
 		}
+		selected = append(selected, a)
+	}
+
+	// The artifacts themselves are independent, so they too go through
+	// the scheduler. With -parallel 1 this streams each artifact's
+	// output as it completes, exactly as before; with more workers the
+	// outputs are buffered and printed afterwards in the same fixed
+	// order, so the report is byte-identical.
+	type outcome struct {
+		out     string
+		elapsed time.Duration
+	}
+	streaming := sched.Workers() <= 1
+	results, runErr := sched.Map(len(selected), func(i int) (outcome, error) {
+		a := selected[i]
 		start := time.Now()
-		fmt.Printf("=== %s — %s ===\n", a.id, a.title)
+		if streaming {
+			fmt.Printf("=== %s — %s ===\n", a.id, a.title)
+		}
 		out, err := a.run(*iters)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s failed: %v\n", a.id, err)
-			failed = true
+			return outcome{}, fmt.Errorf("%s failed: %w", a.id, err)
+		}
+		elapsed := time.Since(start).Round(time.Millisecond)
+		if streaming {
+			fmt.Print(out)
+			fmt.Printf("(%s in %v)\n\n", a.id, elapsed)
+		}
+		return outcome{out: out, elapsed: elapsed}, nil
+	})
+
+	failed := false
+	failedIDs := map[int]bool{}
+	if runErr != nil {
+		failed = true
+		if sweep, ok := sched.AsSweep(runErr); ok {
+			for _, ce := range sweep.Cells {
+				fmt.Fprintln(os.Stderr, ce.Err)
+				failedIDs[ce.Index] = true
+			}
+		} else {
+			fmt.Fprintln(os.Stderr, runErr)
+		}
+	}
+	for i, a := range selected {
+		if failedIDs[i] {
 			continue
 		}
-		fmt.Print(out)
-		elapsed := time.Since(start).Round(time.Millisecond)
-		fmt.Printf("(%s in %v)\n\n", a.id, elapsed)
+		r := results[i]
+		if !streaming {
+			fmt.Printf("=== %s — %s ===\n", a.id, a.title)
+			fmt.Print(r.out)
+			fmt.Printf("(%s in %v)\n\n", a.id, r.elapsed)
+		}
 		if *mdOut != "" {
 			fmt.Fprintf(&md, "## %s — %s\n\n```\n%s```\n\n_(completed in %v)_\n\n",
-				a.id, a.title, out, elapsed)
+				a.id, a.title, r.out, r.elapsed)
 		}
 	}
 	if *mdOut != "" && !failed {

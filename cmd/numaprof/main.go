@@ -10,6 +10,11 @@
 //	numaprof -workload umt2013 -machine ibm-power7-128 -threads 32 -binding scatter -mechanism MRK
 //	numaprof -workload blackscholes -first-touch=false -top 2
 //	numaprof -workload lulesh -chaos drop=0.2,fail=2000,seed=42
+//	numaprof -workload lulesh,amg2006,blackscholes -parallel 3
+//
+// Several comma-separated workloads profile as independent cells on
+// worker goroutines (-parallel; the reports print in the order given
+// and are identical at any worker count).
 //
 // The -chaos flag injects deterministic faults (sample drops, EA
 // corruption, IP skid, sampler stalls and hard failures) into the
@@ -18,8 +23,10 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -30,6 +37,7 @@ import (
 	"repro/internal/pmu"
 	"repro/internal/proc"
 	"repro/internal/profio"
+	"repro/internal/sched"
 	"repro/internal/topology"
 	"repro/internal/trace"
 	"repro/internal/view"
@@ -38,7 +46,7 @@ import (
 
 func main() {
 	var (
-		workload  = flag.String("workload", "lulesh", "workload: lulesh, amg2006, blackscholes, umt2013")
+		workload  = flag.String("workload", "lulesh", "workload: lulesh, amg2006, blackscholes, umt2013 (comma-separate to profile several)")
 		mechanism = flag.String("mechanism", "IBS", "sampling mechanism: "+strings.Join(pmu.Names(), ", "))
 		machine   = flag.String("machine", "", "machine preset (default: the mechanism's Table 1 testbed)")
 		threads   = flag.Int("threads", 0, "team size (0: all CPUs)")
@@ -54,17 +62,73 @@ func main() {
 		htmlOut   = flag.String("html", "", "also write a self-contained HTML report to this path")
 		profOut   = flag.String("profile", "", "write the measurement file (for numaview) to this path")
 		chaos     = flag.String("chaos", "", "fault-injection plan, e.g. drop=0.2,corrupt=0.01,fail=2000,seed=42 (see internal/faults)")
+		parallel  = flag.Int("parallel", sched.Workers(),
+			"worker goroutines when profiling several workloads (1: serial; reports are identical either way)")
 	)
 	flag.Parse()
+	sched.SetWorkers(*parallel)
 
-	if err := run(*workload, *mechanism, *machine, *threads, *binding, *strategy,
-		*period, *bins, *iters, *top, *firstT, *showCCT, *doTrace, *htmlOut, *profOut, *chaos); err != nil {
-		fmt.Fprintln(os.Stderr, "numaprof:", err)
+	var names []string
+	for _, n := range strings.Split(*workload, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	if len(names) == 0 {
+		fmt.Fprintln(os.Stderr, "numaprof: no workload given")
+		os.Exit(1)
+	}
+
+	if len(names) == 1 {
+		if err := run(os.Stdout, names[0], *mechanism, *machine, *threads, *binding, *strategy,
+			*period, *bins, *iters, *top, *firstT, *showCCT, *doTrace, *htmlOut, *profOut, *chaos); err != nil {
+			fmt.Fprintln(os.Stderr, "numaprof:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	// Several workloads: each is an independent cell; reports buffer in
+	// the cells and print in the order given, so the output does not
+	// depend on the worker count. File outputs would collide, so they
+	// are single-workload only.
+	if *htmlOut != "" || *profOut != "" {
+		fmt.Fprintln(os.Stderr, "numaprof: -html/-profile need a single workload")
+		os.Exit(1)
+	}
+	outs, err := sched.Map(len(names), func(i int) (string, error) {
+		var buf bytes.Buffer
+		if err := run(&buf, names[i], *mechanism, *machine, *threads, *binding, *strategy,
+			*period, *bins, *iters, *top, *firstT, *showCCT, *doTrace, "", "", *chaos); err != nil {
+			return "", fmt.Errorf("%s: %w", names[i], err)
+		}
+		return buf.String(), nil
+	})
+	failed := map[int]bool{}
+	if err != nil {
+		if sweep, ok := sched.AsSweep(err); ok {
+			for _, ce := range sweep.Cells {
+				fmt.Fprintln(os.Stderr, "numaprof:", ce.Err)
+				failed[ce.Index] = true
+			}
+		} else {
+			fmt.Fprintln(os.Stderr, "numaprof:", err)
+		}
+	}
+	for i, name := range names {
+		if failed[i] {
+			continue
+		}
+		fmt.Printf("=== %s ===\n", name)
+		fmt.Print(outs[i])
+		fmt.Println()
+	}
+	if err != nil {
 		os.Exit(1)
 	}
 }
 
-func run(workload, mechanism, machine string, threads int, binding, strategy string,
+func run(w io.Writer, workload, mechanism, machine string, threads int, binding, strategy string,
 	period uint64, bins, iters, top int, firstTouch, showCCT, doTrace bool, htmlOut, profOut, chaos string) error {
 
 	var m *topology.Machine
@@ -152,15 +216,15 @@ func run(workload, mechanism, machine string, threads int, binding, strategy str
 	if err != nil {
 		return err
 	}
-	fmt.Print(view.Report(prof, top))
+	fmt.Fprint(w, view.Report(prof, top))
 	if showCCT {
-		fmt.Println()
-		fmt.Print(view.CCT(prof, metrics.Mismatch, 6, 0.01))
-		fmt.Print(view.RenderHotPath(prof, metrics.Mismatch))
+		fmt.Fprintln(w)
+		fmt.Fprint(w, view.CCT(prof, metrics.Mismatch, 6, 0.01))
+		fmt.Fprint(w, view.RenderHotPath(prof, metrics.Mismatch))
 	}
 	if doTrace && prof.Timeline != nil {
-		fmt.Println()
-		fmt.Print(trace.Render(prof.Timeline, 16, 40))
+		fmt.Fprintln(w)
+		fmt.Fprint(w, trace.Render(prof.Timeline, 16, 40))
 	}
 	if htmlOut != "" {
 		page, err := view.HTML(prof, top)
@@ -170,7 +234,7 @@ func run(workload, mechanism, machine string, threads int, binding, strategy str
 		if err := os.WriteFile(htmlOut, []byte(page), 0o644); err != nil {
 			return err
 		}
-		fmt.Printf("\nHTML report written to %s\n", htmlOut)
+		fmt.Fprintf(w, "\nHTML report written to %s\n", htmlOut)
 	}
 	if profOut != "" {
 		f, err := os.Create(profOut)
@@ -181,7 +245,7 @@ func run(workload, mechanism, machine string, threads int, binding, strategy str
 		if err := profio.Save(f, prof); err != nil {
 			return err
 		}
-		fmt.Printf("\nmeasurement file written to %s (view with numaview)\n", profOut)
+		fmt.Fprintf(w, "\nmeasurement file written to %s (view with numaview)\n", profOut)
 	}
 	return nil
 }

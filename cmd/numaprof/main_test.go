@@ -1,6 +1,7 @@
 package main
 
 import (
+	"io"
 	"strings"
 	"testing"
 )
@@ -12,19 +13,19 @@ func TestRunRejectsBadInputs(t *testing.T) {
 		call func() error
 	}{
 		{"unknown workload", "unknown workload", func() error {
-			return run("nope", "IBS", "", 0, "compact", "baseline", 0, 0, 1, 1, false, false, false, "", "", "")
+			return run(io.Discard, "nope", "IBS", "", 0, "compact", "baseline", 0, 0, 1, 1, false, false, false, "", "", "")
 		}},
 		{"unknown machine", "unknown machine", func() error {
-			return run("lulesh", "IBS", "pdp-11", 0, "compact", "baseline", 0, 0, 1, 1, false, false, false, "", "", "")
+			return run(io.Discard, "lulesh", "IBS", "pdp-11", 0, "compact", "baseline", 0, 0, 1, 1, false, false, false, "", "", "")
 		}},
 		{"unknown binding", "unknown binding", func() error {
-			return run("lulesh", "IBS", "", 0, "diagonal", "baseline", 0, 0, 1, 1, false, false, false, "", "", "")
+			return run(io.Discard, "lulesh", "IBS", "", 0, "diagonal", "baseline", 0, 0, 1, 1, false, false, false, "", "", "")
 		}},
 		{"unknown mechanism", "unknown mechanism", func() error {
-			return run("lulesh", "XYZ", "", 0, "compact", "baseline", 0, 0, 1, 1, false, false, false, "", "", "")
+			return run(io.Discard, "lulesh", "XYZ", "", 0, "compact", "baseline", 0, 0, 1, 1, false, false, false, "", "", "")
 		}},
 		{"bad chaos plan", "faults:", func() error {
-			return run("lulesh", "IBS", "", 0, "compact", "baseline", 0, 0, 1, 1, false, false, false, "", "", "drop=2.5")
+			return run(io.Discard, "lulesh", "IBS", "", 0, "compact", "baseline", 0, 0, 1, 1, false, false, false, "", "", "drop=2.5")
 		}},
 	}
 	for _, c := range cases {
@@ -41,7 +42,7 @@ func TestRunRejectsBadInputs(t *testing.T) {
 
 func TestRunBlackscholesSmoke(t *testing.T) {
 	// A fast end-to-end run through the whole pipeline.
-	if err := run("blackscholes", "IBS", "", 0, "compact", "baseline",
+	if err := run(io.Discard, "blackscholes", "IBS", "", 0, "compact", "baseline",
 		0, 0, 4, 1, true, true, true, t.TempDir()+"/report.html", "", ""); err != nil {
 		t.Fatal(err)
 	}
@@ -51,14 +52,14 @@ func TestRunChaosSmoke(t *testing.T) {
 	// A chaos run must complete end-to-end, not crash: drops, EA
 	// corruption, and a stall all hit the same pipeline the clean run
 	// uses.
-	if err := run("blackscholes", "IBS", "", 0, "compact", "baseline",
+	if err := run(io.Discard, "blackscholes", "IBS", "", 0, "compact", "baseline",
 		0, 0, 4, 1, false, false, false, "", "", "drop=0.3,corrupt=0.05,stall=200,seed=9"); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunUMTDefaultsToScatter(t *testing.T) {
-	if err := run("umt2013", "MRK", "", 0, "compact", "baseline",
+	if err := run(io.Discard, "umt2013", "MRK", "", 0, "compact", "baseline",
 		0, 0, 2, 1, false, false, false, "", "", ""); err != nil {
 		t.Fatal(err)
 	}

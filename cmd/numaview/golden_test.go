@@ -1,0 +1,98 @@
+package main
+
+import (
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/profio"
+	"repro/internal/topology"
+	"repro/internal/workloads"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden file under testdata/")
+
+// TestViewTextGolden pins numaview's full text output for a fixed,
+// deterministic profile, so the viewer's formatting (and the ordering
+// of everything it prints) cannot drift silently. Regenerate after an
+// intentional change with
+//
+//	go test ./cmd/numaview -run Golden -update
+func TestViewTextGolden(t *testing.T) {
+	m := topology.MagnyCours48()
+	prof, err := core.Analyze(core.Config{
+		Machine:         m,
+		Mechanism:       "IBS",
+		TrackFirstTouch: true,
+		CacheConfig:     workloads.TunedCacheConfig(),
+		MemParams:       workloads.MemParamsFor(m),
+		FabricParams:    workloads.FabricParamsFor(m),
+	}, workloads.NewBlackscholes(workloads.Params{Iters: 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bs.numaprof")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := profio.Save(f, prof); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	got := captureStdout(t, func() error { return run(path, 2, true, "", false) })
+
+	golden := filepath.Join("testdata", "report.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with -update): %v", err)
+	}
+	if got != string(want) {
+		wl, gl := strings.Split(string(want), "\n"), strings.Split(got, "\n")
+		for i := 0; i < len(wl) && i < len(gl); i++ {
+			if wl[i] != gl[i] {
+				t.Fatalf("output drifted from golden at line %d:\n  golden: %q\n  got:    %q", i+1, wl[i], gl[i])
+			}
+		}
+		t.Fatalf("output drifted from golden: line counts %d vs %d", len(wl), len(gl))
+	}
+}
+
+// captureStdout redirects os.Stdout around f and returns what it
+// printed (run writes straight to stdout via fmt.Print).
+func captureStdout(t *testing.T, f func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		b, _ := io.ReadAll(r)
+		done <- string(b)
+	}()
+	ferr := f()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	if ferr != nil {
+		t.Fatal(ferr)
+	}
+	return out
+}

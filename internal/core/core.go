@@ -308,12 +308,14 @@ type Overhead struct {
 }
 
 // Percent returns the monitoring overhead as a fraction of baseline
-// (0.24 means +24%).
+// (0.24 means +24%). Cycles are unsigned, so the subtraction must
+// happen in float space: a monitored run that happens to beat its
+// baseline is a small negative overhead, not a 2^64-cycle one.
 func (o Overhead) Percent() float64 {
 	if o.Base == 0 {
 		return 0
 	}
-	return float64(o.Monitored-o.Base) / float64(o.Base)
+	return (float64(o.Monitored) - float64(o.Base)) / float64(o.Base)
 }
 
 // MeasureOverhead runs the app twice — unmonitored and monitored — and

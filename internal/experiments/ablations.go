@@ -9,6 +9,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/omp"
 	"repro/internal/proc"
+	"repro/internal/sched"
 	"repro/internal/topology"
 	"repro/internal/units"
 	"repro/internal/vm"
@@ -49,32 +50,47 @@ type AblationPeriodResult struct {
 	Rows []PeriodRow
 }
 
-// RunAblationPeriod sweeps the IBS period across four octaves.
+// RunAblationPeriod sweeps the IBS period across four octaves. The
+// unmonitored baseline and the four monitored runs are five independent
+// cells; overhead is computed after they all return.
 func RunAblationPeriod() (*AblationPeriodResult, error) {
 	m := topology.MagnyCours48()
 	mk := func() core.App { return workloads.NewLULESH(workloads.Params{Iters: 3}) }
-
 	baseCfg := BaseConfig(m, 0, proc.Compact)
-	base, err := core.Run(baseCfg, mk())
+	periods := []uint64{256, 1024, 4096, 16384}
+
+	type cell struct {
+		baseTime units.Cycles
+		prof     *core.Profile
+	}
+	cells, err := sched.Map(1+len(periods), func(i int) (cell, error) {
+		if i == 0 {
+			e, err := core.Run(baseCfg, mk())
+			if err != nil {
+				return cell{}, err
+			}
+			return cell{baseTime: e.TotalTime()}, nil
+		}
+		cfg := baseCfg
+		cfg.Mechanism = "IBS"
+		cfg.Period = periods[i-1]
+		prof, err := core.Analyze(cfg, mk())
+		return cell{prof: prof}, err
+	})
 	if err != nil {
 		return nil, err
 	}
 
+	baseTime := cells[0].baseTime
 	res := &AblationPeriodResult{}
-	for _, period := range []uint64{256, 1024, 4096, 16384} {
-		cfg := baseCfg
-		cfg.Mechanism = "IBS"
-		cfg.Period = period
-		prof, err := core.Analyze(cfg, mk())
-		if err != nil {
-			return nil, err
-		}
+	for k, period := range periods {
+		prof := cells[k+1].prof
 		row := PeriodRow{
 			Period:   period,
 			Samples:  prof.Totals.Samples,
 			LPI:      prof.Totals.LPI,
 			LPIExact: prof.Totals.LPIExact,
-			Overhead: float64(prof.Totals.SimTime-base.TotalTime()) / float64(base.TotalTime()),
+			Overhead: float64(prof.Totals.SimTime-baseTime) / float64(baseTime),
 		}
 		if row.LPIExact > 0 {
 			row.Ratio = row.LPI / row.LPIExact
@@ -164,22 +180,24 @@ type AblationBinsResult struct {
 	Rows []BinsRow
 }
 
-// RunAblationBins compares bin counts on a 90/20 hotspot.
+// RunAblationBins compares bin counts on a 90/20 hotspot, one cell
+// per bin count.
 func RunAblationBins() (*AblationBinsResult, error) {
 	m := topology.MagnyCours48()
-	res := &AblationBinsResult{}
-	for _, bins := range []int{1, 5, 20} {
+	binCounts := []int{1, 5, 20}
+	rows, err := sched.Map(len(binCounts), func(i int) (BinsRow, error) {
+		bins := binCounts[i]
 		cfg := BaseConfig(m, 0, proc.Compact)
 		cfg.Mechanism = "Soft-IBS"
 		cfg.Period = 16
 		cfg.Bins = bins
 		prof, err := core.Analyze(cfg, newHotspotApp(12288))
 		if err != nil {
-			return nil, err
+			return BinsRow{}, err
 		}
 		vp, ok := prof.VarByName("data")
 		if !ok {
-			return nil, fmt.Errorf("ablation bins: data not profiled")
+			return BinsRow{}, fmt.Errorf("ablation bins: data not profiled")
 		}
 		row := BinsRow{Bins: bins}
 		var best core.BinStats
@@ -196,9 +214,12 @@ func RunAblationBins() (*AblationBinsResult, error) {
 		if vp.Var.Size() > 0 {
 			row.HotBinExtent = float64(best.Hi-best.Lo) / float64(vp.Var.Size())
 		}
-		res.Rows = append(res.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &AblationBinsResult{Rows: rows}, nil
 }
 
 // Render prints the sweep.
@@ -232,34 +253,31 @@ type AblationContentionResult struct {
 }
 
 // RunAblationContention measures the fixes under contention caps 1.0
-// (off), 2.0 and 5.0 (the calibrated default).
+// (off), 2.0 and 5.0 (the calibrated default). The full cap × strategy
+// cross (nine runs) fans out as one flat sweep; speedups are computed
+// once every time is in.
 func RunAblationContention() (*AblationContentionResult, error) {
 	m := topology.MagnyCours48()
-	res := &AblationContentionResult{}
-	for _, cap := range []float64{1.0, 2.0, 5.0} {
+	caps := []float64{1.0, 2.0, 5.0}
+	strategies := []workloads.Strategy{workloads.Baseline, workloads.BlockWise, workloads.Interleave}
+	times, err := sched.Map(len(caps)*len(strategies), func(i int) (units.Cycles, error) {
 		params := mem.DefaultLatencyParams()
-		params.MaxContentionFactor = cap
-		run := func(s workloads.Strategy) (units.Cycles, error) {
-			cfg := BaseConfig(m, 0, proc.Compact)
-			cfg.MemParams = params
-			e, err := core.Run(cfg, workloads.NewLULESH(workloads.Params{Strategy: s, Iters: 3}))
-			if err != nil {
-				return 0, err
-			}
-			return e.TimeSince(workloads.ROIMark), nil
-		}
-		base, err := run(workloads.Baseline)
+		params.MaxContentionFactor = caps[i/len(strategies)]
+		cfg := BaseConfig(m, 0, proc.Compact)
+		cfg.MemParams = params
+		s := strategies[i%len(strategies)]
+		e, err := core.Run(cfg, workloads.NewLULESH(workloads.Params{Strategy: s, Iters: 3}))
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		block, err := run(workloads.BlockWise)
-		if err != nil {
-			return nil, err
-		}
-		inter, err := run(workloads.Interleave)
-		if err != nil {
-			return nil, err
-		}
+		return e.TimeSince(workloads.ROIMark), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &AblationContentionResult{}
+	for k, cap := range caps {
+		base, block, inter := times[k*3], times[k*3+1], times[k*3+2]
 		res.Rows = append(res.Rows, ContentionRow{
 			Cap:               cap,
 			BlockSpeedup:      float64(base)/float64(block) - 1,
@@ -384,23 +402,31 @@ func RunAblationDynamic() (*AblationDynamicResult, error) {
 		{"block-wise", vm.Blocked{Domains: doms}},
 		{"interleaved", vm.Interleaved{}},
 	}
+	// The schedule × placement cross is six independent cells; each
+	// schedule's baseline time anchors its speedups once all six are in.
+	schedules := []bool{false, true}
+	times, err := sched.Map(len(schedules)*len(placements), func(i int) (units.Cycles, error) {
+		dynamic := schedules[i/len(placements)]
+		pl := placements[i%len(placements)]
+		cfg := BaseConfig(m, 0, proc.Compact)
+		e, err := core.Run(cfg, newDynApp(48*512, 6, pl.policy, dynamic))
+		if err != nil {
+			return 0, err
+		}
+		return e.TimeSince(workloads.ROIMark), nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	res := &AblationDynamicResult{}
-	for _, dynamic := range []bool{false, true} {
+	for k, dynamic := range schedules {
 		schedName := "static"
 		if dynamic {
 			schedName = "dynamic"
 		}
-		var base units.Cycles
-		for _, pl := range placements {
-			cfg := BaseConfig(m, 0, proc.Compact)
-			e, err := core.Run(cfg, newDynApp(48*512, 6, pl.policy, dynamic))
-			if err != nil {
-				return nil, err
-			}
-			t := e.TimeSince(workloads.ROIMark)
-			if pl.name == "baseline" {
-				base = t
-			}
+		base := times[k*len(placements)] // placements[0] is the baseline
+		for j, pl := range placements {
+			t := times[k*len(placements)+j]
 			res.Rows = append(res.Rows, DynamicRow{
 				Schedule:  schedName,
 				Placement: pl.name,

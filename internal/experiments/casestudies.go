@@ -7,6 +7,7 @@ import (
 	"repro/internal/addrcentric"
 	"repro/internal/core"
 	"repro/internal/proc"
+	"repro/internal/sched"
 	"repro/internal/view"
 	"repro/internal/workloads"
 )
@@ -212,10 +213,16 @@ func RunFigures89(runs int) (*Figures89Result, error) {
 	cfg.Mechanism = "IBS"
 	res := &Figures89Result{PaperLPI: 0.035}
 
-	prof, err := core.Analyze(cfg, workloads.NewBlackscholes(workloads.Params{Iters: runs}))
+	// The SoA and AoS layouts are two independent cells.
+	profs, err := sched.Map(2, func(i int) (*core.Profile, error) {
+		app := workloads.NewBlackscholes(workloads.Params{Iters: runs})
+		app.AoS = i == 1
+		return core.Analyze(cfg, app)
+	})
 	if err != nil {
 		return nil, err
 	}
+	prof := profs[0]
 	res.LPI = prof.Totals.LPIExact
 	res.Significant = prof.Totals.Significant
 	res.EstimatedLPI = prof.Totals.LPI
@@ -230,12 +237,7 @@ func RunFigures89(runs int) (*Figures89Result, error) {
 		}
 	}
 
-	aos := workloads.NewBlackscholes(workloads.Params{Iters: runs})
-	aos.AoS = true
-	prof2, err := core.Analyze(cfg, aos)
-	if err != nil {
-		return nil, err
-	}
+	prof2 := profs[1]
 	if v, ok := prof2.Registry.Lookup("buffer"); ok {
 		if pat, ok := prof2.Patterns.Pattern(v, "bs_thread"); ok {
 			res.AoSOverlap = pat.MeanOverlap()

@@ -1,0 +1,204 @@
+package experiments
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/proc"
+	"repro/internal/profio"
+	"repro/internal/sched"
+	"repro/internal/topology"
+	"repro/internal/workloads"
+)
+
+// The scheduler's contract is that parallelism changes wall-clock and
+// nothing else: every experiment run twice with the same seed — and at
+// 1 worker vs 8 — must yield identical rendered tables, and a profiled
+// run must yield byte-identical profio measurement files. These tests
+// hash-compare the real artifacts, so any nondeterminism smuggled in by
+// a future port (map iteration, shared RNG, result reordering) fails
+// loudly here rather than as an unreproducible report.
+
+// atWorkers runs f under a fixed worker count, restoring the previous
+// setting afterwards.
+func atWorkers(t *testing.T, n int, f func() (string, error)) string {
+	t.Helper()
+	defer sched.SetWorkers(sched.SetWorkers(n))
+	out, err := f()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func hash(s string) string { return fmt.Sprintf("%x", sha256.Sum256([]byte(s))) }
+
+func TestExperimentsDeterministicAcrossWorkers(t *testing.T) {
+	cases := []struct {
+		name  string
+		heavy bool // skipped under -race, to fit the default test timeout
+		run   func() (string, error)
+	}{
+		{"Table2", true, func() (string, error) {
+			r, err := RunTable2(1)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"AblationPeriod", false, func() (string, error) {
+			r, err := RunAblationPeriod()
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"AblationBins", false, func() (string, error) {
+			r, err := RunAblationBins()
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"AblationDynamic", false, func() (string, error) {
+			r, err := RunAblationDynamic()
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"Figure1", false, func() (string, error) {
+			r, err := RunFigure1()
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"Figure3", true, func() (string, error) {
+			r, err := RunFigure3(2)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"Figures89", false, func() (string, error) {
+			r, err := RunFigures89(0)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"Robustness", true, func() (string, error) {
+			r, err := RunRobustness(0)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if raceEnabled && c.heavy {
+				t.Skip("heavy sweep trimmed under -race (see race_off_test.go)")
+			}
+			serial := atWorkers(t, 1, c.run)
+			again := atWorkers(t, 1, c.run)
+			if hash(serial) != hash(again) {
+				t.Fatalf("serial run is not repeatable:\n--- first\n%s\n--- second\n%s", serial, again)
+			}
+			parallel := atWorkers(t, 8, c.run)
+			if hash(serial) != hash(parallel) {
+				t.Fatalf("-parallel 8 changed the rendering:\n--- serial\n%s\n--- parallel\n%s", serial, parallel)
+			}
+		})
+	}
+}
+
+// TestProfioBytesDeterministicAcrossWorkers pins the stronger claim:
+// the serialised measurement file — every section, CRC included — is
+// byte-identical whether the cell ran alone or as one of eight
+// concurrent cells.
+func TestProfioBytesDeterministicAcrossWorkers(t *testing.T) {
+	cfg := BaseConfig(topology.MagnyCours48(), 0, proc.Compact)
+	cfg.Mechanism = "IBS"
+	analyze := func() ([]byte, error) {
+		prof, err := core.Analyze(cfg, workloads.NewLULESH(workloads.Params{Iters: 2}))
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		if err := profio.Save(&buf, prof); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	}
+
+	ref, err := analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ref, again) {
+		t.Fatal("two serial runs of the same config produced different measurement bytes")
+	}
+	cells := 8
+	if raceEnabled {
+		cells = 3 // still concurrent, just fewer repeats of the same cell
+	}
+	outs, err := sched.MapWith(cells, cells, func(int) ([]byte, error) { return analyze() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, out := range outs {
+		if !bytes.Equal(ref, out) {
+			t.Fatalf("concurrent cell %d produced different measurement bytes (len %d vs %d)",
+				i, len(out), len(ref))
+		}
+	}
+}
+
+// TestChaosBytesDeterministicAcrossWorkers extends the byte contract
+// to fault injection: a seeded chaos plan belongs to its cell, so the
+// injected fault sequence — and therefore the degraded measurement
+// file — must not depend on how many sibling cells run beside it.
+func TestChaosBytesDeterministicAcrossWorkers(t *testing.T) {
+	cfg := BaseConfig(topology.MagnyCours48(), 0, proc.Compact)
+	cfg.Mechanism = "IBS"
+	analyze := func() ([]byte, error) {
+		chaosCfg := cfg
+		chaosCfg.Faults = &faults.Plan{Seed: 42, DropRate: 0.2, CorruptRate: 0.02}
+		prof, err := core.Analyze(chaosCfg, workloads.NewLULESH(workloads.Params{Iters: 2}))
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		if err := profio.Save(&buf, prof); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	}
+	ref, err := analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := 4
+	if raceEnabled {
+		cells = 2
+	}
+	outs, err := sched.MapWith(cells, cells, func(int) ([]byte, error) { return analyze() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, out := range outs {
+		if !bytes.Equal(ref, out) {
+			t.Fatalf("concurrent chaos cell %d diverged from the serial reference", i)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/omp"
 	"repro/internal/proc"
+	"repro/internal/sched"
 	"repro/internal/topology"
 	"repro/internal/units"
 	"repro/internal/vm"
@@ -98,28 +99,30 @@ func RunFigure1() (*Figure1Result, error) {
 		{"interleaved", vm.Interleaved{}},
 		{"co-located blocks", vm.Blocked{Domains: doms}},
 	}
-	res := &Figure1Result{Machine: m.Name}
-	var baseTime units.Cycles
-	for _, cse := range cases {
+	// One cell per distribution; speedups are anchored to the
+	// centralised case (row 0) after all three return.
+	rows, err := sched.Map(len(cases), func(i int) (Figure1Row, error) {
+		cse := cases[i]
 		cfg := BaseConfig(m, 0, proc.Compact)
 		e, err := core.Run(cfg, newDistApp(48*512, 4, cse.policy))
 		if err != nil {
-			return nil, err
+			return Figure1Row{}, err
 		}
-		t := e.TimeSince(workloads.ROIMark)
-		if baseTime == 0 {
-			baseTime = t
-		}
-		row := Figure1Row{
+		return Figure1Row{
 			Distribution:   cse.name,
-			Time:           t,
+			Time:           e.TimeSince(workloads.ROIMark),
 			RemoteFraction: float64(e.TotalRemoteAccesses()) / float64(e.TotalMemAccesses()),
 			Imbalance:      e.Memory().Imbalance(),
-			Speedup:        float64(baseTime)/float64(t) - 1,
-		}
-		res.Rows = append(res.Rows, row)
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	baseTime := rows[0].Time
+	for i := range rows {
+		rows[i].Speedup = float64(baseTime)/float64(rows[i].Time) - 1
+	}
+	return &Figure1Result{Machine: m.Name, Rows: rows}, nil
 }
 
 // Render prints the comparison.

@@ -1,0 +1,10 @@
+//go:build !race
+
+package experiments
+
+// raceEnabled mirrors whether the race detector is compiled into the
+// test binary. The determinism harness trims its heaviest cases under
+// -race (10-20x slower) so the package stays inside the default go
+// test timeout on small machines; the light cases plus internal/core's
+// dedicated race stress keep the concurrency coverage.
+const raceEnabled = false

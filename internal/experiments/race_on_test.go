@@ -1,0 +1,7 @@
+//go:build race
+
+package experiments
+
+// raceEnabled mirrors whether the race detector is compiled into the
+// test binary; see race_off_test.go.
+const raceEnabled = true

@@ -18,6 +18,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/proc"
 	"repro/internal/profio"
+	"repro/internal/sched"
 	"repro/internal/topology"
 	"repro/internal/workloads"
 )
@@ -91,14 +92,30 @@ func RunRobustness(iters int) (*RobustnessResult, error) {
 		!base.Health.Degraded() && base.Totals.LPIExact > 0,
 		fmt.Sprintf("lpi exact %.3f, est %.3f", base.Totals.LPIExact, base.Totals.LPI))
 
-	// 20% sample drops: the run completes, every loss is accounted,
-	// and Equation 2 stays within tolerance of the fault-free exact.
-	dropCfg := baseCfg
-	dropCfg.Faults = &faults.Plan{Seed: 42, DropRate: 0.20}
-	drop, err := core.Analyze(dropCfg, mk())
+	// The five fault scenarios are independent of each other — only
+	// the baseline is an input (RB2's failure point is placed relative
+	// to the fault-free sample count) — so they run as one sweep.
+	// Every plan is seeded and owned by its own cell, so the injected
+	// fault sequences are identical at any worker count.
+	plans := []*faults.Plan{
+		{Seed: 42, DropRate: 0.20},
+		{Seed: 42, DropRate: 0.20, FailAfter: uint64(0.95 * base.Totals.Samples)},
+		{Seed: 7, StallAfter: 400},
+		{Seed: 11, CorruptRate: 0.05, SkidRate: 0.05, GarbleRate: 0.02},
+		{Seed: 3, ThreadLossRate: 0.5},
+	}
+	profs, err := sched.Map(len(plans), func(i int) (*core.Profile, error) {
+		cfg := baseCfg
+		cfg.Faults = plans[i]
+		return core.Analyze(cfg, mk())
+	})
 	if err != nil {
 		return nil, err
 	}
+	drop, fail, stall, corr, tl := profs[0], profs[1], profs[2], profs[3], profs[4]
+
+	// 20% sample drops: the run completes, every loss is accounted,
+	// and Equation 2 stays within tolerance of the fault-free exact.
 	res.add("RB1", "20% sample drops: run completes, every sample accounted",
 		drop.Health.Accounted() && drop.Health.SamplesDropped > 0,
 		fmt.Sprintf("fired %d = delivered %d + dropped %d + stall %d + fail %d",
@@ -116,16 +133,6 @@ func RunRobustness(iters int) (*RobustnessResult, error) {
 	// failure gives a window whose estimate honestly diverges — Health
 	// flags LPIWindowed — but that is phase bias, not what this row
 	// asserts.)
-	failCfg := baseCfg
-	failCfg.Faults = &faults.Plan{
-		Seed:      42,
-		DropRate:  0.20,
-		FailAfter: uint64(0.95 * base.Totals.Samples),
-	}
-	fail, err := core.Analyze(failCfg, mk())
-	if err != nil {
-		return nil, err
-	}
 	res.ChaosLPI = fail.Totals.LPI
 	res.add("RB2", "hard sampler failure: falls back to Soft-IBS and completes",
 		fail.Health.Fallback == "Soft-IBS" && fail.Health.LPIWindowed,
@@ -140,12 +147,6 @@ func RunRobustness(iters int) (*RobustnessResult, error) {
 
 	// Repeated stalls: the profiler retries with exponential backoff
 	// and the sampler keeps producing after each restart.
-	stallCfg := baseCfg
-	stallCfg.Faults = &faults.Plan{Seed: 7, StallAfter: 400}
-	stall, err := core.Analyze(stallCfg, mk())
-	if err != nil {
-		return nil, err
-	}
 	res.add("RB3", "stalling sampler: retried with backoff, run completes accounted",
 		stall.Health.SamplerRetries >= 1 && stall.Health.BackoffCycles > 0 && stall.Health.Accounted(),
 		fmt.Sprintf("stalls %d, retries %d, backoff %d cycles",
@@ -154,12 +155,6 @@ func RunRobustness(iters int) (*RobustnessResult, error) {
 	// Corrupted payloads: flipped EA bits, skidded IPs, garbled
 	// latencies. The validator must quarantine instead of crash or
 	// silently attribute.
-	corrCfg := baseCfg
-	corrCfg.Faults = &faults.Plan{Seed: 11, CorruptRate: 0.05, SkidRate: 0.05, GarbleRate: 0.02}
-	corr, err := core.Analyze(corrCfg, mk())
-	if err != nil {
-		return nil, err
-	}
 	res.add("RB4", "corrupted samples quarantined, none crash the attribution",
 		corr.Health.Quarantined() > 0 && corr.Health.Accounted(),
 		fmt.Sprintf("injected EA %d / skid %d / garble %d, quarantined %d",
@@ -168,12 +163,6 @@ func RunRobustness(iters int) (*RobustnessResult, error) {
 
 	// Per-thread profile loss: the merge salvages the survivors and
 	// reports coverage.
-	tlCfg := baseCfg
-	tlCfg.Faults = &faults.Plan{Seed: 3, ThreadLossRate: 0.5}
-	tl, err := core.Analyze(tlCfg, mk())
-	if err != nil {
-		return nil, err
-	}
 	res.add("RB5", "lost per-thread profiles: merge sums over survivors, coverage reported",
 		len(tl.Health.ThreadsLost) > 0 && tl.Health.ThreadCoverage() > 0 &&
 			tl.Health.ThreadCoverage() < 1 && tl.Totals.Samples > 0,

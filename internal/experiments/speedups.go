@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/proc"
+	"repro/internal/sched"
 	"repro/internal/topology"
 	"repro/internal/units"
 	"repro/internal/workloads"
@@ -62,28 +63,40 @@ func (r *SpeedupResult) Render() string {
 	return b.String()
 }
 
-// measure runs the strategies and assembles a SpeedupResult. paper maps
-// strategies to the paper's reported speedups.
+// measure runs the strategies — one independent cell each — and
+// assembles a SpeedupResult. paper maps strategies to the paper's
+// reported speedups. Speedups are computed against the Baseline row's
+// time after all cells return, so the cells carry no ordering
+// dependency and fan out across sched.Workers().
 func measure(workload, metric string, m *topology.Machine, threads int, binding proc.Binding,
 	mk func(workloads.Strategy) core.App,
 	strategies []workloads.Strategy,
 	paper map[workloads.Strategy]float64) (*SpeedupResult, error) {
 
-	res := &SpeedupResult{Workload: workload, Machine: m.Name, Metric: metric}
 	cfg := BaseConfig(m, threads, binding)
-	var base units.Cycles
-	for _, s := range strategies {
+	times, err := sched.Map(len(strategies), func(i int) (units.Cycles, error) {
+		s := strategies[i]
 		e, err := core.Run(cfg, mk(s))
 		if err != nil {
-			return nil, fmt.Errorf("%s/%s: %w", workload, s, err)
+			return 0, fmt.Errorf("%s/%s: %w", workload, s, err)
 		}
-		t := e.TimeSince(workloads.ROIMark)
+		return e.TimeSince(workloads.ROIMark), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var base units.Cycles
+	for i, s := range strategies {
 		if s == workloads.Baseline {
-			base = t
+			base = times[i]
+			break
 		}
-		row := SpeedupRow{Strategy: s, Time: t}
+	}
+	res := &SpeedupResult{Workload: workload, Machine: m.Name, Metric: metric}
+	for i, s := range strategies {
+		row := SpeedupRow{Strategy: s, Time: times[i]}
 		if base > 0 {
-			row.Speedup = float64(base)/float64(t) - 1
+			row.Speedup = float64(base)/float64(times[i]) - 1
 		}
 		if p, ok := paper[s]; ok {
 			row.PaperSpeedup, row.HasPaper = p, true

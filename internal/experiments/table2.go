@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/pmu"
 	"repro/internal/proc"
+	"repro/internal/sched"
 	"repro/internal/units"
 	"repro/internal/workloads"
 )
@@ -24,6 +25,11 @@ type Table2Cell struct {
 	Overhead float64
 	// PaperOverhead is the corresponding Table 2 percentage.
 	PaperOverhead float64
+	// Err is the cell's failure, if its run could not complete. A
+	// failed cell is a reported gap: it renders as "ERR" and is
+	// excluded from Cell/Overhead lookups, but it never aborts the
+	// sibling cells (the graceful-degradation contract).
+	Err string
 }
 
 // Table2 holds the full overhead matrix.
@@ -59,40 +65,77 @@ var Table2Order = []string{"LULESH", "AMG2006", "Blackscholes"}
 // RunTable2 measures monitoring overhead for every mechanism on its
 // Table 1 machine, across the three benchmarks. iters scales workload
 // length (0: defaults).
+//
+// The 18 cells are independent — each MeasureOverhead builds its own
+// engines — so they fan out across sched.Workers() goroutines and come
+// back in the paper's row-major order. A failed cell degrades to a
+// reported gap in the returned table; RunTable2 only errors when every
+// cell failed.
 func RunTable2(iters int) (*Table2, error) {
-	t := &Table2{}
+	type spec struct{ mech, wl string }
+	var specs []spec
 	for _, mech := range pmu.Names() {
-		m := MachineForMechanism(mech)
 		for _, wl := range Table2Order {
-			mk := table2Workloads(iters)[wl]
-			cfg := BaseConfig(m, 0, proc.Compact)
-			cfg.Mechanism = mech
-			ov, err := core.MeasureOverhead(cfg, mk)
-			if err != nil {
-				return nil, fmt.Errorf("table2 %s/%s: %w", mech, wl, err)
-			}
-			t.Cells = append(t.Cells, Table2Cell{
-				Mechanism:     mech,
-				Workload:      wl,
-				Machine:       m.Name,
-				Base:          ov.Base,
-				Monitored:     ov.Monitored,
-				Overhead:      ov.Percent(),
-				PaperOverhead: paperTable2[mech][wl],
-			})
+			specs = append(specs, spec{mech, wl})
+		}
+	}
+	cells, err := sched.Map(len(specs), func(i int) (Table2Cell, error) {
+		mech, wl := specs[i].mech, specs[i].wl
+		m := MachineForMechanism(mech)
+		mk := table2Workloads(iters)[wl]
+		cfg := BaseConfig(m, 0, proc.Compact)
+		cfg.Mechanism = mech
+		ov, err := core.MeasureOverhead(cfg, mk)
+		if err != nil {
+			return Table2Cell{}, fmt.Errorf("table2 %s/%s: %w", mech, wl, err)
+		}
+		return Table2Cell{
+			Mechanism:     mech,
+			Workload:      wl,
+			Machine:       m.Name,
+			Base:          ov.Base,
+			Monitored:     ov.Monitored,
+			Overhead:      ov.Percent(),
+			PaperOverhead: paperTable2[mech][wl],
+		}, nil
+	})
+	t := &Table2{Cells: cells}
+	if err != nil {
+		sweep, _ := sched.AsSweep(err)
+		if sweep == nil || sweep.AllFailed() {
+			return nil, err
+		}
+		for _, ce := range sweep.Cells {
+			c := &t.Cells[ce.Index]
+			c.Mechanism = specs[ce.Index].mech
+			c.Workload = specs[ce.Index].wl
+			c.Machine = MachineForMechanism(c.Mechanism).Name
+			c.Err = ce.Err.Error()
 		}
 	}
 	return t, nil
 }
 
-// Cell returns the cell for a mechanism/workload pair.
+// Cell returns the completed cell for a mechanism/workload pair.
+// Failed cells (gaps) are not returned.
 func (t *Table2) Cell(mech, wl string) (Table2Cell, bool) {
 	for _, c := range t.Cells {
-		if c.Mechanism == mech && c.Workload == wl {
+		if c.Mechanism == mech && c.Workload == wl && c.Err == "" {
 			return c, true
 		}
 	}
 	return Table2Cell{}, false
+}
+
+// Gaps returns the failed cells, in row-major order.
+func (t *Table2) Gaps() []Table2Cell {
+	var gaps []Table2Cell
+	for _, c := range t.Cells {
+		if c.Err != "" {
+			gaps = append(gaps, c)
+		}
+	}
+	return gaps
 }
 
 // Overhead returns the measured overhead fraction for a pair (0 if
@@ -112,18 +155,31 @@ func (t *Table2) Render() string {
 		fmt.Fprintf(&b, " %26s", wl)
 	}
 	b.WriteString("\n")
+	gapped := false
 	for _, mech := range pmu.Names() {
 		fmt.Fprintf(&b, "%-10s", mech)
 		for _, wl := range Table2Order {
 			c, ok := t.Cell(mech, wl)
 			if !ok {
-				fmt.Fprintf(&b, " %26s", "-")
+				mark := "-"
+				for _, g := range t.Gaps() {
+					if g.Mechanism == mech && g.Workload == wl {
+						mark, gapped = "ERR", true
+					}
+				}
+				fmt.Fprintf(&b, " %26s", mark)
 				continue
 			}
 			fmt.Fprintf(&b, " %12s (paper %5s)",
 				pct(c.Overhead), pct(c.PaperOverhead))
 		}
 		b.WriteString("\n")
+	}
+	if gapped {
+		b.WriteString("gaps (cells that failed and degraded):\n")
+		for _, g := range t.Gaps() {
+			fmt.Fprintf(&b, "  %s/%s: %s\n", g.Mechanism, g.Workload, g.Err)
+		}
 	}
 	return b.String()
 }

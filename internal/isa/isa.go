@@ -10,6 +10,17 @@
 // samples. The profiler maps SiteIDs back to source coordinates for
 // code-centric attribution, and reads the static-variable symbol table
 // for data-centric attribution, just as hpcrun reads ELF symbols.
+//
+// # Concurrency
+//
+// A Program is append-only while the workload constructs it (AddFunc,
+// AddSite, AddStatic) and strictly read-only once Run begins — exactly
+// like the ELF binary it stands in for. The experiment scheduler
+// (internal/sched) relies on this: concurrent sweep cells may share one
+// Program as long as construction finished before the first cell
+// starts, and internal/core's race tests run eight cells against a
+// shared Program under -race to keep the contract honest. Mutating a
+// Program after handing it to a running cell is a data race.
 package isa
 
 import "fmt"

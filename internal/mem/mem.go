@@ -18,6 +18,16 @@
 // then ask for the contention factor of each domain when the epoch
 // ends. This two-phase protocol keeps the simulation deterministic
 // regardless of the order in which threads are simulated.
+//
+// # Concurrency
+//
+// Each sweep cell owns its own System — the experiment scheduler
+// (internal/sched) never shares one across cells, so cell-level
+// parallelism needs no coordination here. Within a cell, the epoch
+// request counters are atomics so per-thread simulation may run on
+// concurrent goroutines, but the epoch protocol itself is phased:
+// Record calls must all happen before the end-of-epoch factor reads,
+// which the engine's region barrier guarantees.
 package mem
 
 import (

@@ -178,3 +178,41 @@ func TestQuickImbalanceBounds(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// The (value, ok) contract, in one table: every estimator must answer
+// ok=false — with the value pinned to exactly 0 — for each class of
+// insufficient or insane input, so no caller can accidentally use a
+// garbage lpi without also ignoring the explicit signal.
+func TestEstimatorValueOkContract(t *testing.T) {
+	inf := math.Inf(1)
+	nan := math.NaN()
+	cases := []struct {
+		name   string
+		value  float64
+		ok     bool
+		wantOk bool
+	}{
+		{"Eq1 zero instructions", first(LPIExact(100, 0)), second(LPIExact(100, 0)), false},
+		{"Eq1 negative latency", first(LPIExact(-1, 10)), second(LPIExact(-1, 10)), false},
+		{"Eq1 NaN latency", first(LPIExact(nan, 10)), second(LPIExact(nan, 10)), false},
+		{"Eq1 Inf latency", first(LPIExact(inf, 10)), second(LPIExact(inf, 10)), false},
+		{"Eq1 zero latency is fine", first(LPIExact(0, 10)), second(LPIExact(0, 10)), true},
+		{"Eq2 zero sampled instructions", first(LPIFromInstructionSamples(5, 0)), second(LPIFromInstructionSamples(5, 0)), false},
+		{"Eq2 Inf latency", first(LPIFromInstructionSamples(inf, 4)), second(LPIFromInstructionSamples(inf, 4)), false},
+		{"Eq3 zero sampled events", first(LPIFromEventSamples(5, 0, 10, 10)), second(LPIFromEventSamples(5, 0, 10, 10)), false},
+		{"Eq3 zero instructions", first(LPIFromEventSamples(5, 2, 10, 0)), second(LPIFromEventSamples(5, 2, 10, 0)), false},
+		{"Eq3 NaN latency", first(LPIFromEventSamples(nan, 2, 10, 10)), second(LPIFromEventSamples(nan, 2, 10, 10)), false},
+		{"Eq3 zero absolute events is fine", first(LPIFromEventSamples(5, 2, 0, 10)), second(LPIFromEventSamples(5, 2, 0, 10)), true},
+	}
+	for _, c := range cases {
+		if c.ok != c.wantOk {
+			t.Errorf("%s: ok = %v, want %v", c.name, c.ok, c.wantOk)
+		}
+		if !c.ok && c.value != 0 {
+			t.Errorf("%s: value = %v, want exactly 0 when !ok", c.name, c.value)
+		}
+	}
+}
+
+func first(v float64, _ bool) float64 { return v }
+func second(_ float64, ok bool) bool  { return ok }

@@ -23,6 +23,18 @@
 // (every workload in the paper runs many timesteps) reach a steady
 // state after the first region, and the model stays deterministic no
 // matter how the simulation itself is scheduled.
+//
+// # Concurrency
+//
+// An Engine and everything it owns (address space, caches, memory
+// system, per-thread contexts, hooks) belong to exactly one sweep cell
+// and must be driven from that cell's goroutine; nothing here is safe
+// for cross-cell sharing. The only state a cell may share with its
+// siblings is read-only input: the topology.Machine and the workload's
+// isa.Program (see those packages' concurrency notes). This split is
+// what lets internal/sched run whole cells concurrently while keeping
+// every cell's simulated clock — and therefore its output bytes —
+// identical to a serial run.
 package proc
 
 import (

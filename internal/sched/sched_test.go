@@ -1,0 +1,156 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapInputOrder(t *testing.T) {
+	for _, nworkers := range []int{1, 2, 8, 64} {
+		res, err := MapWith(nworkers, 100, func(i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", nworkers, err)
+		}
+		for i, v := range res {
+			if v != i*i {
+				t.Fatalf("workers=%d: res[%d] = %d, want %d", nworkers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapRunsEveryCell(t *testing.T) {
+	var ran atomic.Int64
+	_, err := MapWith(4, 37, func(i int) (struct{}, error) {
+		ran.Add(1)
+		if i%5 == 0 {
+			return struct{}{}, fmt.Errorf("boom %d", i)
+		}
+		return struct{}{}, nil
+	})
+	if got := ran.Load(); got != 37 {
+		t.Fatalf("ran %d cells, want 37 (failures must not abort siblings)", got)
+	}
+	sweep, ok := AsSweep(err)
+	if !ok {
+		t.Fatalf("err = %T %v, want *SweepError", err, err)
+	}
+	if sweep.Total != 37 || len(sweep.Cells) != 8 {
+		t.Fatalf("sweep = %d/%d failed, want 8/37", len(sweep.Cells), sweep.Total)
+	}
+	// Failures are reported in index order regardless of worker count.
+	for k, c := range sweep.Cells {
+		if c.Index != k*5 {
+			t.Fatalf("cells[%d].Index = %d, want %d", k, c.Index, k*5)
+		}
+	}
+	if sweep.AllFailed() {
+		t.Fatal("AllFailed on a partial failure")
+	}
+}
+
+func TestMapAllFailed(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := MapWith(3, 4, func(int) (int, error) { return 0, boom })
+	sweep, ok := AsSweep(err)
+	if !ok || !sweep.AllFailed() {
+		t.Fatalf("want AllFailed sweep, got %v", err)
+	}
+	if !errors.Is(err, boom) {
+		t.Fatal("errors.Is should reach the cell error through the sweep")
+	}
+}
+
+func TestMapEmptySweep(t *testing.T) {
+	res, err := Map(0, func(int) (int, error) { t.Fatal("cell ran"); return 0, nil })
+	if err != nil || len(res) != 0 {
+		t.Fatalf("empty sweep: res=%v err=%v", res, err)
+	}
+}
+
+func TestMapSingleCellSweep(t *testing.T) {
+	res, err := MapWith(8, 1, func(i int) (string, error) { return "only", nil })
+	if err != nil || len(res) != 1 || res[0] != "only" {
+		t.Fatalf("single cell: res=%v err=%v", res, err)
+	}
+}
+
+func TestMapRecoversPanics(t *testing.T) {
+	for _, nworkers := range []int{1, 4} {
+		res, err := MapWith(nworkers, 3, func(i int) (int, error) {
+			if i == 1 {
+				panic("cell blew up")
+			}
+			return i + 10, nil
+		})
+		sweep, ok := AsSweep(err)
+		if !ok || len(sweep.Cells) != 1 || sweep.Cells[0].Index != 1 {
+			t.Fatalf("workers=%d: want one failed cell at index 1, got %v", nworkers, err)
+		}
+		if !strings.Contains(sweep.Cells[0].Err.Error(), "cell blew up") {
+			t.Fatalf("workers=%d: panic message lost: %v", nworkers, sweep.Cells[0].Err)
+		}
+		// Survivors keep their results; the panicked slot is zero.
+		if res[0] != 10 || res[1] != 0 || res[2] != 12 {
+			t.Fatalf("workers=%d: res = %v", nworkers, res)
+		}
+	}
+}
+
+func TestMapSerialPathStaysOnCallingGoroutine(t *testing.T) {
+	// With one worker the cells must run inline and in order — the
+	// pre-scheduler serial path, byte-for-byte.
+	var order []int
+	_, err := MapWith(1, 5, func(i int) (struct{}, error) {
+		order = append(order, i) // would race if a goroutine were involved
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial order = %v", order)
+		}
+	}
+}
+
+func TestSetWorkers(t *testing.T) {
+	prev := SetWorkers(3)
+	defer SetWorkers(prev)
+	if Workers() != 3 {
+		t.Fatalf("Workers = %d, want 3", Workers())
+	}
+	if got := SetWorkers(0); got != 3 {
+		t.Fatalf("SetWorkers returned %d, want previous 3", got)
+	}
+	if Workers() < 1 {
+		t.Fatalf("default Workers = %d, want >= 1", Workers())
+	}
+}
+
+func TestWorkersClampedToCells(t *testing.T) {
+	// More workers than cells must not deadlock or drop cells.
+	res, err := MapWith(32, 2, func(i int) (int, error) { return i, nil })
+	if err != nil || len(res) != 2 || res[0] != 0 || res[1] != 1 {
+		t.Fatalf("res=%v err=%v", res, err)
+	}
+}
+
+func TestSweepErrorMessage(t *testing.T) {
+	_, err := MapWith(1, 3, func(i int) (int, error) {
+		if i == 2 {
+			return 0, errors.New("late failure")
+		}
+		return i, nil
+	})
+	want := "1 of 3 cells failed: cell 2: late failure"
+	if err == nil || err.Error() != want {
+		t.Fatalf("err = %v, want %q", err, want)
+	}
+}

@@ -7,6 +7,15 @@
 // cores together with the cache/memory they can all access with uniform
 // latency. Everything above this package (memory system, caches,
 // virtual memory, the profiler itself) consumes a *Machine.
+//
+// # Concurrency
+//
+// A Machine is immutable once New (or a preset constructor) returns:
+// nothing in this package or its consumers writes to it afterwards.
+// That makes a single Machine safe to share across every concurrent
+// cell of a scheduled sweep (internal/sched), which is precisely how
+// the experiment drivers use the presets — one MagnyCours48 handed to
+// all thirty Table 2 cells at once.
 package topology
 
 import (

@@ -1,0 +1,64 @@
+package view
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+// Golden files pin the exact rendered bytes of the reports, so that
+// formatting — and, since the scheduler landed, execution order — can
+// never drift silently: the profile behind them is fully deterministic,
+// and any intentional change regenerates them with
+//
+//	go test ./internal/view -run Golden -update
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s drifted from golden:\n%s", name, firstDiff(string(want), got))
+	}
+}
+
+// firstDiff points at the first line where got departs from want.
+func firstDiff(want, got string) string {
+	wl, gl := strings.Split(want, "\n"), strings.Split(got, "\n")
+	for i := 0; i < len(wl) && i < len(gl); i++ {
+		if wl[i] != gl[i] {
+			return fmt.Sprintf("line %d:\n  golden: %q\n  got:    %q", i+1, wl[i], gl[i])
+		}
+	}
+	return fmt.Sprintf("line counts differ: golden %d, got %d", len(wl), len(gl))
+}
+
+func TestReportGolden(t *testing.T) {
+	prof := demoProfile(t)
+	checkGolden(t, "report.golden", Report(prof, 3))
+}
+
+func TestHTMLGolden(t *testing.T) {
+	prof := demoProfile(t)
+	out, err := HTML(prof, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "html.golden", out)
+}
