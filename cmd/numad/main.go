@@ -1,0 +1,105 @@
+// Command numad is the profiling service daemon: the hpcrun → hpcprof
+// → hpcviewer pipeline of the paper, run as a long-lived HTTP service
+// instead of a batch tool. Clients POST job specs, numad executes them
+// on a bounded worker pool, persists every profile in a
+// content-addressed store (identical specs are served from cache), and
+// serves status, text/HTML reports, raw measurement files, profile
+// diffs, and operational metrics.
+//
+// Example session:
+//
+//	numad -addr :7077 -dir /var/lib/numad &
+//	curl -s -X POST localhost:7077/api/v1/jobs \
+//	     -d '{"workload":"lulesh","strategy":"baseline"}'
+//	curl -s localhost:7077/api/v1/jobs/job-000001
+//	curl -s 'localhost:7077/api/v1/jobs/job-000001?view=text'
+//	curl -s localhost:7077/metrics
+//
+// SIGINT/SIGTERM shut the daemon down gracefully: new submissions get
+// 503, the queued backlog runs to completion (bounded by
+// -drain-timeout), and the store is flushed before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/sched"
+	"repro/internal/server"
+	"repro/internal/store"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":7077", "listen address")
+		dir          = flag.String("dir", "numad-data", "profile store directory")
+		workers      = flag.Int("workers", sched.Workers(), "worker pool size (concurrent profiling jobs)")
+		queueDepth   = flag.Int("queue", server.DefaultQueueDepth, "job queue bound; a full queue returns 429")
+		cacheEntries = flag.Int("cache", store.DefaultCacheEntries, "decoded-profile LRU entries (negative: disable)")
+		jobTimeout   = flag.Duration("job-timeout", 0, "per-job deadline from submission (0: none)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for the backlog before cancelling it")
+		top          = flag.Int("top", 5, "variables the text/HTML views detail")
+	)
+	flag.Parse()
+
+	if err := run(*addr, *dir, *workers, *queueDepth, *cacheEntries, *jobTimeout, *drainTimeout, *top); err != nil {
+		fmt.Fprintln(os.Stderr, "numad:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, dir string, workers, queueDepth, cacheEntries int, jobTimeout, drainTimeout time.Duration, top int) error {
+	st, err := store.Open(dir, cacheEntries)
+	if err != nil {
+		return err
+	}
+	srv, err := server.New(server.Options{
+		Store:      st,
+		Workers:    workers,
+		QueueDepth: queueDepth,
+		JobTimeout: jobTimeout,
+		TopVars:    top,
+	})
+	if err != nil {
+		return err
+	}
+	srv.Start()
+
+	httpSrv := &http.Server{Addr: addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("numad: listening on %s (store %s, %d workers, queue %d)",
+			addr, dir, workers, queueDepth)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		log.Printf("numad: %s: draining (timeout %s)", sig, drainTimeout)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	// Stop accepting connections first, then drain the job queue and
+	// flush the store.
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("numad: http shutdown: %v", err)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	log.Printf("numad: drained, store flushed")
+	return nil
+}

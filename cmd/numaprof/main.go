@@ -20,28 +20,31 @@
 // corruption, IP skid, sampler stalls and hard failures) into the
 // sampling pipeline; the run completes by degrading gracefully and the
 // report carries a pipeline-health block accounting for every loss.
+//
+// With -submit http://host:port the job runs on a numad daemon instead
+// of locally: the CLI posts the spec, polls to completion, and prints
+// the daemon's report. Identical specs are served from the daemon's
+// profile store, and -profile fetches measurement bytes identical to a
+// local run's.
 package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"sort"
 	"strings"
 
 	"repro/internal/core"
-	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/pmu"
-	"repro/internal/proc"
 	"repro/internal/profio"
 	"repro/internal/sched"
-	"repro/internal/topology"
+	"repro/internal/server"
 	"repro/internal/trace"
 	"repro/internal/view"
-	"repro/internal/workloads"
 )
 
 func main() {
@@ -64,6 +67,8 @@ func main() {
 		chaos     = flag.String("chaos", "", "fault-injection plan, e.g. drop=0.2,corrupt=0.01,fail=2000,seed=42 (see internal/faults)")
 		parallel  = flag.Int("parallel", sched.Workers(),
 			"worker goroutines when profiling several workloads (1: serial; reports are identical either way)")
+		submit = flag.String("submit", "",
+			"submit the job(s) to a numad daemon at this base URL (e.g. http://localhost:7077) instead of profiling locally")
 	)
 	flag.Parse()
 	sched.SetWorkers(*parallel)
@@ -77,6 +82,22 @@ func main() {
 	if len(names) == 0 {
 		fmt.Fprintln(os.Stderr, "numaprof: no workload given")
 		os.Exit(1)
+	}
+
+	if *submit != "" {
+		// Client mode: the daemon runs the jobs; identical specs are
+		// served from its store, and the fetched measurement bytes are
+		// identical to a local -profile write.
+		if len(names) > 1 && (*htmlOut != "" || *profOut != "") {
+			fmt.Fprintln(os.Stderr, "numaprof: -html/-profile need a single workload")
+			os.Exit(1)
+		}
+		if err := submitJobs(os.Stdout, *submit, names, *mechanism, *machine, *threads, *binding,
+			*strategy, *period, *bins, *iters, *firstT, *doTrace, *htmlOut, *profOut, *chaos); err != nil {
+			fmt.Fprintln(os.Stderr, "numaprof:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if len(names) == 1 {
@@ -131,86 +152,26 @@ func main() {
 func run(w io.Writer, workload, mechanism, machine string, threads int, binding, strategy string,
 	period uint64, bins, iters, top int, firstTouch, showCCT, doTrace bool, htmlOut, profOut, chaos string) error {
 
-	var m *topology.Machine
-	if machine == "" {
-		switch mechanism {
-		case "MRK":
-			m = topology.Power7x128()
-		case "PEBS":
-			m = topology.Harpertown8()
-		case "DEAR":
-			m = topology.Itanium2x8()
-		case "PEBS-LL":
-			m = topology.IvyBridge8()
-		default:
-			m = topology.MagnyCours48()
-		}
-	} else {
-		presets := topology.Presets()
-		var ok bool
-		if m, ok = presets[machine]; !ok {
-			names := make([]string, 0, len(presets))
-			for n := range presets {
-				names = append(names, n)
-			}
-			sort.Strings(names)
-			return fmt.Errorf("unknown machine %q; presets: %s", machine, strings.Join(names, ", "))
-		}
+	// The spec-to-config path is shared with the numad daemon
+	// (internal/server), which is what makes a daemon-served profile
+	// byte-identical to this CLI's -profile output for the same flags.
+	spec := server.Spec{
+		Workload:   workload,
+		Mechanism:  mechanism,
+		Machine:    machine,
+		Threads:    threads,
+		Binding:    binding,
+		Strategy:   strategy,
+		Period:     period,
+		Bins:       bins,
+		Iters:      iters,
+		FirstTouch: &firstTouch,
+		Trace:      doTrace,
+		Chaos:      chaos,
 	}
-
-	var bind proc.Binding
-	switch binding {
-	case "compact":
-		bind = proc.Compact
-	case "scatter":
-		bind = proc.Scatter
-	default:
-		return fmt.Errorf("unknown binding %q (compact|scatter)", binding)
-	}
-
-	params := workloads.Params{Strategy: workloads.Strategy(strategy), Iters: iters}
-	var app core.App
-	switch workload {
-	case "lulesh":
-		app = workloads.NewLULESH(params)
-	case "amg2006":
-		app = workloads.NewAMG2006(params)
-	case "blackscholes":
-		app = workloads.NewBlackscholes(params)
-	case "umt2013":
-		app = workloads.NewUMT2013(params)
-		if threads == 0 {
-			threads = 32 // the paper's UMT input limit
-		}
-		if binding == "compact" {
-			bind = proc.Scatter
-		}
-	default:
-		return fmt.Errorf("unknown workload %q (lulesh|amg2006|blackscholes|umt2013)", workload)
-	}
-
-	var plan *faults.Plan
-	if chaos != "" {
-		p, err := faults.ParsePlan(chaos)
-		if err != nil {
-			return err
-		}
-		plan = p
-	}
-
-	cfg := core.Config{
-		Faults:          plan,
-		Machine:         m,
-		Threads:         threads,
-		Binding:         bind,
-		Mechanism:       mechanism,
-		Period:          period,
-		Bins:            bins,
-		TrackFirstTouch: firstTouch,
-		Trace:           doTrace,
-		CacheConfig:     workloads.TunedCacheConfig(),
-		MemParams:       workloads.MemParamsFor(m),
-		FabricParams:    workloads.FabricParamsFor(m),
+	cfg, app, err := spec.Build()
+	if err != nil {
+		return err
 	}
 	prof, err := core.Analyze(cfg, app)
 	if err != nil {
@@ -237,15 +198,85 @@ func run(w io.Writer, workload, mechanism, machine string, threads int, binding,
 		fmt.Fprintf(w, "\nHTML report written to %s\n", htmlOut)
 	}
 	if profOut != "" {
-		f, err := os.Create(profOut)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		if err := profio.Save(f, prof); err != nil {
+		// Atomic temp+rename write: an interrupted run leaves the old
+		// measurement file (or none), never a torn one.
+		if err := profio.SaveFile(profOut, prof); err != nil {
 			return err
 		}
 		fmt.Fprintf(w, "\nmeasurement file written to %s (view with numaview)\n", profOut)
+	}
+	return nil
+}
+
+// submitJobs is -submit mode: post one job per workload to a numad
+// daemon, wait for completion, and print each report in the order
+// given. With a single workload, -html and -profile fetch the daemon's
+// rendered HTML and raw measurement bytes into local files.
+func submitJobs(w io.Writer, baseURL string, names []string, mechanism, machine string, threads int,
+	binding, strategy string, period uint64, bins, iters int, firstTouch, doTrace bool,
+	htmlOut, profOut, chaos string) error {
+
+	ctx := context.Background()
+	client := server.NewClient(baseURL)
+	ids := make([]string, len(names))
+	for i, name := range names {
+		spec := server.Spec{
+			Workload:   name,
+			Mechanism:  mechanism,
+			Machine:    machine,
+			Threads:    threads,
+			Binding:    binding,
+			Strategy:   strategy,
+			Period:     period,
+			Bins:       bins,
+			Iters:      iters,
+			FirstTouch: &firstTouch,
+			Trace:      doTrace,
+			Chaos:      chaos,
+		}
+		st, err := client.Submit(ctx, spec)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		ids[i] = st.ID
+	}
+	for i, id := range ids {
+		st, err := client.Wait(ctx, id)
+		if err != nil {
+			return fmt.Errorf("%s: %w", names[i], err)
+		}
+		if st.State != server.StateDone {
+			return fmt.Errorf("%s: job %s %s: %s", names[i], st.ID, st.State, st.Error)
+		}
+		text, err := client.Text(ctx, id)
+		if err != nil {
+			return err
+		}
+		if len(ids) > 1 {
+			fmt.Fprintf(w, "=== %s ===\n", names[i])
+		}
+		fmt.Fprintf(w, "job %s done on %s (cache hit: %v)\n\n", st.ID, baseURL, st.CacheHit)
+		fmt.Fprint(w, text)
+		if htmlOut != "" {
+			page, err := client.HTMLReport(ctx, id)
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(htmlOut, []byte(page), 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "\nHTML report written to %s\n", htmlOut)
+		}
+		if profOut != "" {
+			raw, err := client.ProfileBytes(ctx, id)
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(profOut, raw, 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "\nmeasurement file written to %s (view with numaview)\n", profOut)
+		}
 	}
 	return nil
 }

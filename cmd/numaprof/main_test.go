@@ -1,9 +1,16 @@
 package main
 
 import (
+	"bytes"
 	"io"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/server"
+	"repro/internal/store"
 )
 
 func TestRunRejectsBadInputs(t *testing.T) {
@@ -55,6 +62,51 @@ func TestRunChaosSmoke(t *testing.T) {
 	if err := run(io.Discard, "blackscholes", "IBS", "", 0, "compact", "baseline",
 		0, 0, 4, 1, false, false, false, "", "", "drop=0.3,corrupt=0.05,stall=200,seed=9"); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestSubmitMatchesLocalProfile is the CLI-level determinism check: a
+// measurement file fetched through `numaprof -submit` from a live
+// daemon is byte-identical to the one a local `numaprof -profile` run
+// writes for the same flags.
+func TestSubmitMatchesLocalProfile(t *testing.T) {
+	st, err := store.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Options{Store: st, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	dir := t.TempDir()
+	local := filepath.Join(dir, "local.numaprof")
+	remote := filepath.Join(dir, "remote.numaprof")
+	if err := run(io.Discard, "blackscholes", "IBS", "", 0, "compact", "interleave",
+		0, 0, 1, 1, true, false, false, "", local, ""); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := submitJobs(&out, ts.URL, []string{"blackscholes"}, "IBS", "", 0, "compact",
+		"interleave", 0, 0, 1, true, false, "", remote, ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "done on "+ts.URL) {
+		t.Fatalf("submit output missing completion line:\n%s", out.String())
+	}
+	lb, err := os.ReadFile(local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := os.ReadFile(remote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(lb, rb) {
+		t.Fatalf("daemon-fetched profile differs from local -profile output: %d vs %d bytes", len(rb), len(lb))
 	}
 }
 

@@ -23,9 +23,16 @@
 // afterwards as a *SweepError; the caller decides whether a failed
 // cell degrades to a reported gap (Table 2 renders "ERR") or fails the
 // sweep.
+//
+// Cancellation contract: MapCtx/MapWithCtx stop dispatching new cells
+// once their context is cancelled — long-running services (the numad
+// job daemon) abort a sweep without draining the whole input. Skipped
+// cells fail with the context's error so the SweepError accounts for
+// every index either way.
 package sched
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"runtime"
@@ -137,6 +144,22 @@ func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
 
 // MapWith is Map with an explicit worker count.
 func MapWith[T any](nworkers, n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapWithCtx(context.Background(), nworkers, n, func(_ context.Context, i int) (T, error) {
+		return fn(i)
+	})
+}
+
+// MapCtx is Map under a context: once ctx is cancelled no further cells
+// are dispatched. Cells already running finish (fn receives ctx and may
+// return early itself); cells never dispatched fail with ctx's error,
+// so the caller sees exactly which indices were skipped. Results keep
+// Map's contract: results[i] is fn(i)'s value, zero for skipped cells.
+func MapCtx[T any](ctx context.Context, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	return MapWithCtx(ctx, Workers(), n, fn)
+}
+
+// MapWithCtx is MapCtx with an explicit worker count.
+func MapWithCtx[T any](ctx context.Context, nworkers, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
 	results := make([]T, n)
 	errs := make([]error, n)
 	if nworkers < 1 {
@@ -147,7 +170,11 @@ func MapWith[T any](nworkers, n int, fn func(i int) (T, error)) ([]T, error) {
 	}
 	if nworkers <= 1 {
 		for i := 0; i < n; i++ {
-			results[i], errs[i] = runCell(i, fn)
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				continue
+			}
+			results[i], errs[i] = runCell(ctx, i, fn)
 		}
 	} else {
 		var next atomic.Int64
@@ -161,7 +188,11 @@ func MapWith[T any](nworkers, n int, fn func(i int) (T, error)) ([]T, error) {
 					if i >= n {
 						return
 					}
-					results[i], errs[i] = runCell(i, fn)
+					if err := ctx.Err(); err != nil {
+						errs[i] = err
+						continue
+					}
+					results[i], errs[i] = runCell(ctx, i, fn)
 				}
 			}()
 		}
@@ -183,11 +214,11 @@ func MapWith[T any](nworkers, n int, fn func(i int) (T, error)) ([]T, error) {
 // so a bad cell cannot take down the sweep (or, when parallel, the
 // process). The serial path uses the same wrapper so -parallel 1 and
 // -parallel N fail identically.
-func runCell[T any](i int, fn func(i int) (T, error)) (result T, err error) {
+func runCell[T any](ctx context.Context, i int, fn func(ctx context.Context, i int) (T, error)) (result T, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("panic: %v", r)
 		}
 	}()
-	return fn(i)
+	return fn(ctx, i)
 }

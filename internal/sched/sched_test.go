@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -152,5 +153,108 @@ func TestSweepErrorMessage(t *testing.T) {
 	want := "1 of 3 cells failed: cell 2: late failure"
 	if err == nil || err.Error() != want {
 		t.Fatalf("err = %v, want %q", err, want)
+	}
+}
+
+func TestMapCtxCancelStopsDispatch(t *testing.T) {
+	// A sweep whose context is cancelled partway must stop dispatching
+	// new cells: the already-dispatched cells finish, the rest fail
+	// with the context's error instead of running.
+	ctx, cancel := context.WithCancel(context.Background())
+	const n = 64
+	var ran atomic.Int64
+	res, err := MapWithCtx(ctx, 1, n, func(ctx context.Context, i int) (int, error) {
+		ran.Add(1)
+		if i == 4 {
+			cancel()
+		}
+		return i + 100, nil
+	})
+	if ran.Load() != 5 {
+		t.Fatalf("ran %d cells, want 5 (dispatch must stop after the cancel)", ran.Load())
+	}
+	sweep, ok := AsSweep(err)
+	if !ok {
+		t.Fatalf("err = %v, want *SweepError", err)
+	}
+	if len(sweep.Cells) != n-5 {
+		t.Fatalf("%d cells failed, want %d skipped", len(sweep.Cells), n-5)
+	}
+	for _, ce := range sweep.Cells {
+		if !errors.Is(ce, context.Canceled) {
+			t.Fatalf("cell %d error = %v, want context.Canceled", ce.Index, ce.Err)
+		}
+	}
+	// Completed cells keep their results; skipped slots are zero.
+	if res[0] != 100 || res[4] != 104 || res[5] != 0 {
+		t.Fatalf("res[0,4,5] = %d,%d,%d", res[0], res[4], res[5])
+	}
+}
+
+func TestMapCtxCancelParallel(t *testing.T) {
+	// Parallel flavour: after cancel, workers drain indices without
+	// running them; every skipped index reports context.Canceled and no
+	// cell runs after all workers have observed the cancellation. The
+	// canceller must be one of the first nworkers indices — those are
+	// dispatched before any cell can block — or the sweep would park
+	// every worker waiting for a cancel that never comes.
+	ctx, cancel := context.WithCancel(context.Background())
+	const n = 200
+	var ran atomic.Int64
+	_, err := MapWithCtx(ctx, 4, n, func(ctx context.Context, i int) (int, error) {
+		ran.Add(1)
+		if i == 0 {
+			cancel()
+		}
+		<-ctx.Done() // park until every in-flight cell sees the cancel
+		return i, nil
+	})
+	if ran.Load() >= n {
+		t.Fatalf("all %d cells ran despite cancellation", n)
+	}
+	sweep, ok := AsSweep(err)
+	if !ok {
+		t.Fatalf("err = %v, want *SweepError", err)
+	}
+	skipped := 0
+	for _, ce := range sweep.Cells {
+		if errors.Is(ce, context.Canceled) {
+			skipped++
+		}
+	}
+	if skipped != n-int(ran.Load()) {
+		t.Fatalf("skipped %d, ran %d, n %d: accounting mismatch", skipped, ran.Load(), n)
+	}
+}
+
+func TestMapCtxBackgroundMatchesMap(t *testing.T) {
+	// With a background context the ctx path is byte-identical to Map.
+	a, errA := MapWith(3, 10, func(i int) (int, error) { return i * i, nil })
+	b, errB := MapWithCtx(context.Background(), 3, 10, func(_ context.Context, i int) (int, error) { return i * i, nil })
+	if errA != nil || errB != nil {
+		t.Fatal(errA, errB)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("results diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestMapCtxPreCancelled(t *testing.T) {
+	// An already-cancelled context runs nothing at all.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	_, err := MapWithCtx(ctx, 4, 8, func(context.Context, int) (int, error) {
+		ran.Add(1)
+		return 0, nil
+	})
+	if ran.Load() != 0 {
+		t.Fatalf("%d cells ran under a pre-cancelled context", ran.Load())
+	}
+	sweep, ok := AsSweep(err)
+	if !ok || !sweep.AllFailed() {
+		t.Fatalf("err = %v, want all-failed sweep", err)
 	}
 }

@@ -1,0 +1,166 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+)
+
+// Client is a minimal Go client for a numad daemon, shared by
+// `numaprof -submit` and examples/service-client.
+type Client struct {
+	// BaseURL is the daemon's root, e.g. "http://localhost:7077".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+	// Poll is the Wait polling interval (default 50ms).
+	Poll time.Duration
+}
+
+// NewClient builds a client for a daemon base URL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// apiError decodes the daemon's JSON error body into a Go error.
+func apiError(resp *http.Response, body []byte) error {
+	var eb errorBody
+	if err := json.Unmarshal(body, &eb); err == nil && eb.Error != "" {
+		return fmt.Errorf("daemon: %s (HTTP %d)", eb.Error, resp.StatusCode)
+	}
+	return fmt.Errorf("daemon: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+}
+
+// do issues one request and returns the body of a 2xx response.
+func (c *Client) do(ctx context.Context, method, path string, body io.Reader) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode/100 != 2 {
+		return nil, apiError(resp, data)
+	}
+	return data, nil
+}
+
+// Submit posts a job spec and returns the accepted job's status.
+func (c *Client) Submit(ctx context.Context, spec Spec) (JobStatus, error) {
+	var st JobStatus
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return st, err
+	}
+	data, err := c.do(ctx, http.MethodPost, "/api/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return st, err
+	}
+	return st, json.Unmarshal(data, &st)
+}
+
+// Job fetches one job's status.
+func (c *Client) Job(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	data, err := c.do(ctx, http.MethodGet, "/api/v1/jobs/"+url.PathEscape(id), nil)
+	if err != nil {
+		return st, err
+	}
+	return st, json.Unmarshal(data, &st)
+}
+
+// Cancel cancels a job.
+func (c *Client) Cancel(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	data, err := c.do(ctx, http.MethodDelete, "/api/v1/jobs/"+url.PathEscape(id), nil)
+	if err != nil {
+		return st, err
+	}
+	return st, json.Unmarshal(data, &st)
+}
+
+// Wait polls a job until it reaches a terminal state (or ctx ends).
+func (c *Client) Wait(ctx context.Context, id string) (JobStatus, error) {
+	poll := c.Poll
+	if poll <= 0 {
+		poll = 50 * time.Millisecond
+	}
+	for {
+		st, err := c.Job(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		if st.State.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-time.After(poll):
+		}
+	}
+}
+
+// view fetches one rendered view of a done job.
+func (c *Client) view(ctx context.Context, id, kind string) ([]byte, error) {
+	return c.do(ctx, http.MethodGet, "/api/v1/jobs/"+url.PathEscape(id)+"?view="+kind, nil)
+}
+
+// Text fetches the text report of a done job.
+func (c *Client) Text(ctx context.Context, id string) (string, error) {
+	b, err := c.view(ctx, id, "text")
+	return string(b), err
+}
+
+// HTMLReport fetches the HTML report of a done job.
+func (c *Client) HTMLReport(ctx context.Context, id string) (string, error) {
+	b, err := c.view(ctx, id, "html")
+	return string(b), err
+}
+
+// ProfileBytes fetches the raw .numaprof measurement bytes of a done
+// job — byte-identical to `numaprof -profile` output for the same spec.
+func (c *Client) ProfileBytes(ctx context.Context, id string) ([]byte, error) {
+	return c.view(ctx, id, "profile")
+}
+
+// DiffText diffs two jobs (or profile keys) and returns the rendered
+// comparison.
+func (c *Client) DiffText(ctx context.Context, a, b string) (string, error) {
+	q := url.Values{"a": {a}, "b": {b}, "view": {"text"}}
+	data, err := c.do(ctx, http.MethodGet, "/api/v1/diff?"+q.Encode(), nil)
+	return string(data), err
+}
+
+// Metrics fetches the daemon's metrics snapshot.
+func (c *Client) Metrics(ctx context.Context) (MetricsSnapshot, error) {
+	var m MetricsSnapshot
+	data, err := c.do(ctx, http.MethodGet, "/metrics", nil)
+	if err != nil {
+		return m, err
+	}
+	return m, json.Unmarshal(data, &m)
+}

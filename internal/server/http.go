@@ -1,0 +1,265 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/diff"
+	coremetrics "repro/internal/metrics"
+	"repro/internal/store"
+	"repro/internal/view"
+)
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST   /api/v1/jobs            submit a job (Spec JSON body)
+//	GET    /api/v1/jobs            list jobs (?state= filters)
+//	GET    /api/v1/jobs/{id}       job status (?view=text|html|profile)
+//	DELETE /api/v1/jobs/{id}       cancel a job
+//	GET    /api/v1/profiles        list stored profile keys
+//	GET    /api/v1/profiles/{key}  raw .numaprof bytes for a key
+//	GET    /api/v1/diff?a=&b=      diff two jobs/keys (?view=text)
+//	GET    /healthz                liveness
+//	GET    /readyz                 readiness (503 while draining)
+//	GET    /metrics                counters + latency histograms
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /api/v1/jobs", s.handleListJobs)
+	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleGetJob)
+	mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleCancelJob)
+	mux.HandleFunc("GET /api/v1/profiles", s.handleListProfiles)
+	mux.HandleFunc("GET /api/v1/profiles/{key}", s.handleGetProfile)
+	mux.HandleFunc("GET /api/v1/diff", s.handleDiff)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// errorBody is every non-2xx JSON response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var spec Spec
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed job spec: %v", err)
+		return
+	}
+	job, err := s.Submit(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	case err != nil:
+		writeError(w, http.StatusBadRequest, "invalid job spec: %v", err)
+	default:
+		writeJSON(w, http.StatusAccepted, job.Status())
+	}
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	jobs := s.Jobs()
+	if f := State(r.URL.Query().Get("state")); f != "" {
+		filtered := jobs[:0]
+		for _, j := range jobs {
+			if j.State == f {
+				filtered = append(filtered, j)
+			}
+		}
+		jobs = filtered
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"count": len(jobs), "jobs": jobs})
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.JobByID(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	switch v := r.URL.Query().Get("view"); v {
+	case "", "status", "json":
+		writeJSON(w, http.StatusOK, job.Status())
+	case "text", "html", "profile":
+		st := job.Status()
+		if st.State != StateDone {
+			writeError(w, http.StatusConflict, "job %s is %s, not done", st.ID, st.State)
+			return
+		}
+		s.serveProfileView(w, st.Key, v)
+	default:
+		writeError(w, http.StatusBadRequest, "unknown view %q (status|text|html|profile)", v)
+	}
+}
+
+// serveProfileView renders a stored profile as text, HTML, or raw
+// measurement bytes.
+func (s *Server) serveProfileView(w http.ResponseWriter, k store.Key, kind string) {
+	if kind == "profile" {
+		b, err := s.st.Bytes(k)
+		if err != nil {
+			writeError(w, http.StatusNotFound, "profile %s: %v", k, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(b)
+		return
+	}
+	p, err := s.st.Get(k)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "profile %s: %v", k, err)
+		return
+	}
+	switch kind {
+	case "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, renderText(p, s.topVars))
+	case "html":
+		page, err := view.HTML(p, s.topVars)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "render: %v", err)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprint(w, page)
+	}
+}
+
+// renderText is the daemon's text view: the same report + CCT + hot
+// path a local `numaprof` run prints.
+func renderText(p *core.Profile, top int) string {
+	var b strings.Builder
+	b.WriteString(view.Report(p, top))
+	b.WriteString("\n")
+	b.WriteString(view.CCT(p, coremetrics.Mismatch, 6, 0.01))
+	b.WriteString(view.RenderHotPath(p, coremetrics.Mismatch))
+	return b.String()
+}
+
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.CancelJob(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleListProfiles(w http.ResponseWriter, r *http.Request) {
+	keys, err := s.st.Keys()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "list profiles: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"count": len(keys), "keys": keys})
+}
+
+func (s *Server) handleGetProfile(w http.ResponseWriter, r *http.Request) {
+	k := store.Key(r.PathValue("key"))
+	if !k.Valid() {
+		writeError(w, http.StatusBadRequest, "invalid profile key %q", k)
+		return
+	}
+	s.serveProfileView(w, k, "profile")
+}
+
+// resolveProfileRef turns a jobs ID or a store key into a loadable
+// store key. It returns an HTTP status and message on failure.
+func (s *Server) resolveProfileRef(ref string) (store.Key, int, string) {
+	if job, ok := s.JobByID(ref); ok {
+		st := job.Status()
+		if st.State != StateDone {
+			return "", http.StatusConflict, fmt.Sprintf("job %s is %s, not done", st.ID, st.State)
+		}
+		return st.Key, 0, ""
+	}
+	k := store.Key(ref)
+	if !k.Valid() {
+		return "", http.StatusNotFound, fmt.Sprintf("no job or profile %q", ref)
+	}
+	if !s.st.Has(k) {
+		return "", http.StatusNotFound, fmt.Sprintf("no profile %s", k)
+	}
+	return k, 0, ""
+}
+
+func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	a, b := q.Get("a"), q.Get("b")
+	if a == "" || b == "" {
+		writeError(w, http.StatusBadRequest, "diff needs ?a=<job|key>&b=<job|key>")
+		return
+	}
+	ka, code, msg := s.resolveProfileRef(a)
+	if code != 0 {
+		writeError(w, code, "%s", msg)
+		return
+	}
+	kb, code, msg := s.resolveProfileRef(b)
+	if code != 0 {
+		writeError(w, code, "%s", msg)
+		return
+	}
+	pa, err := s.st.Get(ka)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "load %s: %v", ka, err)
+		return
+	}
+	pb, err := s.st.Get(kb)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "load %s: %v", kb, err)
+		return
+	}
+	res := diff.Compare(pa, pb, a, b, diff.Options{})
+	switch v := q.Get("view"); v {
+	case "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, res.Render())
+	case "", "json":
+		writeJSON(w, http.StatusOK, res)
+	default:
+		writeError(w, http.StatusBadRequest, "unknown view %q (json|text)", v)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":      "ready",
+		"queue_depth": len(s.queue),
+		"queue_cap":   cap(s.queue),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Metrics())
+}

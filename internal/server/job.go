@@ -1,0 +1,172 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/store"
+)
+
+// State is a job's lifecycle stage.
+type State string
+
+const (
+	// StateQueued: accepted, waiting for a worker.
+	StateQueued State = "queued"
+	// StateRunning: a worker is executing (or dedup-waiting on) it.
+	StateRunning State = "running"
+	// StateDone: the profile is in the store.
+	StateDone State = "done"
+	// StateFailed: the run errored; Error carries the cause.
+	StateFailed State = "failed"
+	// StateCanceled: cancelled before it could finish. A cancel that
+	// loses the race with completion leaves the job done — the result
+	// was already paid for and stored.
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether no further transitions can happen.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Job is one submitted profiling run.
+type Job struct {
+	id   string
+	spec Spec // normalized
+	key  store.Key
+
+	// cancel aborts the job's context; workers check it between
+	// stages, and sched.MapWithCtx refuses to dispatch under it once
+	// cancelled.
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu        sync.Mutex
+	state     State
+	err       string
+	cacheHit  bool
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	done      chan struct{} // closed on any terminal state
+}
+
+func newJob(base context.Context, id string, spec Spec, key store.Key, now time.Time) *Job {
+	ctx, cancel := context.WithCancel(base)
+	return &Job{
+		id:        id,
+		spec:      spec,
+		key:       key,
+		ctx:       ctx,
+		cancel:    cancel,
+		state:     StateQueued,
+		submitted: now,
+		done:      make(chan struct{}),
+	}
+}
+
+// Done is closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// armTimeout replaces the job's context with a deadline-bound child:
+// the clock runs from submission, so a job stuck in the queue can
+// expire before it ever runs.
+func (j *Job) armTimeout(d time.Duration) {
+	parent := j.ctx
+	parentCancel := j.cancel
+	ctx, cancel := context.WithTimeout(parent, d)
+	j.ctx = ctx
+	j.cancel = func() {
+		cancel()
+		parentCancel()
+	}
+}
+
+// Cancel requests cancellation. It wins against queued and running
+// jobs; against an already-terminal job it is a no-op. It returns the
+// state the job was in when the cancel landed.
+func (j *Job) Cancel() State {
+	j.mu.Lock()
+	prev := j.state
+	if !j.state.Terminal() {
+		j.state = StateCanceled
+		j.err = "canceled"
+		j.finished = time.Now()
+		close(j.done)
+	}
+	j.mu.Unlock()
+	j.cancel()
+	return prev
+}
+
+// begin moves queued → running; it reports false when the job was
+// cancelled first (the worker must skip it).
+func (j *Job) begin(now time.Time) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateRunning
+	j.started = now
+	return true
+}
+
+// finish records the terminal outcome of a run, reporting whether it
+// applied. A cancel that landed while the run was in flight keeps the
+// canceled state (and its gauge accounting); the result, if any, is
+// still in the store for the next submission.
+func (j *Job) finish(outcome State, errMsg string, cacheHit bool, now time.Time) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return false
+	}
+	j.state = outcome
+	j.err = errMsg
+	j.cacheHit = cacheHit
+	j.finished = now
+	close(j.done)
+	return true
+}
+
+// JobStatus is the wire form of a job, shared by the daemon's handlers
+// and the Go client.
+type JobStatus struct {
+	ID       string    `json:"id"`
+	State    State     `json:"state"`
+	Key      store.Key `json:"key"`
+	Spec     Spec      `json:"spec"`
+	CacheHit bool      `json:"cache_hit,omitempty"`
+	Error    string    `json:"error,omitempty"`
+
+	SubmittedAt time.Time `json:"submitted_at"`
+	StartedAt   time.Time `json:"started_at"`
+	FinishedAt  time.Time `json:"finished_at"`
+}
+
+// Status snapshots the job for the API.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JobStatus{
+		ID:          j.id,
+		State:       j.state,
+		Key:         j.key,
+		Spec:        j.spec,
+		CacheHit:    j.cacheHit,
+		Error:       j.err,
+		SubmittedAt: j.submitted,
+		StartedAt:   j.started,
+		FinishedAt:  j.finished,
+	}
+}
+
+// StateNow returns the current state.
+func (j *Job) StateNow() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}

@@ -1,0 +1,137 @@
+package server
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/store"
+)
+
+// histBuckets is the bucket count of the latency histograms: powers of
+// two from 1µs up, the last bucket catching everything past ~8.4s.
+const histBuckets = 24
+
+// histogram is a lock-free power-of-two latency histogram, expvar
+// style: monotonic counters a scraper can diff between polls.
+type histogram struct {
+	count   atomic.Uint64
+	sumUs   atomic.Uint64
+	buckets [histBuckets]atomic.Uint64
+}
+
+// observe records one duration.
+func (h *histogram) observe(d time.Duration) {
+	us := d.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	h.count.Add(1)
+	h.sumUs.Add(uint64(us))
+	b := 0
+	for v := us; v > 0 && b < histBuckets-1; v >>= 1 {
+		b++
+	}
+	h.buckets[b].Add(1)
+}
+
+// HistogramSnapshot is the wire form of a histogram. Buckets[i] counts
+// observations in [2^(i-1), 2^i) microseconds (Buckets[0]: < 1µs); the
+// last bucket is open-ended.
+type HistogramSnapshot struct {
+	Count   uint64   `json:"count"`
+	SumUs   uint64   `json:"sum_us"`
+	MeanUs  float64  `json:"mean_us"`
+	Buckets []uint64 `json:"buckets_pow2_us"`
+}
+
+func (h *histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count:   h.count.Load(),
+		SumUs:   h.sumUs.Load(),
+		Buckets: make([]uint64, histBuckets),
+	}
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	if s.Count > 0 {
+		s.MeanUs = float64(s.SumUs) / float64(s.Count)
+	}
+	return s
+}
+
+// metrics is the daemon's counter block. Gauges (Queued, Running) move
+// both ways; everything else is monotonic.
+type metrics struct {
+	start time.Time
+
+	submitted atomic.Int64
+	queued    atomic.Int64 // gauge
+	running   atomic.Int64 // gauge
+	done      atomic.Int64
+	failed    atomic.Int64
+	canceled  atomic.Int64
+	rejected  atomic.Int64 // 429s from the bounded queue
+
+	queueWait histogram // submit → dequeue
+	run       histogram // dequeue → result (compute or cache)
+	total     histogram // submit → terminal state
+}
+
+// JobCounts is the job block of MetricsSnapshot.
+type JobCounts struct {
+	Submitted int64 `json:"submitted"`
+	Queued    int64 `json:"queued"`
+	Running   int64 `json:"running"`
+	Done      int64 `json:"done"`
+	Failed    int64 `json:"failed"`
+	Canceled  int64 `json:"canceled"`
+	Rejected  int64 `json:"rejected"`
+}
+
+// QueueInfo is the queue block of MetricsSnapshot.
+type QueueInfo struct {
+	Depth    int `json:"depth"`
+	Capacity int `json:"capacity"`
+	Workers  int `json:"workers"`
+}
+
+// MetricsSnapshot is what GET /metrics serves.
+type MetricsSnapshot struct {
+	UptimeSeconds float64     `json:"uptime_seconds"`
+	Jobs          JobCounts   `json:"jobs"`
+	Queue         QueueInfo   `json:"queue"`
+	Store         store.Stats `json:"store"`
+	// StoreHits is Store's total cache hits (mem + disk + dedup),
+	// surfaced so the acceptance check "cache-hit counter > 0" is one
+	// field.
+	StoreHits uint64                       `json:"store_hits"`
+	LatencyUs map[string]HistogramSnapshot `json:"latency_us"`
+}
+
+func (m *metrics) snapshot(st store.Stats, depth, capacity, workers int) MetricsSnapshot {
+	stats := m.jobCounts()
+	return MetricsSnapshot{
+		UptimeSeconds: time.Since(m.start).Seconds(),
+		Jobs:          stats,
+		Queue:         QueueInfo{Depth: depth, Capacity: capacity, Workers: workers},
+		Store:         st,
+		StoreHits:     st.Hits(),
+		LatencyUs: map[string]HistogramSnapshot{
+			"queue_wait": m.queueWait.snapshot(),
+			"run":        m.run.snapshot(),
+			"total":      m.total.snapshot(),
+		},
+	}
+}
+
+func (m *metrics) jobCounts() JobCounts {
+	return JobCounts{
+		Submitted: m.submitted.Load(),
+		Queued:    m.queued.Load(),
+		Running:   m.running.Load(),
+		Done:      m.done.Load(),
+		Failed:    m.failed.Load(),
+		Canceled:  m.canceled.Load(),
+		Rejected:  m.rejected.Load(),
+	}
+}

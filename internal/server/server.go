@@ -1,0 +1,343 @@
+// Package server is the numad profiling service: it turns the
+// batch-only profile → merge → view pipeline into a long-running daemon
+// that accepts profiling jobs over HTTP, executes them on a bounded
+// worker pool built on internal/sched, persists every result through
+// the content-addressed internal/store, and serves status, rendered
+// views, and profile diffs back out.
+//
+// Architecture (one request's life):
+//
+//	POST /api/v1/jobs ── validate Spec ── bounded queue ── worker pool
+//	                                        │ full → 429     (sched.MapWithCtx)
+//	                                        └ draining → 503      │
+//	            store.GetOrCompute(spec key) ─────────────────────┘
+//	              ├ LRU / disk hit → served without re-running
+//	              └ miss → core.Analyze under the job's context,
+//	                       persisted via profio.SaveFile (atomic)
+//
+// Concurrency contract: the worker pool is the only thing that runs
+// jobs; its width bounds simultaneous core.Analyze calls. Identical
+// specs share one store entry and one in-flight computation
+// (store.GetOrCompute's single-flight), so a burst of duplicate
+// submissions costs one run. Every job gets its own context — cancel
+// (DELETE) and the per-job timeout stop a queued job before it runs and
+// mark a running one canceled; sched.MapWithCtx guarantees a cancelled
+// job dispatches no new work. Shutdown drains: submissions are refused
+// (503), queued jobs run to completion (until the caller's deadline,
+// after which their contexts are cancelled and they drain as canceled),
+// and the store is flushed.
+//
+// Determinism: a job's profile bytes are identical to what `numaprof
+// -profile` writes for the same spec, because Spec.Build is the single
+// spec-to-config path and the engine is deterministic for a fixed
+// config (internal/sched's contract). The store's keys address those
+// bytes by canonical spec hash.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/store"
+)
+
+// Errors the submit path maps to HTTP statuses.
+var (
+	// ErrQueueFull is backpressure: the bounded queue is at capacity
+	// (429 Too Many Requests).
+	ErrQueueFull = errors.New("server: job queue full")
+	// ErrDraining is refusal during shutdown (503 Service Unavailable).
+	ErrDraining = errors.New("server: draining, not accepting jobs")
+)
+
+// Options configure a Server.
+type Options struct {
+	// Store is required: where profiles persist.
+	Store *store.Store
+	// Workers bounds concurrent job executions (0: sched.Workers()).
+	Workers int
+	// QueueDepth bounds the accepted-but-not-running backlog
+	// (0: DefaultQueueDepth). A full queue rejects with 429.
+	QueueDepth int
+	// JobTimeout bounds one job from submission to completion
+	// (0: none). An expired job fails with a deadline error.
+	JobTimeout time.Duration
+	// TopVars is how many variables the text/HTML views detail
+	// (0: 5, the CLI default).
+	TopVars int
+	// BeforeRun, when set, is called by a worker after it claims a job
+	// and before the job executes. Tests use it to hold a job in the
+	// running state deterministically.
+	BeforeRun func(*Job)
+}
+
+// DefaultQueueDepth is the queue bound when Options.QueueDepth is 0.
+const DefaultQueueDepth = 128
+
+// Server is the numad daemon: queue, worker pool, job table, metrics.
+type Server struct {
+	st        *store.Store
+	workers   int
+	topVars   int
+	timeout   time.Duration
+	beforeRun func(*Job)
+
+	baseCtx    context.Context
+	cancelBase context.CancelFunc
+
+	queue       chan *Job
+	workersDone chan struct{}
+
+	mu       sync.Mutex
+	draining bool
+	seq      uint64
+	jobs     map[string]*Job
+	order    []string // submission order, for listing
+
+	m metrics
+}
+
+// New builds a Server; call Start to launch its worker pool.
+func New(opts Options) (*Server, error) {
+	if opts.Store == nil {
+		return nil, fmt.Errorf("server: Options.Store is required")
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = sched.Workers()
+	}
+	depth := opts.QueueDepth
+	if depth <= 0 {
+		depth = DefaultQueueDepth
+	}
+	top := opts.TopVars
+	if top <= 0 {
+		top = 5
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		st:          opts.Store,
+		workers:     workers,
+		topVars:     top,
+		timeout:     opts.JobTimeout,
+		beforeRun:   opts.BeforeRun,
+		baseCtx:     ctx,
+		cancelBase:  cancel,
+		queue:       make(chan *Job, depth),
+		workersDone: make(chan struct{}),
+		jobs:        make(map[string]*Job),
+		m:           metrics{start: time.Now()},
+	}, nil
+}
+
+// Start launches the worker pool: Workers() loops dispatched as one
+// sched sweep, so each worker inherits the scheduler's panic isolation.
+func (s *Server) Start() {
+	go func() {
+		defer close(s.workersDone)
+		// The pool dispatches under a background context on purpose:
+		// shutdown must let workers drain the closed queue, not stop
+		// them from being scheduled. Job cancellation flows through
+		// each job's own context instead.
+		sched.MapWithCtx(context.Background(), s.workers, s.workers,
+			func(context.Context, int) (struct{}, error) {
+				s.workerLoop()
+				return struct{}{}, nil
+			})
+	}()
+}
+
+// Shutdown drains and stops the daemon: new submissions are refused,
+// queued jobs run to completion, and the store is flushed. If ctx
+// expires first, every outstanding job's context is cancelled and the
+// backlog drains as canceled jobs instead of running.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	select {
+	case <-s.workersDone:
+	case <-ctx.Done():
+		s.cancelBase()
+		<-s.workersDone
+	}
+	s.cancelBase()
+	return s.st.Flush()
+}
+
+// Draining reports whether the daemon has begun shutting down.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Submit validates a spec and enqueues a job for it. The error is
+// ErrQueueFull, ErrDraining, or a validation error (the HTTP layer maps
+// them to 429, 503, and 400).
+func (s *Server) Submit(spec Spec) (*Job, error) {
+	n, err := spec.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, ErrDraining
+	}
+	id := fmt.Sprintf("job-%06d", s.seq+1)
+	base := s.baseCtx
+	job := newJob(base, id, n, n.Key(), now)
+	if s.timeout > 0 {
+		job.armTimeout(s.timeout)
+	}
+	// Count before the send so the queued gauge can never dip negative
+	// when a worker races the increment; undo on rejection.
+	s.m.submitted.Add(1)
+	s.m.queued.Add(1)
+	select {
+	case s.queue <- job:
+	default:
+		s.m.submitted.Add(-1)
+		s.m.queued.Add(-1)
+		s.m.rejected.Add(1)
+		job.cancel()
+		return nil, ErrQueueFull
+	}
+	s.seq++
+	s.jobs[id] = job
+	s.order = append(s.order, id)
+	return job, nil
+}
+
+// JobByID looks a job up.
+func (s *Server) JobByID(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs snapshots every job's status in submission order.
+func (s *Server) Jobs() []JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobStatus, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id].Status())
+	}
+	return out
+}
+
+// CancelJob cancels a job by ID, keeping the gauges in step with the
+// state it was in when the cancel landed.
+func (s *Server) CancelJob(id string) (JobStatus, bool) {
+	job, ok := s.JobByID(id)
+	if !ok {
+		return JobStatus{}, false
+	}
+	switch job.Cancel() {
+	case StateQueued:
+		s.m.queued.Add(-1)
+		s.m.canceled.Add(1)
+	case StateRunning:
+		s.m.running.Add(-1)
+		s.m.canceled.Add(1)
+	}
+	return job.Status(), true
+}
+
+// Metrics snapshots the daemon's counters.
+func (s *Server) Metrics() MetricsSnapshot {
+	return s.m.snapshot(s.st.Stats(), len(s.queue), cap(s.queue), s.workers)
+}
+
+// Store exposes the profile store (diff and view handlers read it).
+func (s *Server) Store() *store.Store { return s.st }
+
+// workerLoop drains the queue until it is closed and empty.
+func (s *Server) workerLoop() {
+	for job := range s.queue {
+		s.runJob(job)
+	}
+}
+
+// runJob executes one dequeued job through the store.
+func (s *Server) runJob(job *Job) {
+	started := time.Now()
+	s.m.queueWait.observe(started.Sub(job.submitted))
+	if !job.begin(started) {
+		return // cancelled while queued; gauges moved by CancelJob
+	}
+	s.m.queued.Add(-1)
+	s.m.running.Add(1)
+	if h := s.beforeRun; h != nil {
+		h(job)
+	}
+
+	outcome, errMsg, cacheHit := s.execute(job)
+	if job.finish(outcome, errMsg, cacheHit, time.Now()) {
+		s.m.running.Add(-1)
+		switch outcome {
+		case StateDone:
+			s.m.done.Add(1)
+		case StateFailed:
+			s.m.failed.Add(1)
+		case StateCanceled:
+			s.m.canceled.Add(1)
+		}
+	}
+	s.m.run.observe(time.Since(started))
+	s.m.total.observe(time.Since(job.submitted))
+}
+
+// execute resolves a job to its terminal outcome: a store hit, a fresh
+// run, a cancellation, or a failure. The fresh run goes through
+// sched.MapWithCtx so a panicking workload fails its own job without
+// taking a worker down, and a cancelled job refuses to start at all.
+func (s *Server) execute(job *Job) (State, string, bool) {
+	if err := job.ctx.Err(); err != nil {
+		return cancelOutcome(err)
+	}
+	_, cached, err := s.st.GetOrCompute(job.ctx, job.key, func() (*core.Profile, error) {
+		res, err := sched.MapWithCtx(job.ctx, 1, 1, func(context.Context, int) (*core.Profile, error) {
+			cfg, app, err := job.spec.Build()
+			if err != nil {
+				return nil, err
+			}
+			return core.Analyze(cfg, app)
+		})
+		if err != nil {
+			if sweep, ok := sched.AsSweep(err); ok && len(sweep.Cells) > 0 {
+				return nil, sweep.Cells[0].Err
+			}
+			return nil, err
+		}
+		return res[0], nil
+	})
+	switch {
+	case err == nil:
+		return StateDone, "", cached
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return cancelOutcome(err)
+	default:
+		return StateFailed, err.Error(), false
+	}
+}
+
+// cancelOutcome distinguishes an explicit cancel from a timeout.
+func cancelOutcome(err error) (State, string, bool) {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return StateFailed, "job deadline exceeded", false
+	}
+	return StateCanceled, "canceled", false
+}

@@ -1,0 +1,630 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/diff"
+	"repro/internal/profio"
+	"repro/internal/store"
+)
+
+// fastSpec is the cheapest real job: a one-iteration blackscholes run.
+func fastSpec(strategy string) Spec {
+	return Spec{Workload: "blackscholes", Strategy: strategy, Iters: 1}
+}
+
+// newTestServer stands up a daemon over httptest and tears it down
+// (drain + store flush) when the test ends.
+func newTestServer(t *testing.T, mod func(*Options)) (*Server, *Client) {
+	t.Helper()
+	st, err := store.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Store: st, Workers: 2, QueueDepth: 16}
+	if mod != nil {
+		mod(&opts)
+	}
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		ts.Close()
+	})
+	c := NewClient(ts.URL)
+	c.Poll = 5 * time.Millisecond
+	return s, c
+}
+
+// refProfileBytes computes a spec's profile locally over the same
+// Build+Analyze+Save path the CLI's -profile flag uses.
+func refProfileBytes(t *testing.T, spec Spec) []byte {
+	t.Helper()
+	cfg, app, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.Analyze(cfg, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := profio.Save(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func mustDone(t *testing.T, c *Client, id string) JobStatus {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	st, err := c.Wait(ctx, id)
+	if err != nil {
+		t.Fatalf("wait %s: %v", id, err)
+	}
+	if st.State != StateDone {
+		t.Fatalf("job %s: state %s (error %q), want done", id, st.State, st.Error)
+	}
+	return st
+}
+
+func TestSubmitRunAndViews(t *testing.T) {
+	_, c := newTestServer(t, nil)
+	ctx := context.Background()
+	spec := fastSpec("baseline")
+
+	st, err := c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID == "" || !st.Key.Valid() {
+		t.Fatalf("accepted job malformed: %+v", st)
+	}
+	fin := mustDone(t, c, st.ID)
+	if fin.CacheHit {
+		t.Fatal("first run of a spec reported a cache hit")
+	}
+	if fin.StartedAt.IsZero() || fin.FinishedAt.IsZero() {
+		t.Fatalf("timestamps missing: %+v", fin)
+	}
+
+	// Daemon-served measurement bytes are identical to a local run's
+	// (the CLI -profile path: Build + Analyze + Save).
+	raw, err := c.ProfileBytes(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref := refProfileBytes(t, spec); !bytes.Equal(raw, ref) {
+		t.Fatalf("daemon profile differs from local run: %d vs %d bytes", len(raw), len(ref))
+	}
+
+	text, err := c.Text(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "blackscholes") {
+		t.Fatalf("text view does not mention the workload:\n%s", text)
+	}
+	page, err := c.HTMLReport(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(page, "<html") {
+		t.Fatal("html view is not an HTML page")
+	}
+
+	// A duplicate submission is served from the store.
+	dup, err := c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dup.ID == st.ID {
+		t.Fatal("duplicate submission reused the job ID")
+	}
+	if fin2 := mustDone(t, c, dup.ID); !fin2.CacheHit {
+		t.Fatal("duplicate spec was recomputed, not served from the store")
+	}
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.StoreHits == 0 {
+		t.Fatal("store hit counter did not move on a duplicate spec")
+	}
+	if m.Jobs.Done != 2 {
+		t.Fatalf("done = %d, want 2", m.Jobs.Done)
+	}
+	if m.LatencyUs["total"].Count != 2 {
+		t.Fatalf("total latency observations = %d, want 2", m.LatencyUs["total"].Count)
+	}
+}
+
+// TestEndpointErrors is the table of non-2xx contracts.
+func TestEndpointErrors(t *testing.T) {
+	s, c := newTestServer(t, nil)
+	_ = s
+	base := c.BaseURL
+	absent := store.Key(strings.Repeat("a", 64))
+
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		body   string
+		want   int
+	}{
+		{"unknown job", "GET", "/api/v1/jobs/job-999999", "", 404},
+		{"cancel unknown job", "DELETE", "/api/v1/jobs/job-999999", "", 404},
+		{"malformed body", "POST", "/api/v1/jobs", "{", 400},
+		{"unknown field", "POST", "/api/v1/jobs", `{"frobnicate":1}`, 400},
+		{"invalid spec", "POST", "/api/v1/jobs", `{"workload":"doom"}`, 400},
+		{"bad chaos plan", "POST", "/api/v1/jobs", `{"workload":"lulesh","chaos":"drop=nope"}`, 400},
+		{"invalid profile key", "GET", "/api/v1/profiles/not-a-key", "", 400},
+		{"absent profile key", "GET", "/api/v1/profiles/" + string(absent), "", 404},
+		{"diff without refs", "GET", "/api/v1/diff", "", 400},
+		{"diff unknown refs", "GET", "/api/v1/diff?a=job-999999&b=job-999998", "", 404},
+		{"diff bad view", "GET", "/api/v1/diff?a=" + string(absent) + "&b=" + string(absent), "", 404},
+		{"healthz", "GET", "/healthz", "", 200},
+		{"readyz", "GET", "/readyz", "", 200},
+		{"metrics", "GET", "/metrics", "", 200},
+		{"list jobs", "GET", "/api/v1/jobs?state=done", "", 200},
+		{"list profiles", "GET", "/api/v1/profiles", "", 200},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var body *strings.Reader
+			if tc.body != "" {
+				body = strings.NewReader(tc.body)
+			} else {
+				body = strings.NewReader("")
+			}
+			req, err := http.NewRequest(tc.method, base+tc.path, body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.want {
+				t.Fatalf("%s %s = %d, want %d", tc.method, tc.path, resp.StatusCode, tc.want)
+			}
+			if resp.StatusCode >= 400 {
+				var eb errorBody
+				if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil || eb.Error == "" {
+					t.Fatalf("error response has no JSON error body (decode err %v)", err)
+				}
+			}
+		})
+	}
+}
+
+func TestBackpressureAndViewConflict(t *testing.T) {
+	started := make(chan *Job, 8)
+	release := make(chan struct{})
+	_, c := newTestServer(t, func(o *Options) {
+		o.Workers = 1
+		o.QueueDepth = 1
+		o.BeforeRun = func(j *Job) {
+			started <- j
+			<-release
+		}
+	})
+	ctx := context.Background()
+
+	// Job 1 is claimed by the only worker and held in BeforeRun.
+	j1, err := c.Submit(ctx, fastSpec("baseline"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-started:
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker never claimed job 1")
+	}
+	// Job 2 fills the queue; job 3 must bounce with 429.
+	j2, err := c.Submit(ctx, fastSpec("interleave"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Submit(ctx, fastSpec("blockwise"))
+	if err == nil {
+		t.Fatal("third submission accepted despite a full queue")
+	}
+	if !strings.Contains(err.Error(), "429") {
+		t.Fatalf("full queue error is not a 429: %v", err)
+	}
+
+	// A running job has no views yet: 409, not 404 or 200.
+	resp, err := http.Get(c.BaseURL + "/api/v1/jobs/" + j1.ID + "?view=text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("view of a running job = %d, want 409", resp.StatusCode)
+	}
+	// Same for a diff that references it.
+	resp, err = http.Get(c.BaseURL + "/api/v1/diff?a=" + j1.ID + "&b=" + j1.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("diff of a running job = %d, want 409", resp.StatusCode)
+	}
+
+	close(release)
+	mustDone(t, c, j1.ID)
+	mustDone(t, c, j2.ID)
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Jobs.Rejected != 1 {
+		t.Fatalf("rejected = %d, want 1", m.Jobs.Rejected)
+	}
+	if m.Jobs.Submitted != 2 || m.Jobs.Done != 2 {
+		t.Fatalf("submitted/done = %d/%d, want 2/2", m.Jobs.Submitted, m.Jobs.Done)
+	}
+}
+
+func TestCancelQueuedJob(t *testing.T) {
+	started := make(chan *Job, 8)
+	release := make(chan struct{})
+	_, c := newTestServer(t, func(o *Options) {
+		o.Workers = 1
+		o.QueueDepth = 4
+		o.BeforeRun = func(j *Job) {
+			started <- j
+			<-release
+		}
+	})
+	ctx := context.Background()
+
+	j1, err := c.Submit(ctx, fastSpec("baseline"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	j2, err := c.Submit(ctx, fastSpec("interleave"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := c.Cancel(ctx, j2.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateCanceled {
+		t.Fatalf("cancelled queued job is %s, want canceled", st.State)
+	}
+	close(release)
+	mustDone(t, c, j1.ID)
+
+	// The cancelled job must never have run.
+	st, err = c.Job(ctx, j2.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateCanceled || !st.StartedAt.IsZero() {
+		t.Fatalf("cancelled job ran anyway: %+v", st)
+	}
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Jobs.Canceled != 1 || m.Jobs.Done != 1 || m.Jobs.Queued != 0 || m.Jobs.Running != 0 {
+		t.Fatalf("gauges off after cancel: %+v", m.Jobs)
+	}
+}
+
+func TestCancelMidRun(t *testing.T) {
+	started := make(chan *Job, 8)
+	release := make(chan struct{})
+	var once sync.Once
+	_, c := newTestServer(t, func(o *Options) {
+		o.Workers = 1
+		o.QueueDepth = 4
+		o.BeforeRun = func(j *Job) {
+			var first bool
+			once.Do(func() { first = true })
+			if first {
+				started <- j
+				<-release
+			}
+		}
+	})
+	ctx := context.Background()
+
+	j1, err := c.Submit(ctx, fastSpec("baseline"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started // the worker holds j1 in the running state
+	st, err := c.Cancel(ctx, j1.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateCanceled {
+		t.Fatalf("mid-run cancel left state %s", st.State)
+	}
+	close(release)
+
+	// The worker observes the cancelled context, records nothing over
+	// the canceled state, and stays healthy for the next job.
+	j2, err := c.Submit(ctx, fastSpec("baseline"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin := mustDone(t, c, j2.ID)
+	if fin.CacheHit {
+		t.Fatal("cancelled job leaked a profile into the store")
+	}
+	st, err = c.Job(ctx, j1.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateCanceled {
+		t.Fatalf("job 1 ended %s, want canceled", st.State)
+	}
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Jobs.Canceled != 1 || m.Jobs.Done != 1 || m.Jobs.Running != 0 {
+		t.Fatalf("gauges off after mid-run cancel: %+v", m.Jobs)
+	}
+}
+
+func TestJobTimeoutFails(t *testing.T) {
+	_, c := newTestServer(t, func(o *Options) {
+		o.Workers = 1
+		o.JobTimeout = 30 * time.Millisecond
+		o.BeforeRun = func(*Job) { time.Sleep(80 * time.Millisecond) }
+	})
+	ctx := context.Background()
+	j, err := c.Submit(ctx, fastSpec("baseline"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Wait(ctx, j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateFailed || !strings.Contains(st.Error, "deadline") {
+		t.Fatalf("timed-out job = %s (%q), want failed with a deadline error", st.State, st.Error)
+	}
+}
+
+func TestDiffEndpoint(t *testing.T) {
+	_, c := newTestServer(t, nil)
+	ctx := context.Background()
+	a, err := c.Submit(ctx, fastSpec("baseline"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Submit(ctx, fastSpec("interleave"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, sb := mustDone(t, c, a.ID), mustDone(t, c, b.ID)
+
+	// JSON view by job ID.
+	resp, err := http.Get(c.BaseURL + "/api/v1/diff?a=" + a.ID + "&b=" + b.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("diff = %d, want 200", resp.StatusCode)
+	}
+	var res diff.Result
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict == "" {
+		t.Fatal("diff result has no verdict")
+	}
+
+	// Text view by store key.
+	text, err := c.DiffText(ctx, string(sa.Key), string(sb.Key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "=>") {
+		t.Fatalf("diff text has no verdict line:\n%s", text)
+	}
+}
+
+func TestShutdownDrainsAndRefuses(t *testing.T) {
+	s, c := newTestServer(t, func(o *Options) { o.Workers = 2; o.QueueDepth = 32 })
+	ctx := context.Background()
+	var ids []string
+	for _, strat := range []string{"baseline", "interleave", "baseline", "guided", "interleave"} {
+		st, err := c.Submit(ctx, fastSpec(strat))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, st.ID)
+	}
+	sctx, cancel := context.WithTimeout(ctx, 60*time.Second)
+	defer cancel()
+	if err := s.Shutdown(sctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	// The backlog ran to completion, not cancellation.
+	for _, id := range ids {
+		st, err := c.Job(ctx, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State != StateDone {
+			t.Fatalf("job %s drained as %s, want done", id, st.State)
+		}
+	}
+	// New work is refused with 503, and readyz flips.
+	_, err := c.Submit(ctx, fastSpec("blockwise"))
+	if err == nil || !strings.Contains(err.Error(), "503") {
+		t.Fatalf("submit during drain = %v, want 503", err)
+	}
+	resp, err := http.Get(c.BaseURL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz after drain = %d, want 503", resp.StatusCode)
+	}
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Jobs.Queued != 0 || m.Jobs.Running != 0 || m.Jobs.Done != int64(len(ids)) {
+		t.Fatalf("post-drain gauges off: %+v", m.Jobs)
+	}
+}
+
+// TestConcurrentMixedSubmissions is the acceptance check: 100
+// concurrent submissions of mixed specs complete without error,
+// duplicates are served from the store, every profile is byte-identical
+// to a serial local run, and /metrics + /healthz stay consistent
+// throughout.
+func TestConcurrentMixedSubmissions(t *testing.T) {
+	const jobs = 100
+	s, c := newTestServer(t, func(o *Options) { o.Workers = 8; o.QueueDepth = jobs + 8 })
+	ctx := context.Background()
+
+	// Ten distinct specs; every spec is submitted ten times.
+	var specs []Spec
+	for _, mech := range []string{"IBS", "PEBS-LL"} {
+		for _, strat := range []string{"baseline", "interleave", "blockwise", "parallel-init", "guided"} {
+			sp := fastSpec(strat)
+			sp.Mechanism = mech
+			specs = append(specs, sp)
+		}
+	}
+
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		ids  = make([]string, jobs)
+		errs []error
+	)
+	stop := make(chan struct{})
+	consistent := make(chan error, 1)
+	go func() {
+		// Scrape /metrics and /healthz while the burst is in flight. The
+		// gauges move in separate atomic steps, so a scrape may catch up
+		// to Workers jobs mid-transition; beyond that the books must
+		// balance.
+		defer close(consistent)
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(10 * time.Millisecond):
+			}
+			resp, err := http.Get(c.BaseURL + "/healthz")
+			if err != nil {
+				consistent <- err
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != 200 {
+				consistent <- fmt.Errorf("healthz = %d mid-burst", resp.StatusCode)
+				return
+			}
+			m, err := c.Metrics(ctx)
+			if err != nil {
+				consistent <- err
+				return
+			}
+			sum := m.Jobs.Queued + m.Jobs.Running + m.Jobs.Done + m.Jobs.Failed + m.Jobs.Canceled
+			if d := m.Jobs.Submitted - sum; d < 0 || d > int64(m.Queue.Workers) {
+				consistent <- fmt.Errorf("metrics inconsistent: submitted %d vs accounted %d (%+v)",
+					m.Jobs.Submitted, sum, m.Jobs)
+				return
+			}
+		}
+	}()
+
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st, err := c.Submit(ctx, specs[i%len(specs)])
+			if err != nil {
+				mu.Lock()
+				errs = append(errs, fmt.Errorf("submit %d: %w", i, err))
+				mu.Unlock()
+				return
+			}
+			ids[i] = st.ID
+		}(i)
+	}
+	wg.Wait()
+	if len(errs) > 0 {
+		t.Fatalf("%d/%d submissions failed; first: %v", len(errs), jobs, errs[0])
+	}
+	for i, id := range ids {
+		st := mustDone(t, c, id)
+		if st.Key != specs[i%len(specs)].Key() {
+			t.Fatalf("job %s stored under the wrong key", id)
+		}
+	}
+	close(stop)
+	if err := <-consistent; err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Jobs.Done != jobs || m.Jobs.Failed != 0 || m.Jobs.Canceled != 0 {
+		t.Fatalf("outcome counters off: %+v", m.Jobs)
+	}
+	if m.Jobs.Queued != 0 || m.Jobs.Running != 0 {
+		t.Fatalf("gauges not quiescent: %+v", m.Jobs)
+	}
+	if m.StoreHits == 0 {
+		t.Fatal("no store hits across 10x-duplicated specs")
+	}
+	if m.Store.Saves != uint64(len(specs)) {
+		t.Fatalf("store saves = %d, want %d (one per distinct spec)", m.Store.Saves, len(specs))
+	}
+
+	// Every stored profile is byte-identical to a serial local run.
+	for _, sp := range specs {
+		ref := refProfileBytes(t, sp)
+		got, err := s.Store().Bytes(sp.Key())
+		if err != nil {
+			t.Fatalf("stored bytes for %s: %v", sp.Key(), err)
+		}
+		if !bytes.Equal(got, ref) {
+			t.Fatalf("spec %s/%s: daemon bytes differ from serial run", sp.Mechanism, sp.Strategy)
+		}
+	}
+}

@@ -1,0 +1,219 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/pmu"
+	"repro/internal/proc"
+	"repro/internal/store"
+	"repro/internal/topology"
+	"repro/internal/workloads"
+)
+
+// Spec is one profiling job: everything `numaprof` takes on its command
+// line, as the JSON body of POST /api/v1/jobs. The zero values mean
+// "the CLI's defaults", so the daemon and the CLI resolve identical
+// configurations — the byte-identity guarantee between a daemon-served
+// profile and `numaprof -profile` output rides on Build being the only
+// spec-to-config path in the tree.
+type Spec struct {
+	// Workload is required: lulesh, amg2006, blackscholes, umt2013.
+	Workload string `json:"workload"`
+	// Mechanism is the sampling back end (default IBS).
+	Mechanism string `json:"mechanism,omitempty"`
+	// Machine is a topology preset name (default: the mechanism's
+	// Table 1 testbed, as in the CLI).
+	Machine string `json:"machine,omitempty"`
+	// Threads is the team size (0: all CPUs; UMT defaults to 32).
+	Threads int `json:"threads,omitempty"`
+	// Binding is compact or scatter (default compact; UMT forces
+	// scatter over the compact default).
+	Binding string `json:"binding,omitempty"`
+	// Strategy is the placement variant (default baseline).
+	Strategy string `json:"strategy,omitempty"`
+	// Period overrides the mechanism's sampling period (0: default).
+	Period uint64 `json:"period,omitempty"`
+	// Bins overrides the per-variable bin count (0: default).
+	Bins int `json:"bins,omitempty"`
+	// Iters overrides the workload's iteration count (0: default).
+	Iters int `json:"iters,omitempty"`
+	// FirstTouch enables page-protection first-touch pinpointing
+	// (null: true, the CLI default).
+	FirstTouch *bool `json:"first_touch,omitempty"`
+	// Trace records time-stamped samples.
+	Trace bool `json:"trace,omitempty"`
+	// Chaos is a fault-injection plan (see internal/faults), e.g.
+	// "drop=0.2,fail=2000,seed=42".
+	Chaos string `json:"chaos,omitempty"`
+}
+
+// defaultMachineFor mirrors the CLI's mechanism → Table 1 testbed
+// mapping.
+func defaultMachineFor(mechanism string) string {
+	switch mechanism {
+	case "MRK":
+		return "ibm-power7-128"
+	case "PEBS":
+		return "intel-harpertown-8"
+	case "DEAR":
+		return "intel-itanium2-8"
+	case "PEBS-LL":
+		return "intel-ivybridge-8"
+	default:
+		return "amd-magny-cours-48"
+	}
+}
+
+// knownWorkload reports whether name is one of the four benchmarks.
+func knownWorkload(name string) bool {
+	switch name {
+	case "lulesh", "amg2006", "blackscholes", "umt2013":
+		return true
+	}
+	return false
+}
+
+// Normalize resolves every default to its explicit value and validates
+// the result, returning the canonical spec that Key hashes: two
+// submissions that resolve to the same run always share one store
+// entry, however they spelled their defaults.
+func (s Spec) Normalize() (Spec, error) {
+	n := s
+	n.Workload = strings.TrimSpace(n.Workload)
+	if !knownWorkload(n.Workload) {
+		return n, fmt.Errorf("unknown workload %q (lulesh|amg2006|blackscholes|umt2013)", n.Workload)
+	}
+	if n.Mechanism == "" {
+		n.Mechanism = "IBS"
+	}
+	if _, err := pmu.ByName(n.Mechanism, n.Period); err != nil {
+		return n, err // "pmu: unknown mechanism ..."
+	}
+	if n.Machine == "" {
+		n.Machine = defaultMachineFor(n.Mechanism)
+	}
+	presets := topology.Presets()
+	if _, ok := presets[n.Machine]; !ok {
+		names := make([]string, 0, len(presets))
+		for name := range presets {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		return n, fmt.Errorf("unknown machine %q; presets: %s", n.Machine, strings.Join(names, ", "))
+	}
+	if n.Binding == "" {
+		n.Binding = "compact"
+	}
+	if n.Binding != "compact" && n.Binding != "scatter" {
+		return n, fmt.Errorf("unknown binding %q (compact|scatter)", n.Binding)
+	}
+	if n.Strategy == "" {
+		n.Strategy = string(workloads.Baseline)
+	}
+	valid := false
+	for _, st := range workloads.Strategies() {
+		if n.Strategy == string(st) {
+			valid = true
+			break
+		}
+	}
+	if !valid {
+		return n, fmt.Errorf("unknown strategy %q", n.Strategy)
+	}
+	if n.Workload == "umt2013" {
+		if n.Threads == 0 {
+			n.Threads = 32 // the paper's UMT input limit
+		}
+		if n.Binding == "compact" {
+			n.Binding = "scatter"
+		}
+	}
+	if n.Threads < 0 {
+		return n, fmt.Errorf("negative thread count %d", n.Threads)
+	}
+	if n.Bins < 0 {
+		return n, fmt.Errorf("negative bin count %d", n.Bins)
+	}
+	if n.Iters < 0 {
+		return n, fmt.Errorf("negative iteration count %d", n.Iters)
+	}
+	if n.Chaos != "" {
+		if _, err := faults.ParsePlan(n.Chaos); err != nil {
+			return n, err // "faults: ..."
+		}
+	}
+	if n.FirstTouch == nil {
+		ft := true
+		n.FirstTouch = &ft
+	}
+	return n, nil
+}
+
+// Key content-addresses the spec: the SHA-256 of the canonical
+// (normalized, field-order-fixed) JSON encoding. Normalize must have
+// succeeded for the key to be meaningful.
+func (s Spec) Key() store.Key {
+	n, _ := s.Normalize()
+	b, _ := json.Marshal(n) // struct marshal: fixed field order, cannot fail
+	h := sha256.Sum256(b)
+	return store.Key(hex.EncodeToString(h[:]))
+}
+
+// Build validates the spec and constructs the profiler configuration
+// and a fresh one-shot App instance, exactly as the numaprof CLI does.
+func (s Spec) Build() (core.Config, core.App, error) {
+	n, err := s.Normalize()
+	if err != nil {
+		return core.Config{}, nil, err
+	}
+	m := topology.Presets()[n.Machine]
+
+	bind := proc.Compact
+	if n.Binding == "scatter" {
+		bind = proc.Scatter
+	}
+
+	params := workloads.Params{Strategy: workloads.Strategy(n.Strategy), Iters: n.Iters}
+	var app core.App
+	switch n.Workload {
+	case "lulesh":
+		app = workloads.NewLULESH(params)
+	case "amg2006":
+		app = workloads.NewAMG2006(params)
+	case "blackscholes":
+		app = workloads.NewBlackscholes(params)
+	case "umt2013":
+		app = workloads.NewUMT2013(params)
+	}
+
+	var plan *faults.Plan
+	if n.Chaos != "" {
+		plan, err = faults.ParsePlan(n.Chaos)
+		if err != nil {
+			return core.Config{}, nil, err
+		}
+	}
+
+	cfg := core.Config{
+		Faults:          plan,
+		Machine:         m,
+		Threads:         n.Threads,
+		Binding:         bind,
+		Mechanism:       n.Mechanism,
+		Period:          n.Period,
+		Bins:            n.Bins,
+		TrackFirstTouch: *n.FirstTouch,
+		Trace:           n.Trace,
+		CacheConfig:     workloads.TunedCacheConfig(),
+		MemParams:       workloads.MemParamsFor(m),
+		FabricParams:    workloads.FabricParamsFor(m),
+	}
+	return cfg, app, nil
+}

@@ -1,0 +1,284 @@
+package store
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/profio"
+	"repro/internal/topology"
+	"repro/internal/workloads"
+)
+
+// testProfile runs a real (tiny) profiling job: the store must hold
+// exactly what the daemon will put in it.
+func testProfile(t testing.TB, iters int) *core.Profile {
+	t.Helper()
+	m := topology.IvyBridge8()
+	cfg := core.Config{
+		Machine:     m,
+		Threads:     4,
+		Mechanism:   "IBS",
+		CacheConfig: workloads.TunedCacheConfig(),
+		MemParams:   workloads.MemParamsFor(m),
+	}
+	p, err := core.Analyze(cfg, workloads.NewBlackscholes(workloads.Params{Iters: iters}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func testKey(parts ...string) Key {
+	h := sha256.Sum256([]byte(fmt.Sprint(parts)))
+	return Key(hex.EncodeToString(h[:]))
+}
+
+func profileBytes(t testing.TB, p *core.Profile) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := profio.Save(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestKeyValid(t *testing.T) {
+	good := testKey("a")
+	if !good.Valid() {
+		t.Fatalf("%q should be valid", good)
+	}
+	for _, k := range []Key{"", "abc", Key("../" + string(good)[3:]), Key(string(good)[:63] + "G")} {
+		if k.Valid() {
+			t.Fatalf("%q should be invalid", k)
+		}
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := testProfile(t, 1)
+	k := testKey("roundtrip")
+	if _, err := s.Get(k); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get before Put: err = %v, want ErrNotFound", err)
+	}
+	if err := s.Put(k, p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(profileBytes(t, got), profileBytes(t, p)) {
+		t.Fatal("stored profile does not round-trip")
+	}
+	raw, err := s.Bytes(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, profileBytes(t, p)) {
+		t.Fatal("Bytes differ from profio.Save output")
+	}
+}
+
+func TestGetOrComputeTiers(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey("tiers")
+	var computes atomic.Int64
+	compute := func() (*core.Profile, error) {
+		computes.Add(1)
+		return testProfile(t, 1), nil
+	}
+
+	// First call: miss, computes and persists.
+	_, cached, err := s.GetOrCompute(context.Background(), k, compute)
+	if err != nil || cached {
+		t.Fatalf("first call: cached=%v err=%v", cached, err)
+	}
+	// Second call: memory hit.
+	_, cached, err = s.GetOrCompute(context.Background(), k, compute)
+	if err != nil || !cached {
+		t.Fatalf("second call: cached=%v err=%v", cached, err)
+	}
+	// A fresh store over the same directory: disk hit.
+	s2, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cached, err = s2.GetOrCompute(context.Background(), k, compute)
+	if err != nil || !cached {
+		t.Fatalf("fresh-store call: cached=%v err=%v", cached, err)
+	}
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("compute ran %d times, want 1", n)
+	}
+	st, st2 := s.Stats(), s2.Stats()
+	if st.Misses != 1 || st.MemHits != 1 || st2.DiskHits != 1 {
+		t.Fatalf("stats = %+v / %+v", st, st2)
+	}
+}
+
+func TestGetOrComputeDedupsInflight(t *testing.T) {
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey("dedup")
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var computes atomic.Int64
+	owner := func() (*core.Profile, error) {
+		computes.Add(1)
+		close(started)
+		<-release
+		return testProfile(t, 1), nil
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, _, err := s.GetOrCompute(context.Background(), k, owner); err != nil {
+			t.Error(err)
+		}
+	}()
+	<-started
+
+	// Ten duplicates arrive while the owner computes; all must share
+	// its result without running compute again.
+	const dups = 10
+	for i := 0; i < dups; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, cached, err := s.GetOrCompute(context.Background(), k, func() (*core.Profile, error) {
+				t.Error("duplicate ran compute")
+				return nil, errors.New("unreachable")
+			})
+			if err != nil || !cached {
+				t.Errorf("duplicate: cached=%v err=%v", cached, err)
+			}
+		}()
+	}
+	// Let the duplicates queue up on the inflight call, then release.
+	// The LRU is empty and the key is inflight, so every duplicate
+	// must land in DedupWaits before it can block.
+	for s.Stats().DedupWaits < dups {
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("compute ran %d times, want 1", n)
+	}
+	if st := s.Stats(); st.DedupWaits != dups {
+		t.Fatalf("DedupWaits = %d, want %d", st.DedupWaits, dups)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	s, err := Open(t.TempDir(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := testProfile(t, 1)
+	k1, k2, k3 := testKey("e1"), testKey("e2"), testKey("e3")
+	for _, k := range []Key{k1, k2, k3} {
+		if err := s.Put(k, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := s.Stats(); st.Evictions != 1 {
+		t.Fatalf("Evictions = %d, want 1", st.Evictions)
+	}
+	// The evicted key is still on disk: Get reloads it.
+	if _, err := s.Get(k1); err != nil {
+		t.Fatalf("evicted key no longer loadable: %v", err)
+	}
+}
+
+func TestCorruptFileRecomputedOver(t *testing.T) {
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey("corrupt")
+	if err := os.WriteFile(s.Path(k), []byte("#numaprof-measurement-v2\ngarbage\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, cached, err := s.GetOrCompute(context.Background(), k, func() (*core.Profile, error) {
+		return testProfile(t, 1), nil
+	})
+	if err != nil || cached {
+		t.Fatalf("cached=%v err=%v, want fresh compute over corrupt file", cached, err)
+	}
+	if st := s.Stats(); st.CorruptDropped != 1 {
+		t.Fatalf("CorruptDropped = %d, want 1", st.CorruptDropped)
+	}
+	if _, err := s.Get(k); err != nil {
+		t.Fatalf("recomputed file not loadable: %v", err)
+	}
+}
+
+func TestKeysListing(t *testing.T) {
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := testProfile(t, 1)
+	want := []Key{testKey("k1"), testKey("k2"), testKey("k3")}
+	for _, k := range want {
+		if err := s.Put(k, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Litter that must not be listed: temp-style files, wrong names.
+	os.WriteFile(s.Path(Key("nothex"))+".junk", []byte("x"), 0o644)
+	keys, err := s.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 3 {
+		t.Fatalf("Keys() = %v, want 3 keys", keys)
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Fatalf("Keys() not sorted: %v", keys)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvalidKeyRejected(t *testing.T) {
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("../../escape", testProfile(t, 1)); err == nil {
+		t.Fatal("Put accepted a traversal key")
+	}
+	if _, _, err := s.GetOrCompute(context.Background(), "zz", nil); err == nil {
+		t.Fatal("GetOrCompute accepted an invalid key")
+	}
+	if _, err := s.Bytes("zz"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Bytes on invalid key: %v, want ErrNotFound", err)
+	}
+}
