@@ -28,6 +28,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -36,6 +37,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/sched"
+	"repro/internal/telemetry"
 )
 
 type artifact struct {
@@ -181,6 +183,9 @@ func main() {
 		mdOut    = flag.String("out", "", "also write the results as a markdown report to this path")
 		parallel = flag.Int("parallel", sched.Workers(),
 			"worker goroutines for experiment cells and artifacts (1: today's serial path; results are identical either way)")
+		telemetryDir = flag.String("telemetry", "",
+			"self-profile the run: write "+telemetry.TraceFile+" (chrome://tracing), "+
+				telemetry.SpanFile+" and "+telemetry.MetricsFile+" to this directory and print a per-phase summary")
 	)
 	flag.Parse()
 	sched.SetWorkers(*parallel)
@@ -189,6 +194,34 @@ func main() {
 	if *runList != "" {
 		for _, id := range strings.Split(*runList, ",") {
 			want[strings.TrimSpace(strings.ToUpper(id))] = true
+		}
+	}
+
+	// exit finalizes telemetry (when -telemetry armed it) before leaving:
+	// every path below must go through it rather than os.Exit directly.
+	ctx := context.Background()
+	exit := func(code int) { os.Exit(code) }
+	if *telemetryDir != "" {
+		tr := telemetry.NewTracer(telemetry.WithAllocTracking())
+		telemetry.SetTracer(tr)
+		var root *telemetry.Span
+		ctx, root = telemetry.Start(ctx, "numabench.run",
+			telemetry.String("run", *runList))
+		dir := *telemetryDir
+		exit = func(code int) {
+			root.End()
+			telemetry.SetTracer(nil)
+			if err := telemetry.Dump(dir, tr, telemetry.Default); err != nil {
+				fmt.Fprintln(os.Stderr, "numabench:", err)
+				if code == 0 {
+					code = 1
+				}
+			} else {
+				fmt.Printf("\ntelemetry written to %s (%s, %s, %s)\n",
+					dir, telemetry.TraceFile, telemetry.SpanFile, telemetry.MetricsFile)
+				fmt.Print(tr.Summary())
+			}
+			os.Exit(code)
 		}
 	}
 
@@ -217,12 +250,14 @@ func main() {
 		elapsed time.Duration
 	}
 	streaming := sched.Workers() <= 1
-	results, runErr := sched.Map(len(selected), func(i int) (outcome, error) {
+	results, runErr := sched.MapCtx(ctx, len(selected), func(ctx context.Context, i int) (outcome, error) {
 		a := selected[i]
 		start := time.Now()
 		if streaming {
 			fmt.Printf("=== %s — %s ===\n", a.id, a.title)
 		}
+		_, done := telemetry.Timed(ctx, "numabench.artifact", telemetry.String("id", a.id))
+		defer done()
 		out, err := a.run(*iters)
 		if err != nil {
 			return outcome{}, fmt.Errorf("%s failed: %w", a.id, err)
@@ -272,6 +307,7 @@ func main() {
 		}
 	}
 	if failed {
-		os.Exit(1)
+		exit(1)
 	}
+	exit(0)
 }

@@ -15,6 +15,12 @@
 //	curl -s 'localhost:7077/api/v1/jobs/job-000001?view=text'
 //	curl -s localhost:7077/metrics
 //
+// Logging is structured (log/slog); -log-level (or $NUMAPROF_LOG)
+// tunes it, including per-component: -log-level warn,server=debug.
+// -debug-addr serves net/http/pprof on a separate listener, kept off
+// the API address so operational profiling is never exposed to API
+// clients by accident.
+//
 // SIGINT/SIGTERM shut the daemon down gracefully: new submissions get
 // 503, the queued backlog runs to completion (bounded by
 // -drain-timeout), and the store is flushed before exit.
@@ -25,8 +31,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -35,6 +41,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/server"
 	"repro/internal/store"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -47,16 +54,40 @@ func main() {
 		jobTimeout   = flag.Duration("job-timeout", 0, "per-job deadline from submission (0: none)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for the backlog before cancelling it")
 		top          = flag.Int("top", 5, "variables the text/HTML views detail")
+		logLevel     = flag.String("log-level", "",
+			"log level spec, e.g. info or warn,server=debug (overrides $"+telemetry.LogEnvVar+")")
+		debugAddr = flag.String("debug-addr", "",
+			"serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 	)
 	flag.Parse()
 
-	if err := run(*addr, *dir, *workers, *queueDepth, *cacheEntries, *jobTimeout, *drainTimeout, *top); err != nil {
+	if *logLevel != "" {
+		if err := telemetry.SetLogSpec(*logLevel); err != nil {
+			fmt.Fprintln(os.Stderr, "numad:", err)
+			os.Exit(1)
+		}
+	}
+
+	if err := run(*addr, *debugAddr, *dir, *workers, *queueDepth, *cacheEntries, *jobTimeout, *drainTimeout, *top); err != nil {
 		fmt.Fprintln(os.Stderr, "numad:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dir string, workers, queueDepth, cacheEntries int, jobTimeout, drainTimeout time.Duration, top int) error {
+// debugHandler is the self-profiling mux: the standard pprof index and
+// its profile endpoints (heap, goroutine, profile, trace, ...).
+func debugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func run(addr, debugAddr, dir string, workers, queueDepth, cacheEntries int, jobTimeout, drainTimeout time.Duration, top int) error {
+	logger := telemetry.Logger("numad")
 	st, err := store.Open(dir, cacheEntries)
 	if err != nil {
 		return err
@@ -74,12 +105,23 @@ func run(addr, dir string, workers, queueDepth, cacheEntries int, jobTimeout, dr
 	srv.Start()
 
 	httpSrv := &http.Server{Addr: addr, Handler: srv.Handler()}
-	errc := make(chan error, 1)
+	errc := make(chan error, 2)
 	go func() {
-		log.Printf("numad: listening on %s (store %s, %d workers, queue %d)",
-			addr, dir, workers, queueDepth)
+		logger.Info("listening", "addr", addr, "store", dir,
+			"workers", workers, "queue", queueDepth)
 		errc <- httpSrv.ListenAndServe()
 	}()
+
+	var debugSrv *http.Server
+	if debugAddr != "" {
+		debugSrv = &http.Server{Addr: debugAddr, Handler: debugHandler()}
+		go func() {
+			logger.Info("pprof listening", "addr", debugAddr)
+			if err := debugSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+				errc <- fmt.Errorf("debug listener: %w", err)
+			}
+		}()
+	}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
@@ -87,7 +129,7 @@ func run(addr, dir string, workers, queueDepth, cacheEntries int, jobTimeout, dr
 	case err := <-errc:
 		return err
 	case sig := <-sigc:
-		log.Printf("numad: %s: draining (timeout %s)", sig, drainTimeout)
+		logger.Info("signal received, draining", "signal", sig.String(), "timeout", drainTimeout.String())
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
@@ -95,11 +137,14 @@ func run(addr, dir string, workers, queueDepth, cacheEntries int, jobTimeout, dr
 	// Stop accepting connections first, then drain the job queue and
 	// flush the store.
 	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("numad: http shutdown: %v", err)
+		logger.Warn("http shutdown", "err", err.Error())
+	}
+	if debugSrv != nil {
+		debugSrv.Close()
 	}
 	if err := srv.Shutdown(ctx); err != nil {
 		return fmt.Errorf("drain: %w", err)
 	}
-	log.Printf("numad: drained, store flushed")
+	logger.Info("drained, store flushed")
 	return nil
 }

@@ -43,6 +43,7 @@ import (
 	"repro/internal/profio"
 	"repro/internal/sched"
 	"repro/internal/server"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/view"
 )
@@ -69,6 +70,9 @@ func main() {
 			"worker goroutines when profiling several workloads (1: serial; reports are identical either way)")
 		submit = flag.String("submit", "",
 			"submit the job(s) to a numad daemon at this base URL (e.g. http://localhost:7077) instead of profiling locally")
+		telemetryDir = flag.String("telemetry", "",
+			"self-profile the run: write "+telemetry.TraceFile+" (chrome://tracing), "+
+				telemetry.SpanFile+" and "+telemetry.MetricsFile+" to this directory and print a per-phase summary")
 	)
 	flag.Parse()
 	sched.SetWorkers(*parallel)
@@ -84,28 +88,59 @@ func main() {
 		os.Exit(1)
 	}
 
+	// exit finalizes telemetry (when -telemetry armed it) before leaving:
+	// every path below must go through it rather than os.Exit directly.
+	ctx := context.Background()
+	exit := func(code int) { os.Exit(code) }
+	if *telemetryDir != "" {
+		tr := telemetry.NewTracer(telemetry.WithAllocTracking())
+		telemetry.SetTracer(tr)
+		var root *telemetry.Span
+		ctx, root = telemetry.Start(ctx, "numaprof.run",
+			telemetry.String("workloads", strings.Join(names, ",")),
+			telemetry.String("mechanism", *mechanism))
+		dir := *telemetryDir
+		exit = func(code int) {
+			root.End()
+			telemetry.SetTracer(nil)
+			if err := telemetry.Dump(dir, tr, telemetry.Default); err != nil {
+				fmt.Fprintln(os.Stderr, "numaprof:", err)
+				if code == 0 {
+					code = 1
+				}
+			} else {
+				fmt.Printf("\ntelemetry written to %s (%s, %s, %s)\n",
+					dir, telemetry.TraceFile, telemetry.SpanFile, telemetry.MetricsFile)
+				fmt.Print(tr.Summary())
+			}
+			os.Exit(code)
+		}
+	}
+
 	if *submit != "" {
 		// Client mode: the daemon runs the jobs; identical specs are
 		// served from its store, and the fetched measurement bytes are
 		// identical to a local -profile write.
 		if len(names) > 1 && (*htmlOut != "" || *profOut != "") {
 			fmt.Fprintln(os.Stderr, "numaprof: -html/-profile need a single workload")
-			os.Exit(1)
+			exit(1)
 		}
 		if err := submitJobs(os.Stdout, *submit, names, *mechanism, *machine, *threads, *binding,
 			*strategy, *period, *bins, *iters, *firstT, *doTrace, *htmlOut, *profOut, *chaos); err != nil {
 			fmt.Fprintln(os.Stderr, "numaprof:", err)
-			os.Exit(1)
+			exit(1)
 		}
+		exit(0)
 		return
 	}
 
 	if len(names) == 1 {
-		if err := run(os.Stdout, names[0], *mechanism, *machine, *threads, *binding, *strategy,
+		if err := run(ctx, os.Stdout, names[0], *mechanism, *machine, *threads, *binding, *strategy,
 			*period, *bins, *iters, *top, *firstT, *showCCT, *doTrace, *htmlOut, *profOut, *chaos); err != nil {
 			fmt.Fprintln(os.Stderr, "numaprof:", err)
-			os.Exit(1)
+			exit(1)
 		}
+		exit(0)
 		return
 	}
 
@@ -115,11 +150,11 @@ func main() {
 	// are single-workload only.
 	if *htmlOut != "" || *profOut != "" {
 		fmt.Fprintln(os.Stderr, "numaprof: -html/-profile need a single workload")
-		os.Exit(1)
+		exit(1)
 	}
-	outs, err := sched.Map(len(names), func(i int) (string, error) {
+	outs, err := sched.MapCtx(ctx, len(names), func(ctx context.Context, i int) (string, error) {
 		var buf bytes.Buffer
-		if err := run(&buf, names[i], *mechanism, *machine, *threads, *binding, *strategy,
+		if err := run(ctx, &buf, names[i], *mechanism, *machine, *threads, *binding, *strategy,
 			*period, *bins, *iters, *top, *firstT, *showCCT, *doTrace, "", "", *chaos); err != nil {
 			return "", fmt.Errorf("%s: %w", names[i], err)
 		}
@@ -145,11 +180,12 @@ func main() {
 		fmt.Println()
 	}
 	if err != nil {
-		os.Exit(1)
+		exit(1)
 	}
+	exit(0)
 }
 
-func run(w io.Writer, workload, mechanism, machine string, threads int, binding, strategy string,
+func run(ctx context.Context, w io.Writer, workload, mechanism, machine string, threads int, binding, strategy string,
 	period uint64, bins, iters, top int, firstTouch, showCCT, doTrace bool, htmlOut, profOut, chaos string) error {
 
 	// The spec-to-config path is shared with the numad daemon
@@ -169,14 +205,19 @@ func run(w io.Writer, workload, mechanism, machine string, threads int, binding,
 		Trace:      doTrace,
 		Chaos:      chaos,
 	}
+	_, buildDone := telemetry.Timed(ctx, "pipeline.build_config",
+		telemetry.String("workload", workload), telemetry.String("mechanism", mechanism))
 	cfg, app, err := spec.Build()
+	buildDone()
 	if err != nil {
 		return err
 	}
-	prof, err := core.Analyze(cfg, app)
+	prof, err := core.AnalyzeCtx(ctx, cfg, app)
 	if err != nil {
 		return err
 	}
+	_, renderDone := telemetry.Timed(ctx, "pipeline.render_view",
+		telemetry.String("kind", "text"), telemetry.String("workload", workload))
 	fmt.Fprint(w, view.Report(prof, top))
 	if showCCT {
 		fmt.Fprintln(w)
@@ -187,8 +228,12 @@ func run(w io.Writer, workload, mechanism, machine string, threads int, binding,
 		fmt.Fprintln(w)
 		fmt.Fprint(w, trace.Render(prof.Timeline, 16, 40))
 	}
+	renderDone()
 	if htmlOut != "" {
+		_, htmlDone := telemetry.Timed(ctx, "pipeline.render_view",
+			telemetry.String("kind", "html"), telemetry.String("workload", workload))
 		page, err := view.HTML(prof, top)
+		htmlDone()
 		if err != nil {
 			return err
 		}

@@ -21,6 +21,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -37,6 +38,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/pmu"
 	"repro/internal/proc"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 	"repro/internal/trace"
 	"repro/internal/units"
@@ -240,6 +242,18 @@ func (p *Profile) VarByName(name string) (*VarProfile, bool) {
 // collection), hpcprof (offline merge), and the derived-metric
 // computation, in one call.
 func Analyze(cfg Config, app App) (*Profile, error) {
+	return AnalyzeCtx(context.Background(), cfg, app)
+}
+
+// AnalyzeCtx is Analyze under a context, which is how the pipeline
+// phases show up in a telemetry trace: the engine setup, the monitored
+// run (hpcrun), the per-thread CCT merge (hpcprof), and the
+// derived-metric computation each run under their own pipeline.* span
+// parented to whatever span ctx carries, and feed the always-on
+// pipeline_* instrument family. The context is observational only —
+// Analyze has no cancellation points; job-level cancellation lives in
+// sched.MapWithCtx, which stops dispatching cells.
+func AnalyzeCtx(ctx context.Context, cfg Config, app App) (*Profile, error) {
 	if cfg.Machine == nil {
 		return nil, fmt.Errorf("core: Config.Machine is required")
 	}
@@ -247,8 +261,11 @@ func Analyze(cfg Config, app App) (*Profile, error) {
 	if name == "" {
 		name = "IBS"
 	}
+	_, setupDone := telemetry.Timed(ctx, "pipeline.engine_setup",
+		telemetry.String("workload", app.Name()), telemetry.String("mechanism", name))
 	mech, err := pmu.ByName(name, cfg.Period)
 	if err != nil {
+		setupDone()
 		return nil, err
 	}
 	prog := app.Binary()
@@ -276,10 +293,14 @@ func Analyze(cfg Config, app App) (*Profile, error) {
 		p.faulty = fm
 		p.health.Plan = cfg.Faults.String()
 	}
+	setupDone()
 
+	_, runDone := telemetry.Timed(ctx, "pipeline.sampling_run",
+		telemetry.String("workload", app.Name()), telemetry.String("mechanism", name))
 	app.Run(e)
+	runDone()
 
-	return p.finish(app.Name(), mon), nil
+	return p.finish(ctx, app.Name(), mon), nil
 }
 
 // Run executes app on cfg's machine with no monitoring attached and
@@ -672,7 +693,12 @@ func (p *profiler) onSample(s *pmu.Sample) {
 
 // finish merges per-thread trees, grafts data-centric and first-touch
 // subtrees, computes derived metrics, and packages the Profile.
-func (p *profiler) finish(appName string, mon *pmu.Monitor) *Profile {
+func (p *profiler) finish(ctx context.Context, appName string, mon *pmu.Monitor) *Profile {
+	// Flush the collection totals to the always-on pipeline family:
+	// onSample keeps plain per-run fields (no atomics on the sample
+	// path), accumulated here once per run.
+	telemetry.Default.Counter("pipeline_samples_total").Add(uint64(p.samples))
+
 	// Report the run under the *configured* mechanism; a mid-run
 	// fallback is recorded in Health, not silently relabelled.
 	mech := mon.Mechanism()
@@ -688,12 +714,16 @@ func (p *profiler) finish(appName string, mon *pmu.Monitor) *Profile {
 		for _, i := range plan.LoseThreads(len(p.trees)) {
 			p.trees[i] = nil
 			p.health.ThreadsLost = append(p.health.ThreadsLost, i)
+			telemetry.Logger("core").Warn("per-thread profile lost before merge",
+				"workload", appName, "thread", i)
 		}
 	}
 	p.health.ThreadsTotal = len(p.trees)
 
 	// hpcprof: merge the surviving per-thread trees into the global
 	// augmented CCT, skipping lost profiles instead of aborting.
+	_, mergeDone := telemetry.Timed(ctx, "pipeline.cct_merge",
+		telemetry.String("workload", appName), telemetry.Int("threads", len(p.trees)))
 	global := cct.New()
 	cct.MergeForest(global, p.trees)
 
@@ -759,8 +789,12 @@ func (p *profiler) finish(appName string, mon *pmu.Monitor) *Profile {
 			cct.MergeTrees(global, sub)
 		}
 	}
+	mergeDone()
 
+	_, deriveDone := telemetry.Timed(ctx, "pipeline.derive_metrics",
+		telemetry.String("workload", appName))
 	totals := p.buildTotals(mon, caps)
+	deriveDone()
 	return &Profile{
 		Health:         p.health,
 		AppName:        appName,
@@ -786,6 +820,7 @@ func (p *profiler) finish(appName string, mon *pmu.Monitor) *Profile {
 // (fired == delivered + dropped + lost) true for the whole run.
 func (p *profiler) accountFaults(mon *pmu.Monitor) {
 	c := p.faulty.Counters()
+	faults.RecordCounters(c)
 	postFallback := mon.SamplesTaken() - c.Delivered
 	p.health.SamplesFired = c.Fired + postFallback
 	p.health.SamplesDelivered = mon.SamplesTaken()

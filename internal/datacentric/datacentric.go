@@ -15,7 +15,6 @@ package datacentric
 
 import (
 	"fmt"
-	"log"
 	"math/bits"
 	"os"
 	"strconv"
@@ -23,6 +22,7 @@ import (
 
 	"repro/internal/isa"
 	"repro/internal/proc"
+	"repro/internal/telemetry"
 	"repro/internal/units"
 	"repro/internal/vm"
 )
@@ -74,7 +74,9 @@ const BinThresholdPages = 5
 const MaxBins = 4096
 
 // warnf reports a rejected configuration value; swappable for tests.
-var warnf = log.Printf
+var warnf = func(format string, args ...any) {
+	telemetry.Logger("datacentric").Warn(fmt.Sprintf(format, args...))
+}
 
 // ParseBins validates a NUMAPROF_BINS value: it must be a plain
 // decimal integer in [1, MaxBins]. Anything else — zero, negative,

@@ -54,6 +54,7 @@ type AblationPeriodResult struct {
 // unmonitored baseline and the four monitored runs are five independent
 // cells; overhead is computed after they all return.
 func RunAblationPeriod() (*AblationPeriodResult, error) {
+	defer timedExperiment("ablation_period")()
 	m := topology.MagnyCours48()
 	mk := func() core.App { return workloads.NewLULESH(workloads.Params{Iters: 3}) }
 	baseCfg := BaseConfig(m, 0, proc.Compact)
@@ -183,6 +184,7 @@ type AblationBinsResult struct {
 // RunAblationBins compares bin counts on a 90/20 hotspot, one cell
 // per bin count.
 func RunAblationBins() (*AblationBinsResult, error) {
+	defer timedExperiment("ablation_bins")()
 	m := topology.MagnyCours48()
 	binCounts := []int{1, 5, 20}
 	rows, err := sched.Map(len(binCounts), func(i int) (BinsRow, error) {
@@ -257,6 +259,7 @@ type AblationContentionResult struct {
 // cross (nine runs) fans out as one flat sweep; speedups are computed
 // once every time is in.
 func RunAblationContention() (*AblationContentionResult, error) {
+	defer timedExperiment("ablation_contention")()
 	m := topology.MagnyCours48()
 	caps := []float64{1.0, 2.0, 5.0}
 	strategies := []workloads.Strategy{workloads.Baseline, workloads.BlockWise, workloads.Interleave}
@@ -389,6 +392,7 @@ func (r *AblationDynamicResult) Speedup(schedule, placement string) float64 {
 // RunAblationDynamic measures baseline / block-wise / interleaved
 // placement under static and dynamic schedules.
 func RunAblationDynamic() (*AblationDynamicResult, error) {
+	defer timedExperiment("ablation_dynamic")()
 	m := topology.MagnyCours48()
 	doms := make([]topology.DomainID, m.NumDomains())
 	for i := range doms {

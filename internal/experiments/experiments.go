@@ -20,13 +20,27 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
 	"repro/internal/proc"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 	"repro/internal/workloads"
 )
+
+// timedExperiment opens an experiment.<name> span (plus its always-on
+// counter/histogram pair) around one Run* entry point:
+//
+//	defer timedExperiment("table2")()
+//
+// Entry points take no context, so the span is a root: the per-cell
+// sched.cell spans it fans out appear as sibling lanes in the trace.
+func timedExperiment(name string) func() {
+	_, done := telemetry.Timed(context.Background(), "experiment."+name)
+	return done
+}
 
 // MachineForMechanism returns the Table 1 testbed for a mechanism.
 func MachineForMechanism(mech string) *topology.Machine {

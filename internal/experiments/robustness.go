@@ -71,6 +71,7 @@ func lpiWithin(got, want, tol float64) bool {
 // RunRobustness evaluates the robustness scorecard. iters scales the
 // LULESH runs (0: 2 iterations, enough for a stable estimator).
 func RunRobustness(iters int) (*RobustnessResult, error) {
+	defer timedExperiment("robustness")()
 	if iters <= 0 {
 		iters = 2
 	}

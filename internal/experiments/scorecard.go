@@ -62,6 +62,7 @@ func (s *Scorecard) add(id, desc string, pass bool, detail string) {
 // claims are appended afterwards in the fixed artifact order, so the
 // rendered scorecard is identical for any worker count.
 func RunScorecard(iters int) (*Scorecard, error) {
+	defer timedExperiment("scorecard")()
 	s := &Scorecard{}
 
 	f3iters := iters

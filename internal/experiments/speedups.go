@@ -110,6 +110,7 @@ func measure(workload, metric string, m *topology.Machine, threads int, binding 
 // machines: block-wise distribution (paper: +25% AMD, +7.5% POWER7)
 // vs interleaving everything (paper: +13% AMD, -16.4% POWER7).
 func RunSpeedupLULESH(iters int) (amd, p7 *SpeedupResult, err error) {
+	defer timedExperiment("speedup_lulesh")()
 	strategies := []workloads.Strategy{workloads.Baseline, workloads.BlockWise, workloads.Interleave}
 	mk := func(s workloads.Strategy) core.App {
 		return workloads.NewLULESH(workloads.Params{Strategy: s, Iters: iters})
@@ -129,6 +130,7 @@ func RunSpeedupLULESH(iters int) (amd, p7 *SpeedupResult, err error) {
 // interleave-everything (paper: 36% reduction). Reductions convert to
 // speedups as 1/(1-r)-1.
 func RunSpeedupAMG(iters int) (*SpeedupResult, error) {
+	defer timedExperiment("speedup_amg")()
 	mk := func(s workloads.Strategy) core.App {
 		return workloads.NewAMG2006(workloads.Params{Strategy: s, Iters: iters})
 	}
@@ -154,6 +156,7 @@ func (r *SpeedupResult) Reduction(s workloads.Strategy) float64 {
 // co-location fix barely helps (paper: < 0.1%) because lpi_NUMA is
 // below the significance threshold.
 func RunSpeedupBlackscholes(runs int) (*SpeedupResult, error) {
+	defer timedExperiment("speedup_blackscholes")()
 	mk := func(s workloads.Strategy) core.App {
 		return workloads.NewBlackscholes(workloads.Params{Strategy: s, Iters: runs})
 	}
@@ -165,6 +168,7 @@ func RunSpeedupBlackscholes(runs int) (*SpeedupResult, error) {
 // RunSpeedupUMT measures Section 8.4's fix: parallelising STime's
 // initialisation (paper: +7% whole-program).
 func RunSpeedupUMT(iters int) (*SpeedupResult, error) {
+	defer timedExperiment("speedup_umt")()
 	mk := func(s workloads.Strategy) core.App {
 		return workloads.NewUMT2013(workloads.Params{Strategy: s, Iters: iters})
 	}

@@ -72,6 +72,7 @@ var Table2Order = []string{"LULESH", "AMG2006", "Blackscholes"}
 // reported gap in the returned table; RunTable2 only errors when every
 // cell failed.
 func RunTable2(iters int) (*Table2, error) {
+	defer timedExperiment("table2")()
 	type spec struct{ mech, wl string }
 	var specs []spec
 	for _, mech := range pmu.Names() {

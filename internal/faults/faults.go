@@ -27,6 +27,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/pmu"
 	"repro/internal/proc"
+	"repro/internal/telemetry"
 	"repro/internal/units"
 )
 
@@ -193,6 +194,27 @@ type Counters struct {
 	GarbledLatency uint64 `json:"garbled_latency"`
 	// Stalls counts stall episodes.
 	Stalls uint64 `json:"stalls"`
+}
+
+// RecordCounters folds one run's fault counters into the process-wide
+// faults_* instrument family on telemetry.Default. Called once per run
+// (when a fault plan was active), so the registry accumulates across a
+// sweep while each run's own Counters stay per-run.
+func RecordCounters(c Counters) {
+	add := func(name string, v uint64) {
+		if v > 0 {
+			telemetry.Default.Counter(name).Add(v)
+		}
+	}
+	add("faults_fired_total", c.Fired)
+	add("faults_delivered_total", c.Delivered)
+	add("faults_dropped_total", c.Dropped)
+	add("faults_lost_to_stall_total", c.LostToStall)
+	add("faults_lost_to_failure_total", c.LostToFailure)
+	add("faults_corrupted_ea_total", c.CorruptedEA)
+	add("faults_skidded_ip_total", c.SkiddedIP)
+	add("faults_garbled_latency_total", c.GarbledLatency)
+	add("faults_stalls_total", c.Stalls)
 }
 
 // splitmix64 advances the state and returns a well-mixed 64-bit draw.

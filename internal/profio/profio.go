@@ -49,6 +49,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/pmu"
 	"repro/internal/proc"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 	"repro/internal/trace"
 	"repro/internal/units"
@@ -242,7 +243,11 @@ func Save(w io.Writer, p *core.Profile) error {
 	if err != nil {
 		return err
 	}
-	return writeDocument(w, doc)
+	if err := writeDocument(w, doc); err != nil {
+		return err
+	}
+	telemetry.Default.Counter("profio_saves_total").Inc()
+	return nil
 }
 
 // writeDocument shards doc into checksummed sections.
@@ -428,9 +433,16 @@ func Load(r io.Reader) (*core.Profile, error) {
 	}
 	doc, err := parseStrict(data)
 	if err != nil {
+		telemetry.Default.Counter("profio_load_errors_total").Inc()
 		return nil, err
 	}
-	return Decode(doc)
+	p, err := Decode(doc)
+	if err != nil {
+		telemetry.Default.Counter("profio_load_errors_total").Inc()
+		return nil, err
+	}
+	telemetry.Default.Counter("profio_loads_total").Inc()
+	return p, nil
 }
 
 // LoadLenient reads a measurement document salvaging everything it can:
@@ -455,7 +467,11 @@ func LoadLenient(r io.Reader) (*core.Profile, *Report, error) {
 	}
 	if d := rep.Damage(); len(d) > 0 {
 		prof.Health.FileDamage = append(prof.Health.FileDamage, d...)
+		telemetry.Default.Counter("profio_lenient_salvages_total").Inc()
+		telemetry.Logger("profio").Warn("salvaged damaged measurement file",
+			"damage", strings.Join(d, "; "))
 	}
+	telemetry.Default.Counter("profio_loads_total").Inc()
 	return prof, rep, nil
 }
 

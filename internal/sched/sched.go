@@ -33,6 +33,7 @@ package sched
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"os"
 	"runtime"
@@ -40,6 +41,8 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/telemetry"
 )
 
 // EnvWorkers overrides the default worker count, so CI can run the
@@ -84,10 +87,15 @@ func SetWorkers(n int) int {
 	return int(workers.Swap(int64(n)))
 }
 
-// CellError is one cell's failure, tagged with its input index.
+// CellError is one cell's failure, tagged with its input index. For a
+// recovered panic, Stack carries the goroutine stack captured at the
+// recover site; Error() deliberately excludes it (Table 2 renders the
+// one-line message), so diagnosis goes through Stack or the error-level
+// log runCell emits.
 type CellError struct {
 	Index int
 	Err   error
+	Stack string
 }
 
 func (e *CellError) Error() string { return fmt.Sprintf("cell %d: %v", e.Index, e.Err) }
@@ -201,7 +209,15 @@ func MapWithCtx[T any](ctx context.Context, nworkers, n int, fn func(ctx context
 	sweep := &SweepError{Total: n}
 	for i, err := range errs {
 		if err != nil {
-			sweep.Cells = append(sweep.Cells, &CellError{Index: i, Err: err})
+			ce := &CellError{Index: i, Err: err}
+			var pe *panicErr
+			if errors.As(err, &pe) {
+				ce.Stack = string(pe.stack)
+			}
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				telemetry.Default.Counter("sched_cells_skipped_total").Inc()
+			}
+			sweep.Cells = append(sweep.Cells, ce)
 		}
 	}
 	if len(sweep.Cells) == 0 {
@@ -210,14 +226,35 @@ func MapWithCtx[T any](ctx context.Context, nworkers, n int, fn func(ctx context
 	return results, sweep
 }
 
+// panicErr is a recovered cell panic. Error() keeps the exact one-line
+// "panic: <value>" message the pre-telemetry scheduler produced (Table 2
+// renders it, tests match it); the stack rides along separately and
+// surfaces as CellError.Stack.
+type panicErr struct {
+	value any
+	stack []byte
+}
+
+func (e *panicErr) Error() string { return fmt.Sprintf("panic: %v", e.value) }
+
 // runCell invokes one cell, converting a panic into that cell's error
 // so a bad cell cannot take down the sweep (or, when parallel, the
 // process). The serial path uses the same wrapper so -parallel 1 and
 // -parallel N fail identically.
 func runCell[T any](ctx context.Context, i int, fn func(ctx context.Context, i int) (T, error)) (result T, err error) {
+	_, done := telemetry.Timed(ctx, "sched.cell", telemetry.Int("index", i))
+	defer done()
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("panic: %v", r)
+			stack := make([]byte, 64<<10)
+			stack = stack[:runtime.Stack(stack, false)]
+			err = &panicErr{value: r, stack: stack}
+			telemetry.Default.Counter("sched_cell_panics_total").Inc()
+			telemetry.Logger("sched").Error("cell panicked",
+				"index", i, "panic", fmt.Sprint(r), "stack", string(stack))
+		}
+		if err != nil {
+			telemetry.Default.Counter("sched_cell_failures_total").Inc()
 		}
 	}()
 	return fn(ctx, i)

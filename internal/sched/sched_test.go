@@ -103,6 +103,39 @@ func TestMapRecoversPanics(t *testing.T) {
 	}
 }
 
+func TestCellErrorCarriesPanicStack(t *testing.T) {
+	// The recovered stack must survive to the aggregated CellError —
+	// it used to be silently dropped — and name the panic site.
+	_, err := MapWith(2, 2, func(i int) (int, error) {
+		if i == 1 {
+			panic("with a stack")
+		}
+		return i, nil
+	})
+	sweep, ok := AsSweep(err)
+	if !ok || len(sweep.Cells) != 1 {
+		t.Fatalf("want one failed cell, got %v", err)
+	}
+	ce := sweep.Cells[0]
+	if ce.Stack == "" {
+		t.Fatal("CellError.Stack is empty for a panicked cell")
+	}
+	if !strings.Contains(ce.Stack, "TestCellErrorCarriesPanicStack") {
+		t.Errorf("stack does not reach the panic site:\n%s", ce.Stack)
+	}
+	// The message format is load-bearing (Table 2 renders it): the
+	// stack must not leak into Error().
+	if got := ce.Err.Error(); got != "panic: with a stack" {
+		t.Errorf("Error() = %q, want %q", got, "panic: with a stack")
+	}
+	// A plain error (no panic) must not fabricate a stack.
+	_, err = MapWith(1, 1, func(i int) (int, error) { return 0, errors.New("plain") })
+	sweep, _ = AsSweep(err)
+	if sweep.Cells[0].Stack != "" {
+		t.Errorf("plain error grew a stack: %q", sweep.Cells[0].Stack)
+	}
+}
+
 func TestMapSerialPathStaysOnCallingGoroutine(t *testing.T) {
 	// With one worker the cells must run inline and in order — the
 	// pre-scheduler serial path, byte-for-byte.

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/diff"
 	coremetrics "repro/internal/metrics"
 	"repro/internal/store"
+	"repro/internal/telemetry"
 	"repro/internal/view"
 )
 
@@ -108,7 +110,7 @@ func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusConflict, "job %s is %s, not done", st.ID, st.State)
 			return
 		}
-		s.serveProfileView(w, st.Key, v)
+		s.serveProfileView(r.Context(), w, st.Key, v)
 	default:
 		writeError(w, http.StatusBadRequest, "unknown view %q (status|text|html|profile)", v)
 	}
@@ -116,7 +118,9 @@ func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 
 // serveProfileView renders a stored profile as text, HTML, or raw
 // measurement bytes.
-func (s *Server) serveProfileView(w http.ResponseWriter, k store.Key, kind string) {
+func (s *Server) serveProfileView(ctx context.Context, w http.ResponseWriter, k store.Key, kind string) {
+	_, done := telemetry.Timed(ctx, "pipeline.render_view", telemetry.String("kind", kind))
+	defer done()
 	if kind == "profile" {
 		b, err := s.st.Bytes(k)
 		if err != nil {
@@ -182,7 +186,7 @@ func (s *Server) handleGetProfile(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid profile key %q", k)
 		return
 	}
-	s.serveProfileView(w, k, "profile")
+	s.serveProfileView(r.Context(), w, k, "profile")
 }
 
 // resolveProfileRef turns a jobs ID or a store key into a loadable
@@ -260,6 +264,17 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleMetrics serves the JSON snapshot by default; ?format=text
+// switches to the flat `name value` exposition of the instrument
+// registry, for scrapers that want diffable lines instead of JSON.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.Metrics())
+	switch f := r.URL.Query().Get("format"); f {
+	case "", "json":
+		writeJSON(w, http.StatusOK, s.Metrics())
+	case "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		s.Metrics().Instruments.WriteText(w)
+	default:
+		writeError(w, http.StatusBadRequest, "unknown format %q (json|text)", f)
+	}
 }

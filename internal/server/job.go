@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/store"
+	"repro/internal/telemetry"
 )
 
 // State is a job's lifecycle stage.
@@ -42,6 +43,11 @@ type Job struct {
 	// cancelled.
 	ctx    context.Context
 	cancel context.CancelFunc
+
+	// queueSpan times the queued → running transition (nil when
+	// tracing is disabled). The worker that claims the job ends it;
+	// a cancel while still queued ends it too.
+	queueSpan *telemetry.Span
 
 	mu        sync.Mutex
 	state     State

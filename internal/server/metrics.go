@@ -1,80 +1,58 @@
 package server
 
 import (
-	"sync/atomic"
 	"time"
 
 	"repro/internal/store"
+	"repro/internal/telemetry"
 )
 
-// histBuckets is the bucket count of the latency histograms: powers of
-// two from 1µs up, the last bucket catching everything past ~8.4s.
-const histBuckets = 24
+// HistogramSnapshot is the wire form of a latency histogram — the
+// telemetry layer's, re-exported so the /metrics JSON contract keeps
+// its type name. Buckets[i] counts observations in [2^(i-1), 2^i)
+// microseconds (Buckets[0]: < 1µs); the last bucket is open-ended.
+type HistogramSnapshot = telemetry.HistogramSnapshot
 
-// histogram is a lock-free power-of-two latency histogram, expvar
-// style: monotonic counters a scraper can diff between polls.
-type histogram struct {
-	count   atomic.Uint64
-	sumUs   atomic.Uint64
-	buckets [histBuckets]atomic.Uint64
-}
-
-// observe records one duration.
-func (h *histogram) observe(d time.Duration) {
-	us := d.Microseconds()
-	if us < 0 {
-		us = 0
-	}
-	h.count.Add(1)
-	h.sumUs.Add(uint64(us))
-	b := 0
-	for v := us; v > 0 && b < histBuckets-1; v >>= 1 {
-		b++
-	}
-	h.buckets[b].Add(1)
-}
-
-// HistogramSnapshot is the wire form of a histogram. Buckets[i] counts
-// observations in [2^(i-1), 2^i) microseconds (Buckets[0]: < 1µs); the
-// last bucket is open-ended.
-type HistogramSnapshot struct {
-	Count   uint64   `json:"count"`
-	SumUs   uint64   `json:"sum_us"`
-	MeanUs  float64  `json:"mean_us"`
-	Buckets []uint64 `json:"buckets_pow2_us"`
-}
-
-func (h *histogram) snapshot() HistogramSnapshot {
-	s := HistogramSnapshot{
-		Count:   h.count.Load(),
-		SumUs:   h.sumUs.Load(),
-		Buckets: make([]uint64, histBuckets),
-	}
-	for i := range h.buckets {
-		s.Buckets[i] = h.buckets[i].Load()
-	}
-	if s.Count > 0 {
-		s.MeanUs = float64(s.SumUs) / float64(s.Count)
-	}
-	return s
-}
-
-// metrics is the daemon's counter block. Gauges (Queued, Running) move
-// both ways; everything else is monotonic.
+// metrics is the daemon's counter block, registered on the server's own
+// telemetry.Registry so /metrics can expose the raw instruments next to
+// the legacy snapshot shape. Gauges (queued, running) move both ways;
+// everything else is monotonic.
 type metrics struct {
 	start time.Time
+	reg   *telemetry.Registry
 
-	submitted atomic.Int64
-	queued    atomic.Int64 // gauge
-	running   atomic.Int64 // gauge
-	done      atomic.Int64
-	failed    atomic.Int64
-	canceled  atomic.Int64
-	rejected  atomic.Int64 // 429s from the bounded queue
+	submitted *telemetry.Counter
+	done      *telemetry.Counter
+	failed    *telemetry.Counter
+	canceled  *telemetry.Counter
+	rejected  *telemetry.Counter // 429s from the bounded queue
+	queued    *telemetry.Gauge
+	running   *telemetry.Gauge
 
-	queueWait histogram // submit → dequeue
-	run       histogram // dequeue → result (compute or cache)
-	total     histogram // submit → terminal state
+	queueWait *telemetry.Histogram // submit → dequeue
+	run       *telemetry.Histogram // dequeue → result (compute or cache)
+	total     *telemetry.Histogram // submit → terminal state
+}
+
+// newMetrics registers the job-lifecycle instruments on reg. The
+// registry is per-Server, so concurrent servers (tests) never share
+// counters; process-wide families (sched_*, pipeline_*) live on
+// telemetry.Default and are merged in at snapshot time.
+func newMetrics(reg *telemetry.Registry) metrics {
+	return metrics{
+		start:     time.Now(),
+		reg:       reg,
+		submitted: reg.Counter("jobs_submitted_total"),
+		done:      reg.Counter("jobs_done_total"),
+		failed:    reg.Counter("jobs_failed_total"),
+		canceled:  reg.Counter("jobs_canceled_total"),
+		rejected:  reg.Counter("jobs_rejected_total"),
+		queued:    reg.Gauge("jobs_queued"),
+		running:   reg.Gauge("jobs_running"),
+		queueWait: reg.Histogram("job_queue_wait"),
+		run:       reg.Histogram("job_run"),
+		total:     reg.Histogram("job_total"),
+	}
 }
 
 // JobCounts is the job block of MetricsSnapshot.
@@ -95,7 +73,11 @@ type QueueInfo struct {
 	Workers  int `json:"workers"`
 }
 
-// MetricsSnapshot is what GET /metrics serves.
+// MetricsSnapshot is what GET /metrics serves. Every pre-telemetry key
+// is unchanged (scrapers keep working); Instruments is the new unified
+// registry view carrying the jobs_*/job_* instruments, the mirrored
+// store_* counters, and the process-wide sched_*/pipeline_*/profio_*/
+// faults_* families.
 type MetricsSnapshot struct {
 	UptimeSeconds float64     `json:"uptime_seconds"`
 	Jobs          JobCounts   `json:"jobs"`
@@ -106,32 +88,52 @@ type MetricsSnapshot struct {
 	// field.
 	StoreHits uint64                       `json:"store_hits"`
 	LatencyUs map[string]HistogramSnapshot `json:"latency_us"`
+
+	Instruments telemetry.RegistrySnapshot `json:"instruments"`
+}
+
+// mirrorStore copies the store's per-instance Stats into the registry's
+// store_* counter family, so the exposition carries hit/miss/dedup
+// counters under stable instrument names. Set (not Add): the store owns
+// the counting, the registry mirrors it.
+func (m *metrics) mirrorStore(st store.Stats) {
+	m.reg.Counter("store_mem_hits_total").Set(st.MemHits)
+	m.reg.Counter("store_disk_hits_total").Set(st.DiskHits)
+	m.reg.Counter("store_misses_total").Set(st.Misses)
+	m.reg.Counter("store_dedup_waits_total").Set(st.DedupWaits)
+	m.reg.Counter("store_saves_total").Set(st.Saves)
+	m.reg.Counter("store_evictions_total").Set(st.Evictions)
+	m.reg.Counter("store_corrupt_dropped_total").Set(st.CorruptDropped)
 }
 
 func (m *metrics) snapshot(st store.Stats, depth, capacity, workers int) MetricsSnapshot {
-	stats := m.jobCounts()
+	m.mirrorStore(st)
 	return MetricsSnapshot{
 		UptimeSeconds: time.Since(m.start).Seconds(),
-		Jobs:          stats,
+		Jobs:          m.jobCounts(),
 		Queue:         QueueInfo{Depth: depth, Capacity: capacity, Workers: workers},
 		Store:         st,
 		StoreHits:     st.Hits(),
 		LatencyUs: map[string]HistogramSnapshot{
-			"queue_wait": m.queueWait.snapshot(),
-			"run":        m.run.snapshot(),
-			"total":      m.total.snapshot(),
+			"queue_wait": m.queueWait.Snapshot(),
+			"run":        m.run.Snapshot(),
+			"total":      m.total.Snapshot(),
 		},
+		// Default first: a per-server instrument shadowing a global one
+		// would win, and that is the right precedence for this server's
+		// own exposition.
+		Instruments: telemetry.Default.Snapshot().Merge(m.reg.Snapshot()),
 	}
 }
 
 func (m *metrics) jobCounts() JobCounts {
 	return JobCounts{
-		Submitted: m.submitted.Load(),
-		Queued:    m.queued.Load(),
-		Running:   m.running.Load(),
-		Done:      m.done.Load(),
-		Failed:    m.failed.Load(),
-		Canceled:  m.canceled.Load(),
-		Rejected:  m.rejected.Load(),
+		Submitted: int64(m.submitted.Value()),
+		Queued:    m.queued.Value(),
+		Running:   m.running.Value(),
+		Done:      int64(m.done.Value()),
+		Failed:    int64(m.failed.Value()),
+		Canceled:  int64(m.canceled.Value()),
+		Rejected:  int64(m.rejected.Value()),
 	}
 }

@@ -38,12 +38,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/sched"
 	"repro/internal/store"
+	"repro/internal/telemetry"
 )
 
 // Errors the submit path maps to HTTP statuses.
@@ -99,7 +101,8 @@ type Server struct {
 	jobs     map[string]*Job
 	order    []string // submission order, for listing
 
-	m metrics
+	m   metrics
+	log *slog.Logger
 }
 
 // New builds a Server; call Start to launch its worker pool.
@@ -131,7 +134,8 @@ func New(opts Options) (*Server, error) {
 		queue:       make(chan *Job, depth),
 		workersDone: make(chan struct{}),
 		jobs:        make(map[string]*Job),
-		m:           metrics{start: time.Now()},
+		m:           newMetrics(telemetry.NewRegistry()),
+		log:         telemetry.Logger("server"),
 	}, nil
 }
 
@@ -161,11 +165,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if !s.draining {
 		s.draining = true
 		close(s.queue)
+		s.log.Info("draining", "queued", len(s.queue))
 	}
 	s.mu.Unlock()
 	select {
 	case <-s.workersDone:
 	case <-ctx.Done():
+		s.log.Warn("drain deadline hit, cancelling outstanding jobs")
 		s.cancelBase()
 		<-s.workersDone
 	}
@@ -200,22 +206,26 @@ func (s *Server) Submit(spec Spec) (*Job, error) {
 	if s.timeout > 0 {
 		job.armTimeout(s.timeout)
 	}
-	// Count before the send so the queued gauge can never dip negative
-	// when a worker races the increment; undo on rejection.
-	s.m.submitted.Add(1)
-	s.m.queued.Add(1)
-	select {
-	case s.queue <- job:
-	default:
-		s.m.submitted.Add(-1)
-		s.m.queued.Add(-1)
-		s.m.rejected.Add(1)
+	// Only submitters (all under s.mu) grow the queue, so a full check
+	// here is authoritative: a concurrent dequeue can only free space.
+	// Rejecting before any counter moves keeps the submitted counter
+	// monotonic (no undo), and counting queued before the send keeps
+	// that gauge from dipping negative when a worker races it.
+	if len(s.queue) == cap(s.queue) {
+		s.m.rejected.Inc()
 		job.cancel()
+		s.log.Warn("job rejected, queue full", "id", id, "key", string(job.key))
 		return nil, ErrQueueFull
 	}
+	s.m.submitted.Inc()
+	s.m.queued.Add(1)
+	_, job.queueSpan = telemetry.Start(job.ctx, "server.job_queued",
+		telemetry.String("id", id), telemetry.String("workload", n.Workload))
+	s.queue <- job
 	s.seq++
 	s.jobs[id] = job
 	s.order = append(s.order, id)
+	s.log.Debug("job queued", "id", id, "workload", n.Workload, "key", string(job.key))
 	return job, nil
 }
 
@@ -247,11 +257,14 @@ func (s *Server) CancelJob(id string) (JobStatus, bool) {
 	}
 	switch job.Cancel() {
 	case StateQueued:
+		job.queueSpan.End()
 		s.m.queued.Add(-1)
-		s.m.canceled.Add(1)
+		s.m.canceled.Inc()
+		s.log.Info("job canceled while queued", "id", id)
 	case StateRunning:
 		s.m.running.Add(-1)
-		s.m.canceled.Add(1)
+		s.m.canceled.Inc()
+		s.log.Info("job canceled while running", "id", id)
 	}
 	return job.Status(), true
 }
@@ -274,47 +287,60 @@ func (s *Server) workerLoop() {
 // runJob executes one dequeued job through the store.
 func (s *Server) runJob(job *Job) {
 	started := time.Now()
-	s.m.queueWait.observe(started.Sub(job.submitted))
+	s.m.queueWait.Observe(started.Sub(job.submitted))
 	if !job.begin(started) {
-		return // cancelled while queued; gauges moved by CancelJob
+		return // cancelled while queued; gauges and span moved by CancelJob
 	}
+	job.queueSpan.End()
 	s.m.queued.Add(-1)
 	s.m.running.Add(1)
+	s.log.Debug("job running", "id", job.id, "workload", job.spec.Workload)
 	if h := s.beforeRun; h != nil {
 		h(job)
 	}
 
-	outcome, errMsg, cacheHit := s.execute(job)
+	ctx, span := telemetry.Start(job.ctx, "server.job_run",
+		telemetry.String("id", job.id), telemetry.String("workload", job.spec.Workload))
+	outcome, errMsg, cacheHit := s.execute(ctx, job)
+	span.Annotate(telemetry.String("outcome", string(outcome)))
+	span.End()
 	if job.finish(outcome, errMsg, cacheHit, time.Now()) {
 		s.m.running.Add(-1)
 		switch outcome {
 		case StateDone:
-			s.m.done.Add(1)
+			s.m.done.Inc()
+			s.log.Info("job done", "id", job.id, "workload", job.spec.Workload,
+				"cache_hit", cacheHit, "elapsed", time.Since(started).Round(time.Millisecond).String())
 		case StateFailed:
-			s.m.failed.Add(1)
+			s.m.failed.Inc()
+			s.log.Error("job failed", "id", job.id, "workload", job.spec.Workload, "err", errMsg)
 		case StateCanceled:
-			s.m.canceled.Add(1)
+			s.m.canceled.Inc()
+			s.log.Info("job canceled mid-run", "id", job.id)
 		}
 	}
-	s.m.run.observe(time.Since(started))
-	s.m.total.observe(time.Since(job.submitted))
+	s.m.run.Observe(time.Since(started))
+	s.m.total.Observe(time.Since(job.submitted))
 }
 
 // execute resolves a job to its terminal outcome: a store hit, a fresh
 // run, a cancellation, or a failure. The fresh run goes through
 // sched.MapWithCtx so a panicking workload fails its own job without
 // taking a worker down, and a cancelled job refuses to start at all.
-func (s *Server) execute(job *Job) (State, string, bool) {
+func (s *Server) execute(ctx context.Context, job *Job) (State, string, bool) {
 	if err := job.ctx.Err(); err != nil {
 		return cancelOutcome(err)
 	}
-	_, cached, err := s.st.GetOrCompute(job.ctx, job.key, func() (*core.Profile, error) {
-		res, err := sched.MapWithCtx(job.ctx, 1, 1, func(context.Context, int) (*core.Profile, error) {
+	_, cached, err := s.st.GetOrCompute(ctx, job.key, func() (*core.Profile, error) {
+		res, err := sched.MapWithCtx(ctx, 1, 1, func(cellCtx context.Context, _ int) (*core.Profile, error) {
+			_, buildDone := telemetry.Timed(cellCtx, "pipeline.build_config",
+				telemetry.String("workload", job.spec.Workload))
 			cfg, app, err := job.spec.Build()
+			buildDone()
 			if err != nil {
 				return nil, err
 			}
-			return core.Analyze(cfg, app)
+			return core.AnalyzeCtx(cellCtx, cfg, app)
 		})
 		if err != nil {
 			if sweep, ok := sched.AsSweep(err); ok && len(sweep.Cells) > 0 {

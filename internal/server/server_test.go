@@ -616,6 +616,36 @@ func TestConcurrentMixedSubmissions(t *testing.T) {
 		t.Fatalf("store saves = %d, want %d (one per distinct spec)", m.Store.Saves, len(specs))
 	}
 
+	// The instrument registry must mirror the store stats exactly, and
+	// the hit/miss/dedup books must balance: each distinct spec misses
+	// once, every other submission is served as a hit of some flavor.
+	ic := m.Instruments.Counters
+	for name, want := range map[string]uint64{
+		"store_mem_hits_total":    m.Store.MemHits,
+		"store_disk_hits_total":   m.Store.DiskHits,
+		"store_misses_total":      m.Store.Misses,
+		"store_dedup_waits_total": m.Store.DedupWaits,
+		"store_saves_total":       m.Store.Saves,
+	} {
+		if ic[name] != want {
+			t.Errorf("instrument %s = %d, want %d (mirror of store stats)", name, ic[name], want)
+		}
+	}
+	if m.Store.Misses != uint64(len(specs)) {
+		t.Errorf("store misses = %d, want %d (one compute per distinct spec)", m.Store.Misses, len(specs))
+	}
+	if hits := m.Store.MemHits + m.Store.DiskHits + m.Store.DedupWaits; hits != jobs-uint64(len(specs)) {
+		t.Errorf("store hits = %d, want %d (every duplicate submission served from cache)",
+			hits, jobs-len(specs))
+	}
+	// Process-wide pipeline families accumulate across tests, so assert
+	// presence and progress, not exact values.
+	for _, name := range []string{"pipeline_build_config_total", "pipeline_samples_total", "store_get_or_compute_total"} {
+		if ic[name] == 0 {
+			t.Errorf("instrument %s missing or zero after a 100-job burst", name)
+		}
+	}
+
 	// Every stored profile is byte-identical to a serial local run.
 	for _, sp := range specs {
 		ref := refProfileBytes(t, sp)

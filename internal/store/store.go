@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/profio"
+	"repro/internal/telemetry"
 )
 
 // Ext is the measurement-file extension the store manages.
@@ -223,6 +224,8 @@ func (s *Store) GetOrCompute(ctx context.Context, k Key, compute func() (*core.P
 	if !k.Valid() {
 		return nil, false, fmt.Errorf("store: invalid key %q", k)
 	}
+	ctx, done := telemetry.Timed(ctx, "store.get_or_compute", telemetry.String("key", string(k)))
+	defer done()
 	for {
 		s.mu.Lock()
 		if e, ok := s.entries[k]; ok {
@@ -251,7 +254,7 @@ func (s *Store) GetOrCompute(ctx context.Context, k Key, compute func() (*core.P
 		s.inflight[k] = c
 		s.mu.Unlock()
 
-		p, cached, err = s.fill(k, compute)
+		p, cached, err = s.fill(ctx, k, compute)
 		c.p, c.err = p, err
 		s.mu.Lock()
 		delete(s.inflight, k)
@@ -262,7 +265,7 @@ func (s *Store) GetOrCompute(ctx context.Context, k Key, compute func() (*core.P
 }
 
 // fill is the owner path of GetOrCompute: disk, then compute+persist.
-func (s *Store) fill(k Key, compute func() (*core.Profile, error)) (*core.Profile, bool, error) {
+func (s *Store) fill(ctx context.Context, k Key, compute func() (*core.Profile, error)) (*core.Profile, bool, error) {
 	switch p, err := profio.LoadFile(s.Path(k)); {
 	case err == nil:
 		s.diskHits.Add(1)
@@ -273,9 +276,13 @@ func (s *Store) fill(k Key, compute func() (*core.Profile, error)) (*core.Profil
 		// make this external damage (bit rot, a hand-edited file), so
 		// recompute over it rather than serving or failing on it.
 		s.corruptDropped.Add(1)
+		telemetry.Logger("store").Warn("dropping corrupt profile, recomputing",
+			"key", string(k), "path", s.Path(k), "err", err.Error())
 	}
 	s.misses.Add(1)
+	_, computeDone := telemetry.Timed(ctx, "store.compute", telemetry.String("key", string(k)))
 	p, err := compute()
+	computeDone()
 	if err != nil {
 		return nil, false, err
 	}

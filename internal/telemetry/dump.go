@@ -1,0 +1,51 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Dump file names, fixed so tooling (and the README) can rely on them.
+const (
+	TraceFile   = "trace.json"  // Chrome trace_event JSON; open in chrome://tracing
+	SpanFile    = "spans.txt"   // plain-text span tree
+	MetricsFile = "metrics.txt" // registry text exposition
+)
+
+// Dump writes a run's telemetry artifacts into dir (created if needed):
+// the Chrome trace, the span tree, and a metrics snapshot. This is what
+// `numaprof -telemetry out/` produces after a run. A nil tracer skips
+// the two trace files; a nil registry skips the metrics file.
+func Dump(dir string, t *Tracer, r *Registry) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("telemetry: %w", err)
+	}
+	write := func(name string, fill func(io.Writer) error) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return fmt.Errorf("telemetry: %w", err)
+		}
+		if err := fill(f); err != nil {
+			f.Close()
+			return fmt.Errorf("telemetry: write %s: %w", name, err)
+		}
+		return f.Close()
+	}
+	if t != nil {
+		if err := write(TraceFile, t.WriteChromeTrace); err != nil {
+			return err
+		}
+		if err := write(SpanFile, t.WriteTree); err != nil {
+			return err
+		}
+	}
+	if r != nil {
+		snap := r.Snapshot()
+		if err := write(MetricsFile, snap.WriteText); err != nil {
+			return err
+		}
+	}
+	return nil
+}

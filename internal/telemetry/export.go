@@ -1,0 +1,165 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// chromeEvent is one Chrome trace_event object. Complete events
+// ("ph":"X") carry their duration, which is what both chrome://tracing
+// and ui.perfetto.dev render as flame rows; tid is the span's lane (its
+// root span), so concurrent sweep cells land on separate rows.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Ts   int64             `json:"ts"`
+	Dur  int64             `json:"dur"`
+	Pid  int               `json:"pid"`
+	Tid  int64             `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object trace form ({"traceEvents": [...]}),
+// the variant every trace_event consumer accepts.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace exports every collected span as Chrome trace_event
+// JSON. Spans appear in start order; a span whose End never ran is
+// exported with the export-time clock as its end and args.unfinished
+// set, so an unbalanced trace is visibly unbalanced instead of lost.
+// Deterministic for a deterministic clock: map keys are sorted by
+// encoding/json and span order is the tracer's own.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	spans, _ := t.snapshot()
+	out := chromeTrace{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+	for i := range spans {
+		s := &spans[i]
+		ev := chromeEvent{
+			Name: s.name,
+			Ph:   "X",
+			Ts:   s.startUs,
+			Dur:  s.durUs(),
+			Pid:  1,
+			Tid:  s.lane,
+		}
+		if len(s.attrs) > 0 || !s.ended {
+			ev.Args = make(map[string]string, len(s.attrs)+1)
+			for _, a := range s.attrs {
+				ev.Args[a.Key] = a.Value
+			}
+			if !s.ended {
+				ev.Args["unfinished"] = "true"
+			}
+		}
+		out.TraceEvents = append(out.TraceEvents, ev)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// WriteTree writes the collected spans as an indented text tree —
+// children under parents, siblings in start order — with durations,
+// attributes, and unfinished markers. The human-readable companion to
+// the Chrome export.
+func (t *Tracer) WriteTree(w io.Writer) error {
+	spans, _ := t.snapshot()
+	children := make(map[int64][]*Span, len(spans))
+	var roots []*Span
+	for i := range spans {
+		s := &spans[i]
+		if s.parent == 0 {
+			roots = append(roots, s)
+		} else {
+			children[s.parent] = append(children[s.parent], s)
+		}
+	}
+	var walk func(s *Span, depth int) error
+	walk = func(s *Span, depth int) error {
+		line := fmt.Sprintf("%s%s %dµs", strings.Repeat("  ", depth), s.name, s.durUs())
+		for _, a := range s.attrs {
+			line += fmt.Sprintf(" %s=%s", a.Key, a.Value)
+		}
+		if !s.ended {
+			line += " [unfinished]"
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+		for _, c := range children[s.id] {
+			if err := walk(c, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, r := range roots {
+		if err := walk(r, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// phaseStat aggregates every span of one name for Summary.
+type phaseStat struct {
+	name       string
+	count      int
+	totalUs    int64
+	allocBytes uint64
+	unfinished int
+}
+
+// Summary renders a per-phase wall/alloc table over the collected
+// spans: one row per distinct span name with call count, total and mean
+// wall time, and (under WithAllocTracking) the total allocation delta.
+// Rows sort by total wall time, descending — the hot-path listing the
+// ROADMAP's scaling PRs read first.
+func (t *Tracer) Summary() string {
+	spans, _ := t.snapshot()
+	byName := map[string]*phaseStat{}
+	for i := range spans {
+		s := &spans[i]
+		st := byName[s.name]
+		if st == nil {
+			st = &phaseStat{name: s.name}
+			byName[s.name] = st
+		}
+		st.count++
+		st.totalUs += s.durUs()
+		st.allocBytes += s.allocBytes
+		if !s.ended {
+			st.unfinished++
+		}
+	}
+	stats := make([]*phaseStat, 0, len(byName))
+	for _, st := range byName {
+		stats = append(stats, st)
+	}
+	sort.Slice(stats, func(i, j int) bool {
+		if stats[i].totalUs != stats[j].totalUs {
+			return stats[i].totalUs > stats[j].totalUs
+		}
+		return stats[i].name < stats[j].name
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-32s %7s %12s %12s %12s\n", "phase", "count", "wall_us", "mean_us", "alloc_bytes")
+	for _, st := range stats {
+		mean := int64(0)
+		if st.count > 0 {
+			mean = st.totalUs / int64(st.count)
+		}
+		fmt.Fprintf(&b, "%-32s %7d %12d %12d %12d", st.name, st.count, st.totalUs, mean, st.allocBytes)
+		if st.unfinished > 0 {
+			fmt.Fprintf(&b, "  [%d unfinished]", st.unfinished)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

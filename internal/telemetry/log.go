@@ -1,0 +1,164 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"strings"
+	"sync"
+)
+
+// LogEnvVar controls logging levels for every binary in the tree. The
+// value is a comma-separated spec: a bare level sets the default, and
+// component=level entries override per component:
+//
+//	NUMAPROF_LOG=debug
+//	NUMAPROF_LOG=warn,sched=debug,server=info
+//
+// Levels: debug, info, warn, error. numad's -log-level flag takes the
+// same spec and wins over the environment.
+const LogEnvVar = "NUMAPROF_LOG"
+
+var (
+	logMu   sync.RWMutex
+	logDef  = slog.LevelInfo
+	logPer  = map[string]slog.Level{}
+	logBase = newBaseHandler(os.Stderr)
+)
+
+func newBaseHandler(w io.Writer) slog.Handler {
+	// The base handler passes everything; filtering happens per
+	// component in componentHandler.Enabled.
+	return slog.NewTextHandler(w, &slog.HandlerOptions{Level: slog.LevelDebug})
+}
+
+func init() {
+	if spec := os.Getenv(LogEnvVar); spec != "" {
+		// A malformed env var must not crash every binary; fall back to
+		// the default level and say so once logging is up.
+		if err := SetLogSpec(spec); err != nil {
+			Logger("telemetry").Warn("ignoring malformed log spec",
+				"env", LogEnvVar, "spec", spec, "err", err.Error())
+		}
+	}
+}
+
+// ParseLevel parses one level name.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("telemetry: unknown log level %q (debug|info|warn|error)", s)
+}
+
+// SetLogSpec applies a level spec (see LogEnvVar). The whole spec is
+// validated before any of it applies.
+func SetLogSpec(spec string) error {
+	def := slog.LevelInfo
+	per := map[string]slog.Level{}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if comp, lvl, ok := strings.Cut(part, "="); ok {
+			l, err := ParseLevel(lvl)
+			if err != nil {
+				return err
+			}
+			comp = strings.TrimSpace(comp)
+			if comp == "" {
+				return fmt.Errorf("telemetry: empty component in log spec entry %q", part)
+			}
+			per[comp] = l
+		} else {
+			l, err := ParseLevel(part)
+			if err != nil {
+				return err
+			}
+			def = l
+		}
+	}
+	logMu.Lock()
+	logDef, logPer = def, per
+	logMu.Unlock()
+	return nil
+}
+
+// SetLogOutput redirects all loggers to w (tests; numad could point it
+// at a file) and returns a restore func.
+func SetLogOutput(w io.Writer) func() {
+	logMu.Lock()
+	prev := logBase
+	logBase = newBaseHandler(w)
+	logMu.Unlock()
+	return func() {
+		logMu.Lock()
+		logBase = prev
+		logMu.Unlock()
+	}
+}
+
+// levelFor resolves a component's effective level.
+func levelFor(component string) slog.Level {
+	logMu.RLock()
+	defer logMu.RUnlock()
+	if l, ok := logPer[component]; ok {
+		return l
+	}
+	return logDef
+}
+
+// Logger returns the structured logger for one component. Records carry
+// a component attribute and are filtered by the component's level from
+// $NUMAPROF_LOG / SetLogSpec, so `sched=debug` turns one subsystem
+// verbose without drowning the rest.
+func Logger(component string) *slog.Logger {
+	return slog.New(&componentHandler{component: component})
+}
+
+// componentHandler filters by per-component level and delegates
+// formatting to the shared base handler, re-resolving it per record so
+// SetLogOutput applies to loggers created earlier.
+type componentHandler struct {
+	component string
+	// ops replays WithAttrs/WithGroup calls onto the base handler at
+	// Handle time, preserving their relative order.
+	ops []func(slog.Handler) slog.Handler
+}
+
+func (h *componentHandler) Enabled(_ context.Context, l slog.Level) bool {
+	return l >= levelFor(h.component)
+}
+
+func (h *componentHandler) Handle(ctx context.Context, r slog.Record) error {
+	logMu.RLock()
+	base := logBase
+	logMu.RUnlock()
+	out := base.WithAttrs([]slog.Attr{slog.String("component", h.component)})
+	for _, op := range h.ops {
+		out = op(out)
+	}
+	return out.Handle(ctx, r)
+}
+
+func (h *componentHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	h2 := &componentHandler{component: h.component, ops: append([]func(slog.Handler) slog.Handler{}, h.ops...)}
+	h2.ops = append(h2.ops, func(b slog.Handler) slog.Handler { return b.WithAttrs(attrs) })
+	return h2
+}
+
+func (h *componentHandler) WithGroup(name string) slog.Handler {
+	h2 := &componentHandler{component: h.component, ops: append([]func(slog.Handler) slog.Handler{}, h.ops...)}
+	h2.ops = append(h2.ops, func(b slog.Handler) slog.Handler { return b.WithGroup(name) })
+	return h2
+}

@@ -1,0 +1,106 @@
+package telemetry
+
+import (
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+// resetLogSpec restores the default level config after a test.
+func resetLogSpec(t *testing.T) {
+	t.Helper()
+	t.Cleanup(func() {
+		logMu.Lock()
+		logDef, logPer = slog.LevelInfo, map[string]slog.Level{}
+		logMu.Unlock()
+	})
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]slog.Level{
+		"debug": slog.LevelDebug, "info": slog.LevelInfo,
+		"warn": slog.LevelWarn, "warning": slog.LevelWarn,
+		"ERROR": slog.LevelError, " Info ": slog.LevelInfo,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel accepted an unknown level")
+	}
+}
+
+func TestSetLogSpecPerComponent(t *testing.T) {
+	resetLogSpec(t)
+	if err := SetLogSpec("warn,sched=debug,server=info"); err != nil {
+		t.Fatal(err)
+	}
+	if got := levelFor("sched"); got != slog.LevelDebug {
+		t.Errorf("sched level = %v, want debug", got)
+	}
+	if got := levelFor("server"); got != slog.LevelInfo {
+		t.Errorf("server level = %v, want info", got)
+	}
+	if got := levelFor("anything-else"); got != slog.LevelWarn {
+		t.Errorf("default level = %v, want warn", got)
+	}
+}
+
+func TestSetLogSpecRejectsWholeSpecOnError(t *testing.T) {
+	resetLogSpec(t)
+	if err := SetLogSpec("debug"); err != nil {
+		t.Fatal(err)
+	}
+	// An invalid later entry must leave the earlier valid state intact.
+	if err := SetLogSpec("sched=debug,server=loud"); err == nil {
+		t.Fatal("SetLogSpec accepted an invalid level")
+	}
+	if got := levelFor("x"); got != slog.LevelDebug {
+		t.Errorf("failed SetLogSpec mutated state: default = %v, want debug", got)
+	}
+	if err := SetLogSpec("=debug"); err == nil {
+		t.Fatal("SetLogSpec accepted an empty component")
+	}
+}
+
+func TestLoggerFiltersAndTagsComponent(t *testing.T) {
+	resetLogSpec(t)
+	if err := SetLogSpec("warn,sched=debug"); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	defer SetLogOutput(&sb)()
+
+	Logger("sched").Debug("cell dispatched", "index", 3)
+	Logger("server").Info("suppressed at warn default")
+	Logger("server").Warn("queue full")
+
+	out := sb.String()
+	if !strings.Contains(out, "cell dispatched") || !strings.Contains(out, "component=sched") {
+		t.Errorf("sched debug record missing or untagged:\n%s", out)
+	}
+	if strings.Contains(out, "suppressed at warn default") {
+		t.Errorf("info record leaked through warn default:\n%s", out)
+	}
+	if !strings.Contains(out, "queue full") || !strings.Contains(out, "component=server") {
+		t.Errorf("server warn record missing or untagged:\n%s", out)
+	}
+}
+
+func TestLoggerWithAttrsAndGroups(t *testing.T) {
+	resetLogSpec(t)
+	var sb strings.Builder
+	defer SetLogOutput(&sb)()
+
+	l := Logger("store").With("key", "abc")
+	l.WithGroup("fill").Info("computed", "misses", 1)
+
+	out := sb.String()
+	for _, want := range []string{"component=store", "key=abc", "fill.misses=1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("record missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,311 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonic counter. The nil *Counter is a valid no-op
+// instrument, so callers never need to guard.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Set overwrites the value. It exists for mirroring counters maintained
+// elsewhere (the store's per-instance Stats) into a registry snapshot;
+// organic counters should only ever Add.
+func (c *Counter) Set(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Store(n)
+}
+
+// Value reads the counter.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a value that moves both ways. The nil *Gauge is a no-op.
+type Gauge struct{ v atomic.Int64 }
+
+// Add moves the gauge by n (negative to decrease).
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Set overwrites the gauge.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Value reads the gauge.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// HistBuckets is the bucket count of the latency histograms: powers of
+// two from 1µs up, the last bucket catching everything past ~8.4s.
+const HistBuckets = 24
+
+// Histogram is a lock-free power-of-two latency histogram, expvar
+// style: monotonic counters a scraper can diff between polls. It is the
+// histogram that used to live privately in internal/server, promoted to
+// a shared instrument. The nil *Histogram is a no-op.
+type Histogram struct {
+	count   atomic.Uint64
+	sumUs   atomic.Uint64
+	buckets [HistBuckets]atomic.Uint64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	us := d.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	h.ObserveUs(uint64(us))
+}
+
+// ObserveUs records one duration given in microseconds.
+func (h *Histogram) ObserveUs(us uint64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sumUs.Add(us)
+	b := 0
+	for v := us; v > 0 && b < HistBuckets-1; v >>= 1 {
+		b++
+	}
+	h.buckets[b].Add(1)
+}
+
+// HistogramSnapshot is the wire form of a Histogram. Buckets[i] counts
+// observations in [2^(i-1), 2^i) microseconds (Buckets[0]: < 1µs); the
+// last bucket is open-ended.
+type HistogramSnapshot struct {
+	Count   uint64   `json:"count"`
+	SumUs   uint64   `json:"sum_us"`
+	MeanUs  float64  `json:"mean_us"`
+	Buckets []uint64 `json:"buckets_pow2_us"`
+}
+
+// Snapshot captures the histogram's current counters.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Buckets: make([]uint64, HistBuckets)}
+	if h == nil {
+		return s
+	}
+	s.Count = h.count.Load()
+	s.SumUs = h.sumUs.Load()
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	if s.Count > 0 {
+		s.MeanUs = float64(s.SumUs) / float64(s.Count)
+	}
+	return s
+}
+
+// Registry is a namespace of named instruments. Instrument lookups
+// get-or-create under a read-favoring lock; the instruments themselves
+// are lock-free atomics, so the steady-state cost of a lit instrument
+// is one atomic add. Every method is safe for concurrent use, and all
+// methods on the nil *Registry return nil (no-op) instruments.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// Default is the process-wide registry: sched, core's pipeline, profio,
+// and faults all register here, and numad merges it into /metrics.
+var Default = NewRegistry()
+
+// NewRegistry builds an empty registry. Components that need isolated
+// counting (each numad Server instance, tests) create their own.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// RegistrySnapshot is a point-in-time copy of every instrument, the
+// exposition form served by /metrics and written by Dump.
+type RegistrySnapshot struct {
+	Counters   map[string]uint64            `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms_us"`
+}
+
+// Snapshot copies every instrument's current value.
+func (r *Registry) Snapshot() RegistrySnapshot {
+	s := RegistrySnapshot{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.Snapshot()
+	}
+	return s
+}
+
+// Merge overlays o onto a copy of s (o wins name collisions) and
+// returns the result; numad uses it to serve its per-instance
+// instruments and the process-wide Default families as one exposition.
+func (s RegistrySnapshot) Merge(o RegistrySnapshot) RegistrySnapshot {
+	out := RegistrySnapshot{
+		Counters:   make(map[string]uint64, len(s.Counters)+len(o.Counters)),
+		Gauges:     make(map[string]int64, len(s.Gauges)+len(o.Gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(s.Histograms)+len(o.Histograms)),
+	}
+	for name, v := range s.Counters {
+		out.Counters[name] = v
+	}
+	for name, v := range o.Counters {
+		out.Counters[name] = v
+	}
+	for name, v := range s.Gauges {
+		out.Gauges[name] = v
+	}
+	for name, v := range o.Gauges {
+		out.Gauges[name] = v
+	}
+	for name, v := range s.Histograms {
+		out.Histograms[name] = v
+	}
+	for name, v := range o.Histograms {
+		out.Histograms[name] = v
+	}
+	return out
+}
+
+// WriteText writes the snapshot in a flat `name value` text exposition,
+// sorted by name so the output is diffable between scrapes. Histograms
+// expand to three derived lines: _count, _sum_us, _mean_us.
+func (s RegistrySnapshot) WriteText(w io.Writer) error {
+	lines := make([]string, 0, len(s.Counters)+len(s.Gauges)+3*len(s.Histograms))
+	for name, v := range s.Counters {
+		lines = append(lines, fmt.Sprintf("%s %d", name, v))
+	}
+	for name, v := range s.Gauges {
+		lines = append(lines, fmt.Sprintf("%s %d", name, v))
+	}
+	for name, h := range s.Histograms {
+		lines = append(lines,
+			fmt.Sprintf("%s_count %d", name, h.Count),
+			fmt.Sprintf("%s_sum_us %d", name, h.SumUs),
+			fmt.Sprintf("%s_mean_us %.3f", name, h.MeanUs))
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		if _, err := fmt.Fprintln(w, l); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,153 @@
+package telemetry
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x_total")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("x_total") != c {
+		t.Fatal("Counter is not get-or-create: second lookup returned a different instrument")
+	}
+	g := r.Gauge("depth")
+	g.Add(3)
+	g.Add(-1)
+	if got := g.Value(); got != 2 {
+		t.Fatalf("gauge = %d, want 2", got)
+	}
+	g.Set(7)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge after Set = %d, want 7", got)
+	}
+}
+
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	// The disabled-telemetry contract: nil instruments absorb every
+	// method without branching at the call site.
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var r *Registry
+	c.Inc()
+	c.Add(10)
+	c.Set(3)
+	g.Add(1)
+	g.Set(2)
+	h.Observe(time.Second)
+	h.ObserveUs(5)
+	if c.Value() != 0 || g.Value() != 0 || h.Snapshot().Count != 0 {
+		t.Fatal("nil instruments leaked state")
+	}
+	if r.Counter("x") != nil || r.Gauge("x") != nil || r.Histogram("x") != nil {
+		t.Fatal("nil registry must hand out nil instruments")
+	}
+	if len(r.Snapshot().Counters) != 0 {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	cases := []struct {
+		us     uint64
+		bucket int
+	}{
+		{0, 0}, // < 1µs
+		{1, 1}, // [1, 2)
+		{2, 2}, // [2, 4)
+		{3, 2},
+		{4, 3},                     // [4, 8)
+		{500, 9},                   // [256, 512)
+		{1 << 40, HistBuckets - 1}, // open-ended tail
+	}
+	for _, c := range cases {
+		h.ObserveUs(c.us)
+	}
+	s := h.Snapshot()
+	if s.Count != uint64(len(cases)) {
+		t.Fatalf("count = %d, want %d", s.Count, len(cases))
+	}
+	want := make([]uint64, HistBuckets)
+	for _, c := range cases {
+		want[c.bucket]++
+	}
+	for i := range want {
+		if s.Buckets[i] != want[i] {
+			t.Errorf("bucket %d = %d, want %d", i, s.Buckets[i], want[i])
+		}
+	}
+	if s.MeanUs <= 0 {
+		t.Errorf("mean = %v, want > 0", s.MeanUs)
+	}
+}
+
+func TestRegistryConcurrentGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.Counter("shared_total").Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared_total").Value(); got != 1600 {
+		t.Fatalf("shared counter = %d, want 1600", got)
+	}
+}
+
+func TestSnapshotMergePrecedence(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Counter("both").Set(1)
+	a.Counter("only_a").Set(10)
+	b.Counter("both").Set(2)
+	b.Counter("only_b").Set(20)
+	m := a.Snapshot().Merge(b.Snapshot())
+	if m.Counters["both"] != 2 {
+		t.Errorf("merge collision: got %d, want the overlay's 2", m.Counters["both"])
+	}
+	if m.Counters["only_a"] != 10 || m.Counters["only_b"] != 20 {
+		t.Errorf("merge lost a disjoint key: %v", m.Counters)
+	}
+}
+
+func TestWriteTextSortedExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total").Set(2)
+	r.Counter("a_total").Set(1)
+	r.Gauge("depth").Set(-3)
+	r.Histogram("lat").ObserveUs(10)
+	var sb strings.Builder
+	if err := r.Snapshot().WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "a_total 1\nb_total 2\ndepth -3\nlat_count 1\nlat_mean_us 10.000\nlat_sum_us 10\n"
+	if sb.String() != want {
+		t.Errorf("exposition drifted:\ngot:\n%swant:\n%s", sb.String(), want)
+	}
+}
+
+func TestTimedRecordsCounterAndHistogram(t *testing.T) {
+	before := Default.Counter("unit_test_phase_total").Value()
+	_, done := Timed(context.Background(), "unit_test.phase")
+	done()
+	if got := Default.Counter("unit_test_phase_total").Value(); got != before+1 {
+		t.Fatalf("Timed counter = %d, want %d", got, before+1)
+	}
+	if Default.Histogram("unit_test_phase_us").Snapshot().Count == 0 {
+		t.Fatal("Timed recorded no histogram observation")
+	}
+}

@@ -1,0 +1,203 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one span attribute. Values are strings so exports are
+// deterministic and need no reflection.
+type Attr struct {
+	Key, Value string
+}
+
+// String builds a string attribute.
+func String(k, v string) Attr { return Attr{Key: k, Value: v} }
+
+// Int builds an integer attribute.
+func Int(k string, v int) Attr { return Attr{Key: k, Value: fmt.Sprintf("%d", v)} }
+
+// Span is one timed, attributed operation. The nil *Span is valid and
+// all its methods are no-ops — the disabled-tracing fast path.
+type Span struct {
+	t      *Tracer
+	id     int64
+	parent int64 // 0: a root span
+	lane   int64 // the root span's id; Chrome row assignment
+	name   string
+	attrs  []Attr
+
+	startUs    int64
+	endUs      int64
+	ended      bool
+	allocStart uint64
+	allocBytes uint64
+}
+
+// spanKey carries the current span through a context.
+type spanKey struct{}
+
+// active is the process-default tracer; nil means tracing is disabled
+// and Start is one atomic load plus a ctx lookup.
+var active atomic.Pointer[Tracer]
+
+// SetTracer installs t as the process-default tracer (nil disables) and
+// returns the previous one, so tests can restore:
+//
+//	defer telemetry.SetTracer(telemetry.SetTracer(nil))
+func SetTracer(t *Tracer) *Tracer { return active.Swap(t) }
+
+// Enabled reports whether a process-default tracer is installed.
+func Enabled() bool { return active.Load() != nil }
+
+// Start opens a span named name under the span carried by ctx (or as a
+// root span of the process-default tracer) and returns a derived
+// context carrying it. When tracing is disabled and ctx carries no
+// span, it returns (ctx, nil); the nil span's End is a no-op, so call
+// sites never branch.
+func Start(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
+	parent, _ := ctx.Value(spanKey{}).(*Span)
+	var t *Tracer
+	if parent != nil {
+		t = parent.t
+	} else {
+		t = active.Load()
+	}
+	if t == nil {
+		return ctx, nil
+	}
+	s := t.start(parent, name, attrs)
+	return context.WithValue(ctx, spanKey{}, s), s
+}
+
+// End closes the span. A second End on the same span is a no-op, and a
+// span never ended at all is exported as unfinished — unbalanced calls
+// degrade the trace, never the program.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.t.end(s)
+}
+
+// Annotate appends attributes to an open span.
+func (s *Span) Annotate(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.t.mu.Lock()
+	s.attrs = append(s.attrs, attrs...)
+	s.t.mu.Unlock()
+}
+
+// Tracer collects spans. Timestamps come from its clock — wall
+// microseconds since the tracer was built by default, injectable for
+// deterministic tests — so traces are self-relative and golden-file
+// friendly.
+type Tracer struct {
+	mu     sync.Mutex
+	clock  func() int64 // microseconds
+	allocs bool
+	nextID int64
+	spans  []*Span
+}
+
+// TracerOption configures NewTracer.
+type TracerOption func(*Tracer)
+
+// WithClock replaces the wall clock with a deterministic microsecond
+// source (tests; simulated time).
+func WithClock(clock func() int64) TracerOption {
+	return func(t *Tracer) { t.clock = clock }
+}
+
+// WithAllocTracking records the process TotalAlloc delta across each
+// span via runtime.ReadMemStats. That read stops the world, so this is
+// for coarse-phase CLI telemetry (`numaprof -telemetry`), not for a
+// long-lived daemon.
+func WithAllocTracking() TracerOption {
+	return func(t *Tracer) { t.allocs = true }
+}
+
+// NewTracer builds a tracer.
+func NewTracer(opts ...TracerOption) *Tracer {
+	t := &Tracer{}
+	for _, o := range opts {
+		o(t)
+	}
+	if t.clock == nil {
+		start := time.Now()
+		t.clock = func() int64 { return time.Since(start).Microseconds() }
+	}
+	return t
+}
+
+func (t *Tracer) start(parent *Span, name string, attrs []Attr) *Span {
+	s := &Span{t: t, name: name, attrs: attrs}
+	if parent != nil {
+		s.parent = parent.id
+		s.lane = parent.lane
+	}
+	if t.allocs {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		s.allocStart = ms.TotalAlloc
+	}
+	t.mu.Lock()
+	t.nextID++
+	s.id = t.nextID
+	if s.lane == 0 {
+		s.lane = s.id
+	}
+	s.startUs = t.clock()
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+	return s
+}
+
+func (t *Tracer) end(s *Span) {
+	var alloc uint64
+	if t.allocs {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		alloc = ms.TotalAlloc
+	}
+	t.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.endUs = t.clock()
+		if t.allocs && alloc >= s.allocStart {
+			s.allocBytes = alloc - s.allocStart
+		}
+	}
+	t.mu.Unlock()
+}
+
+// snapshot copies the span list (and each span's mutable fields) so the
+// exporters work on a stable view even while spans are still ending.
+// Unfinished spans get the current clock as a provisional end.
+func (t *Tracer) snapshot() ([]Span, int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.clock()
+	out := make([]Span, len(t.spans))
+	for i, s := range t.spans {
+		out[i] = *s
+		if !out[i].ended {
+			out[i].endUs = now
+		}
+	}
+	return out, now
+}
+
+// durUs is the span's duration, clamped non-negative.
+func (s *Span) durUs() int64 {
+	if s.endUs < s.startUs {
+		return 0
+	}
+	return s.endUs - s.startUs
+}

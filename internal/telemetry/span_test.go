@@ -1,0 +1,205 @@
+package telemetry
+
+import (
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+// fakeClock is a deterministic µs source: every read advances by step.
+func fakeClock(step int64) func() int64 {
+	var now int64
+	return func() int64 {
+		now += step
+		return now
+	}
+}
+
+func TestSpanNesting(t *testing.T) {
+	tr := NewTracer(WithClock(fakeClock(10)))
+	prev := SetTracer(tr)
+	defer SetTracer(prev)
+
+	ctx, root := Start(context.Background(), "root")
+	_, child := Start(ctx, "child")
+	child.End()
+	root.End()
+
+	if child.parent != root.id {
+		t.Errorf("child.parent = %d, want root id %d", child.parent, root.id)
+	}
+	if child.lane != root.lane {
+		t.Errorf("child.lane = %d, want root lane %d", child.lane, root.lane)
+	}
+	if root.parent != 0 {
+		t.Errorf("root.parent = %d, want 0", root.parent)
+	}
+	// A sibling started from the root's ctx after the child ended must
+	// still parent under root, not under the ended child.
+	_, sib := Start(ctx, "sibling")
+	sib.End()
+	if sib.parent != root.id {
+		t.Errorf("sibling.parent = %d, want root id %d", sib.parent, root.id)
+	}
+}
+
+func TestSpanConcurrentChildren(t *testing.T) {
+	tr := NewTracer()
+	prev := SetTracer(tr)
+	defer SetTracer(prev)
+
+	ctx, root := Start(context.Background(), "root")
+	const n = 32
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, sp := Start(ctx, "cell", Int("i", i))
+			sp.End()
+		}(i)
+	}
+	wg.Wait()
+	root.End()
+
+	spans, _ := tr.snapshot()
+	cells := 0
+	for i := range spans {
+		if spans[i].name != "cell" {
+			continue
+		}
+		cells++
+		if spans[i].parent != root.id {
+			t.Errorf("cell parent = %d, want %d", spans[i].parent, root.id)
+		}
+		if !spans[i].ended {
+			t.Error("cell not marked ended")
+		}
+	}
+	if cells != n {
+		t.Fatalf("recorded %d cells, want %d", cells, n)
+	}
+}
+
+func TestSpanUnbalancedEnds(t *testing.T) {
+	clock := fakeClock(10)
+	tr := NewTracer(WithClock(clock))
+	prev := SetTracer(tr)
+	defer SetTracer(prev)
+
+	_, sp := Start(context.Background(), "double")
+	sp.End()
+	first := sp.endUs
+	sp.End() // second End must not move the end time
+	if sp.endUs != first {
+		t.Errorf("second End moved endUs %d -> %d", first, sp.endUs)
+	}
+
+	_, open := Start(context.Background(), "never-ended")
+	_ = open
+	var sb strings.Builder
+	if err := tr.WriteTree(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "never-ended") || !strings.Contains(sb.String(), "[unfinished]") {
+		t.Errorf("tree did not flag the unfinished span:\n%s", sb.String())
+	}
+
+	// Ending a nil span (tracing disabled) must be a no-op, not a panic.
+	SetTracer(nil)
+	ctx, nilSpan := Start(context.Background(), "disabled")
+	if nilSpan != nil {
+		t.Fatal("Start with no tracer must return a nil span")
+	}
+	nilSpan.End()
+	nilSpan.Annotate(String("k", "v"))
+	if _, inner := Start(ctx, "also-disabled"); inner != nil {
+		t.Fatal("child Start under a disabled ctx must stay nil")
+	}
+}
+
+// TestChromeTraceGolden pins the exact trace_event bytes for a fixed
+// span tree under a deterministic clock, so the export format (what
+// chrome://tracing parses) cannot drift silently. Regenerate with
+//
+//	go test ./internal/telemetry -run ChromeTraceGolden -update
+func TestChromeTraceGolden(t *testing.T) {
+	tr := NewTracer(WithClock(fakeClock(100)))
+	prev := SetTracer(tr)
+	defer SetTracer(prev)
+
+	ctx, root := Start(context.Background(), "numaprof.run", String("workloads", "lulesh"))
+	_, build := Start(ctx, "pipeline.build_config", String("workload", "lulesh"), String("mechanism", "IBS"))
+	build.End()
+	runCtx, sampling := Start(ctx, "pipeline.sampling_run", String("workload", "lulesh"))
+	_, cell := Start(runCtx, "sched.cell", Int("index", 0))
+	cell.End()
+	sampling.End()
+	_, open := Start(ctx, "pipeline.render_view", String("kind", "text"))
+	_ = open // deliberately never ended: the export must mark it
+	root.End()
+
+	var trace strings.Builder
+	if err := tr.WriteChromeTrace(&trace); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "trace.json", trace.String())
+
+	var tree strings.Builder
+	if err := tr.WriteTree(&tree); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "spans.txt", tree.String())
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s drifted from golden:\ngot:\n%s\nwant:\n%s", name, got, want)
+	}
+}
+
+func TestSummaryAggregatesByName(t *testing.T) {
+	tr := NewTracer(WithClock(fakeClock(10)))
+	prev := SetTracer(tr)
+	defer SetTracer(prev)
+	for i := 0; i < 3; i++ {
+		_, sp := Start(context.Background(), "phase.a")
+		sp.End()
+	}
+	_, sp := Start(context.Background(), "phase.b")
+	sp.End()
+	sum := tr.Summary()
+	if !strings.Contains(sum, "phase.a") || !strings.Contains(sum, "phase.b") {
+		t.Fatalf("summary missing phases:\n%s", sum)
+	}
+	aLine := ""
+	for _, l := range strings.Split(sum, "\n") {
+		if strings.HasPrefix(l, "phase.a") {
+			aLine = l
+		}
+	}
+	if !strings.Contains(aLine, " 3 ") {
+		t.Errorf("phase.a count not 3 in %q", aLine)
+	}
+}

@@ -1,0 +1,68 @@
+// Package telemetry is the unified observability layer of the tree:
+// process-wide metrics, pipeline spans, and structured logging, applied
+// to the profiler the same way the profiler applies them to its
+// workloads — the paper's measure-then-attribute discipline (PAPER.md
+// §1, §4) turned on ourselves. Every subsystem (core's pipeline,
+// sched's worker cells, the numad server, the profile store, profio,
+// faults) registers named instruments here instead of keeping private
+// atomics, so one scrape of numad's /metrics — or one `numaprof
+// -telemetry out/` run — answers "where did the time go".
+//
+// Three instruments, three disciplines:
+//
+//   - Registry: named counters, gauges, and power-of-two latency
+//     histograms. Always on — an instrument is one atomic word, so the
+//     cost of keeping them lit is a handful of nanoseconds per event,
+//     the MemProf-style always-on philosophy.
+//
+//   - Spans: telemetry.Start(ctx, "pipeline.cct_merge", ...) opens a
+//     timed, attributed span under the span carried by ctx. Spans are
+//     collected by a Tracer and exported as Chrome trace_event JSON
+//     (chrome://tracing- and ui.perfetto.dev-loadable) or a plain-text
+//     span tree. Off by default: when no Tracer is installed, Start
+//     returns a nil *Span whose methods are no-ops, so the disabled
+//     cost is one atomic pointer load (the zero-overhead-when-disabled
+//     contract, held below 2% on the Table 2 sweep by a CI guard).
+//
+//   - Logs: Logger(component) returns a *slog.Logger with per-component
+//     levels controlled by $NUMAPROF_LOG (e.g. "info,sched=debug") or
+//     `numad -log-level`, replacing the tree's bare log.Printf /
+//     fmt.Fprintln(os.Stderr, ...) diagnostics.
+//
+// Instrument naming: family_subject_unit — sched_cell_us,
+// store_mem_hits_total, pipeline_sampling_run_total, jobs_running. The
+// families a scraper can rely on are pipeline_* (phase counts and
+// durations), sched_* (cells, failures, panics), store_* (hits, misses,
+// dedup), jobs_*/job_* (the numad lifecycle), profio_* and faults_*.
+package telemetry
+
+import (
+	"context"
+	"strings"
+	"time"
+)
+
+// Timed instruments one named operation with both disciplines at once:
+// it opens a span (when tracing is enabled) and always feeds the
+// Default registry's <name>_total counter and <name>_us histogram
+// (dots in name become underscores). The returned func ends the span
+// and records the duration; call it exactly once, usually by defer:
+//
+//	ctx, done := telemetry.Timed(ctx, "pipeline.cct_merge")
+//	defer done()
+func Timed(ctx context.Context, name string, attrs ...Attr) (context.Context, func()) {
+	c := Default.Counter(metricName(name) + "_total")
+	h := Default.Histogram(metricName(name) + "_us")
+	ctx, sp := Start(ctx, name, attrs...)
+	start := time.Now()
+	return ctx, func() {
+		h.Observe(time.Since(start))
+		c.Inc()
+		sp.End()
+	}
+}
+
+// metricName converts a span name to its instrument-family prefix.
+func metricName(name string) string {
+	return strings.ReplaceAll(name, ".", "_")
+}

@@ -1,0 +1,57 @@
+package repro
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/telemetry"
+)
+
+// TestDisabledTelemetryOverheadGuard enforces the zero-overhead-when-
+// disabled contract on the BenchmarkParallelSweep workload (the full
+// Table 2 sweep): with no tracer installed, the total cost of every
+// instrumentation site the sweep crosses must stay under 2% of the
+// sweep's wall time.
+//
+// A naive A/B timing of the sweep is noise-bound (the sweep itself
+// varies by more than 2% run to run), so the guard measures the two
+// factors separately: the per-site cost of a disabled Timed call
+// (tight loop, hundreds of thousands of iterations) times a site
+// count an order of magnitude above what the sweep actually crosses
+// (~200: one experiment span, 18 sched cells, and ~10 pipeline spans
+// and counter flushes per cell), against the measured sweep time.
+func TestDisabledTelemetryOverheadGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("overhead guard runs a full Table 2 sweep")
+	}
+	if telemetry.Enabled() {
+		t.Fatal("a process-default tracer is installed; the guard measures the disabled path")
+	}
+
+	ctx := context.Background()
+	const probeIters = 200_000
+	start := time.Now()
+	for i := 0; i < probeIters; i++ {
+		_, done := telemetry.Timed(ctx, "overhead.probe")
+		done()
+	}
+	perSite := time.Since(start) / probeIters
+
+	start = time.Now()
+	if _, err := experiments.RunTable2(2); err != nil {
+		t.Fatal(err)
+	}
+	sweep := time.Since(start)
+
+	const sitesPerSweep = 2000 // ~10x the real count; see doc comment
+	overhead := perSite * sitesPerSweep
+	limit := sweep / 50 // 2%
+	t.Logf("disabled site: %v/call; budget %d sites = %v; sweep %v (limit %v)",
+		perSite, sitesPerSweep, overhead, sweep, limit)
+	if overhead > limit {
+		t.Errorf("disabled-telemetry overhead %v exceeds 2%% of the %v sweep (per-site %v × %d sites)",
+			overhead, sweep, perSite, sitesPerSweep)
+	}
+}
