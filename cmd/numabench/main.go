@@ -29,6 +29,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -186,6 +187,10 @@ func main() {
 		telemetryDir = flag.String("telemetry", "",
 			"self-profile the run: write "+telemetry.TraceFile+" (chrome://tracing), "+
 				telemetry.SpanFile+" and "+telemetry.MetricsFile+" to this directory and print a per-phase summary")
+		benchJSON = flag.String("bench-json", "",
+			"run the hot-path micro-suite plus the Table 2 sweep and write the schema-stable report (BENCH_*.json) to this path")
+		benchGate = flag.String("bench-gate", "",
+			"run the micro-suite and compare benchstat-style against this committed baseline report, exiting non-zero on regression")
 	)
 	flag.Parse()
 	sched.SetWorkers(*parallel)
@@ -223,6 +228,61 @@ func main() {
 			}
 			os.Exit(code)
 		}
+	}
+
+	// Bench mode replaces the artifact sweep entirely: -bench-json writes
+	// a fresh report (micro-suite + Table 2), -bench-gate compares a
+	// fresh micro-suite run against a committed baseline. Both may be
+	// combined; the same fresh run feeds both outputs.
+	if *benchJSON != "" || *benchGate != "" {
+		opts := experiments.BenchOptions{}
+		if *benchJSON != "" {
+			opts.RunTable2 = true
+			opts.Table2Iters = *iters
+		}
+		rep, err := experiments.RunBench(opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "numabench:", err)
+			exit(1)
+		}
+		if *benchJSON != "" {
+			data, err := json.MarshalIndent(rep, "", "  ")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "numabench:", err)
+				exit(1)
+			}
+			data = append(data, '\n')
+			if err := os.WriteFile(*benchJSON, data, 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "numabench:", err)
+				exit(1)
+			}
+			fmt.Printf("bench report written to %s\n", *benchJSON)
+		}
+		if *benchGate != "" {
+			data, err := os.ReadFile(*benchGate)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "numabench:", err)
+				exit(1)
+			}
+			var baseline experiments.BenchReport
+			if err := json.Unmarshal(data, &baseline); err != nil {
+				fmt.Fprintf(os.Stderr, "numabench: baseline %s: %v\n", *benchGate, err)
+				exit(1)
+			}
+			deltas, err := experiments.CompareBench(&baseline, rep)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "numabench:", err)
+				exit(1)
+			}
+			fmt.Print(experiments.RenderBenchDeltas(deltas))
+			if err := experiments.GateBench(deltas, experiments.BenchGateThreshold); err != nil {
+				fmt.Fprintln(os.Stderr, "numabench:", err)
+				exit(1)
+			}
+			fmt.Printf("bench gate: ok (%s within %.0f%% of baseline)\n",
+				experiments.BenchAccessDispatch, 100*experiments.BenchGateThreshold)
+		}
+		exit(0)
 	}
 
 	var md strings.Builder

@@ -135,7 +135,9 @@ func (c *setAssoc) access(addr uint64) bool {
 	set := int(line & c.setMask)
 	tag := line + 1 // offset so 0 means empty
 	base := set * c.ways
-	ways := c.sets[base : base+c.ways]
+	// Full slice expression so the probe loop and the MRU shifts below
+	// run over a slice whose bounds the compiler can prove once.
+	ways := c.sets[base : base+c.ways : base+c.ways]
 	for i, t := range ways {
 		if t == tag {
 			// Move to front (MRU).
@@ -204,17 +206,26 @@ func (h *Hierarchy) Config() Config { return h.cfg }
 // containing addr is homed in homeDomain. It returns the data source
 // and on-chip latency. Access is NOT safe for concurrent use; the
 // execution engine serialises accesses (see internal/proc).
+//
+// Degraded inputs never panic and never hide remote traffic: a CPU the
+// topology does not map (negative or beyond NumCPUs) has no private
+// caches or local L3 to probe, so its accesses classify purely by the
+// page's home — SrcRemoteDRAM whenever homeDomain is valid (the access
+// cannot be proven local), SrcLocalDRAM only when the home is unknown
+// too.
 func (h *Hierarchy) Access(cpu topology.CPUID, addr uint64, homeDomain topology.DomainID) Result {
 	local := h.topo.DomainOfCPU(cpu)
-	if h.l1[cpu].access(addr) {
-		h.sourceCounts[SrcL1]++
-		return Result{SrcL1, h.cfg.L1Latency}
+	if cpu >= 0 && int(cpu) < len(h.l1) {
+		if h.l1[cpu].access(addr) {
+			h.sourceCounts[SrcL1]++
+			return Result{SrcL1, h.cfg.L1Latency}
+		}
+		if h.l2[cpu].access(addr) {
+			h.sourceCounts[SrcL2]++
+			return Result{SrcL2, h.cfg.L2Latency}
+		}
 	}
-	if h.l2[cpu].access(addr) {
-		h.sourceCounts[SrcL2]++
-		return Result{SrcL2, h.cfg.L2Latency}
-	}
-	if local >= 0 && h.l3[local].access(addr) {
+	if local >= 0 && int(local) < len(h.l3) && h.l3[local].access(addr) {
 		h.sourceCounts[SrcL3]++
 		return Result{SrcL3, h.cfg.L3Latency}
 	}
@@ -229,7 +240,13 @@ func (h *Hierarchy) Access(cpu topology.CPUID, addr uint64, homeDomain topology.
 			return Result{SrcRemoteCache, lookup + h.cfg.RemoteCacheLatency}
 		}
 	}
-	if local == homeDomain || homeDomain == topology.NoDomain {
+	// DRAM classification. A valid home that differs from the
+	// accessing domain is remote — including when the CPU's own domain
+	// is unknown (local == NoDomain), where claiming SrcLocalDRAM
+	// would misclassify remote traffic as local. Only an unknown home
+	// falls back to the local-DRAM cost model (mem.DRAMLatency applies
+	// the same NoDomain convention).
+	if homeDomain == topology.NoDomain || local == homeDomain {
 		h.sourceCounts[SrcLocalDRAM]++
 		return Result{SrcLocalDRAM, lookup}
 	}

@@ -66,6 +66,61 @@ func TestRemoteDRAMClassification(t *testing.T) {
 	}
 }
 
+// TestDegradedCPUAndHomeClassification pins the classification for
+// every degraded (cpu, home) combination: CPUs the topology does not
+// map must not panic and must not launder remote traffic into
+// SrcLocalDRAM, and NoDomain homes fall back to the local cost model.
+// Pre-fix, the unmapped-CPU rows panicked on the unguarded private
+// cache probe (h.l1[cpu]).
+func TestDegradedCPUAndHomeClassification(t *testing.T) {
+	cases := []struct {
+		name string
+		cpu  topology.CPUID
+		home topology.DomainID
+		want DataSource
+	}{
+		{"mapped cpu, local home", 0, 0, SrcLocalDRAM},
+		{"mapped cpu, remote home", 0, 1, SrcRemoteDRAM},
+		{"mapped cpu, NoDomain home", 0, topology.NoDomain, SrcLocalDRAM},
+		{"mapped cpu, home beyond machine", 0, 9, SrcRemoteDRAM},
+		{"unmapped cpu, valid home", 99, 1, SrcRemoteDRAM},
+		{"unmapped cpu, other valid home", 99, 0, SrcRemoteDRAM},
+		{"unmapped cpu, NoDomain home", 99, topology.NoDomain, SrcLocalDRAM},
+		{"negative cpu, valid home", -1, 1, SrcRemoteDRAM},
+		{"negative cpu, NoDomain home", -1, topology.NoDomain, SrcLocalDRAM},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			// Fresh hierarchy per case: each first access is a cold
+			// miss, so the DRAM classification is what's probed.
+			h := NewHierarchy(testMachine(), DefaultConfig())
+			r := h.Access(c.cpu, 0x9000, c.home)
+			if r.Source != c.want {
+				t.Fatalf("Access(cpu=%d, home=%d) = %v, want %v",
+					c.cpu, c.home, r.Source, c.want)
+			}
+			if r.OnChipLatency <= 0 {
+				t.Fatalf("OnChipLatency = %v, want > 0", r.OnChipLatency)
+			}
+		})
+	}
+}
+
+// An unmapped CPU has no private caches: repeated accesses to the same
+// remote-homed line stay remote (first from DRAM, then from the home
+// L3 the miss filled) instead of fabricating L1 hits.
+func TestUnmappedCPUNeverCaches(t *testing.T) {
+	h := NewHierarchy(testMachine(), DefaultConfig())
+	if r := h.Access(99, 0xA000, 1); r.Source != SrcRemoteDRAM {
+		t.Fatalf("first access = %v, want RMT_DRAM", r.Source)
+	}
+	for i := 0; i < 4; i++ {
+		if r := h.Access(99, 0xA000, 1); !r.Source.IsRemote() {
+			t.Fatalf("access %d = %v, want a remote source", i, r.Source)
+		}
+	}
+}
+
 func TestRemoteCacheSnoopHit(t *testing.T) {
 	h := NewHierarchy(testMachine(), DefaultConfig())
 	// CPU 2 (domain 1) touches the line: fills domain 1's L3.

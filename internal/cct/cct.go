@@ -158,7 +158,12 @@ type Node struct {
 	Key      Key
 	parent   *Node
 	children map[Key]*Node
-	metrics  map[metrics.ID]float64
+	// metrics holds the exclusive metric columns indexed by
+	// metrics.ID. The ID space is small and dense (a handful of core
+	// counters plus one per-domain column), so a grow-on-demand slice
+	// serves the per-sample AddMetric path without the map hashing
+	// the profiler used to pay on every sample.
+	metrics []float64
 	// ranges holds per-owner [min,max] accessed-address intervals;
 	// the owner key is a thread index. These are the values merged
 	// with the [min,max] reduction of Section 7.2.
@@ -240,22 +245,52 @@ func (n *Node) FindPath(keys []Key) (*Node, bool) {
 	return cur, true
 }
 
-// AddMetric accumulates delta into the metric column.
+// AddMetric accumulates delta into the metric column. Negative ids
+// are ignored (no metric lives there).
 func (n *Node) AddMetric(id metrics.ID, delta float64) {
-	if n.metrics == nil {
-		n.metrics = make(map[metrics.ID]float64)
+	i := int(id)
+	if i < 0 {
+		return
 	}
-	n.metrics[id] += delta
+	if i >= len(n.metrics) {
+		// Grow to at least the core-column count in one shot so the
+		// common Samples/Match/Latency adds on a fresh node allocate
+		// once.
+		size := i + 1
+		if size < int(metrics.NodeBase) {
+			size = int(metrics.NodeBase)
+		}
+		grown := make([]float64, size)
+		copy(grown, n.metrics)
+		n.metrics = grown
+	}
+	n.metrics[i] += delta
 }
 
 // Metric returns the node's exclusive value for the metric column.
-func (n *Node) Metric(id metrics.ID) float64 { return n.metrics[id] }
+func (n *Node) Metric(id metrics.ID) float64 {
+	if i := int(id); i >= 0 && i < len(n.metrics) {
+		return n.metrics[i]
+	}
+	return 0
+}
 
-// Metrics returns a copy of the node's exclusive metric columns.
+// Metrics returns the node's non-zero exclusive metric columns as a
+// map. This is a reporting-path convenience; the hot accumulation path
+// stays on the slice.
 func (n *Node) Metrics() map[metrics.ID]float64 {
-	out := make(map[metrics.ID]float64, len(n.metrics))
-	for k, v := range n.metrics {
-		out[k] = v
+	var out map[metrics.ID]float64
+	for i, v := range n.metrics {
+		if v == 0 {
+			continue
+		}
+		if out == nil {
+			out = make(map[metrics.ID]float64, len(n.metrics)-i)
+		}
+		out[metrics.ID(i)] = v
+	}
+	if out == nil {
+		out = map[metrics.ID]float64{}
 	}
 	return out
 }
@@ -263,7 +298,7 @@ func (n *Node) Metrics() map[metrics.ID]float64 {
 // InclusiveMetric returns the metric summed over the node's subtree —
 // HPCToolkit's inclusive column.
 func (n *Node) InclusiveMetric(id metrics.ID) float64 {
-	total := n.metrics[id]
+	total := n.Metric(id)
 	for _, c := range n.children {
 		total += c.InclusiveMetric(id)
 	}
@@ -333,8 +368,15 @@ func (n *Node) Path() []Key {
 // key. src is left untouched. This is the hpcprof thread-profile merge
 // of Section 7.2.
 func Merge(dst, src *Node) {
-	for id, v := range src.metrics {
-		dst.AddMetric(id, v)
+	if len(src.metrics) > 0 {
+		if len(dst.metrics) < len(src.metrics) {
+			grown := make([]float64, len(src.metrics))
+			copy(grown, dst.metrics)
+			dst.metrics = grown
+		}
+		for i, v := range src.metrics {
+			dst.metrics[i] += v
+		}
 	}
 	for owner, r := range src.ranges {
 		if dst.ranges == nil {

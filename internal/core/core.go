@@ -22,6 +22,7 @@ package core
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -144,6 +145,45 @@ type Totals struct {
 	ROITime units.Cycles
 	// Overhead is the monitoring cost charged to threads.
 	Overhead units.Cycles
+}
+
+// totalsAlias strips Totals of its methods so the custom marshalers
+// below can delegate to the stock struct codec without recursing.
+type totalsAlias Totals
+
+// MarshalJSON encodes Totals with NaN LPI carried as null. LPI is
+// legitimately NaN for mechanisms that measure no latency (see
+// buildTotals), but encoding/json rejects NaN outright — without this
+// method every profile save and HTTP view for MRK, Soft-IBS, PEBS and
+// DEAR profiles fails wholesale.
+func (t Totals) MarshalJSON() ([]byte, error) {
+	doc := struct {
+		totalsAlias
+		LPI *float64 // shadows the embedded field
+	}{totalsAlias: totalsAlias(t)}
+	if v := t.LPI; !math.IsNaN(v) {
+		doc.LPI = &v
+	}
+	return json.Marshal(doc)
+}
+
+// UnmarshalJSON restores the in-memory convention: a null (or absent)
+// LPI decodes back to NaN, so round-tripped profiles are
+// indistinguishable from freshly built ones.
+func (t *Totals) UnmarshalJSON(b []byte) error {
+	doc := struct {
+		*totalsAlias
+		LPI *float64
+	}{totalsAlias: (*totalsAlias)(t)}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return err
+	}
+	if doc.LPI != nil {
+		t.LPI = *doc.LPI
+	} else {
+		t.LPI = math.NaN()
+	}
+	return nil
 }
 
 // BinStats aggregates samples falling in one bin of a variable.
@@ -370,6 +410,11 @@ type profiler struct {
 
 	// Per-thread access CCTs (hpcrun's per-thread profiles).
 	trees []*cct.Tree
+
+	// keyScratch is the path buffer onSample reuses for every CCT
+	// insert; samples arrive one at a time, so one buffer serves all
+	// threads without a per-sample allocation.
+	keyScratch []cct.Key
 
 	// Per-variable aggregation, keyed by allocation id.
 	varAggs map[int]*varAgg
@@ -599,14 +644,15 @@ func (p *profiler) onSample(s *pmu.Sample) {
 	// Code-centric attribution: unwind the call stack, insert the
 	// path + site leaf into the thread's tree.
 	tree := p.trees[s.ThreadID]
-	keys := make([]cct.Key, 0, t.Depth()+2)
+	keys := p.keyScratch[:0]
 	keys = append(keys, cct.DummyKey(cct.DummyAccess))
-	for _, fr := range t.CallPath() {
+	for _, fr := range t.CallStack() {
 		keys = append(keys, cct.FrameKey(fr.Fn, fr.CallLine))
 	}
 	if s.IP != isa.NoSite {
 		keys = append(keys, cct.SiteKey(s.IP))
 	}
+	p.keyScratch = keys
 	node := tree.Root().InsertPath(keys)
 	node.AddMetric(metrics.Samples, 1)
 

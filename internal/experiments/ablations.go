@@ -91,7 +91,9 @@ func RunAblationPeriod() (*AblationPeriodResult, error) {
 			Samples:  prof.Totals.Samples,
 			LPI:      prof.Totals.LPI,
 			LPIExact: prof.Totals.LPIExact,
-			Overhead: float64(prof.Totals.SimTime-baseTime) / float64(baseTime),
+		}
+		if baseTime > 0 {
+			row.Overhead = float64(prof.Totals.SimTime-baseTime) / float64(baseTime)
 		}
 		if row.LPIExact > 0 {
 			row.Ratio = row.LPI / row.LPIExact

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestBenchDeterministicWork is the bench determinism contract: two
+// -bench-json runs on the same build must agree on every non-timing
+// field — the suite's names, work op counts and work fingerprints, and
+// every Table 2 row (all Table 2 fields are simulated cycles, never
+// wall time). Only ns_per_op / bytes_per_op / allocs_per_op / iters
+// may differ between runs.
+func TestBenchDeterministicWork(t *testing.T) {
+	opts := BenchOptions{
+		MinTime:     time.Millisecond, // timing fields are not under test
+		Rounds:      1,
+		RunTable2:   true,
+		Table2Iters: 1,
+	}
+	a, err := RunBench(opts)
+	if err != nil {
+		t.Fatalf("first RunBench: %v", err)
+	}
+	b, err := RunBench(opts)
+	if err != nil {
+		t.Fatalf("second RunBench: %v", err)
+	}
+
+	if a.Schema != b.Schema {
+		t.Errorf("schema differs across runs: %d vs %d", a.Schema, b.Schema)
+	}
+	if len(a.Suite) != len(b.Suite) {
+		t.Fatalf("suite length differs: %d vs %d", len(a.Suite), len(b.Suite))
+	}
+	if len(a.Suite) < 4 {
+		t.Fatalf("suite has %d benchmarks, want at least 4", len(a.Suite))
+	}
+	for i := range a.Suite {
+		ra, rb := a.Suite[i], b.Suite[i]
+		if ra.Name != rb.Name {
+			t.Errorf("suite[%d]: name %q vs %q", i, ra.Name, rb.Name)
+		}
+		if ra.WorkOps != rb.WorkOps {
+			t.Errorf("%s: work_ops %d vs %d", ra.Name, ra.WorkOps, rb.WorkOps)
+		}
+		if ra.Work != rb.Work {
+			t.Errorf("%s: work fingerprint %#x vs %#x — the simulated outcome of a fixed-size run changed between two runs of the same build",
+				ra.Name, ra.Work, rb.Work)
+		}
+	}
+
+	if len(a.Table2) == 0 {
+		t.Fatal("Table 2 sweep missing from report")
+	}
+	if !reflect.DeepEqual(a.Table2, b.Table2) {
+		t.Errorf("Table 2 rows differ across runs:\n first: %+v\nsecond: %+v", a.Table2, b.Table2)
+	}
+}
+
+// TestBenchGatePolicy pins the CI gate policy: only the access-dispatch
+// benchmark is gated, and only beyond the threshold.
+func TestBenchGatePolicy(t *testing.T) {
+	cases := []struct {
+		name    string
+		deltas  []BenchDelta
+		wantErr bool
+	}{
+		{"within threshold", []BenchDelta{{Name: BenchAccessDispatch, Delta: 0.09}}, false},
+		{"improvement", []BenchDelta{{Name: BenchAccessDispatch, Delta: -0.30}}, false},
+		{"regression", []BenchDelta{{Name: BenchAccessDispatch, Delta: 0.11}}, true},
+		{"other benchmarks advisory", []BenchDelta{{Name: BenchCCTMerge, Delta: 0.50}}, false},
+	}
+	for _, tc := range cases {
+		err := GateBench(tc.deltas, BenchGateThreshold)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("%s: GateBench err = %v, wantErr %v", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+// TestCompareBenchRefusesIncompatibleBaselines makes the gate fail loud
+// rather than compare apples to oranges.
+func TestCompareBenchRefusesIncompatibleBaselines(t *testing.T) {
+	cur := &BenchReport{Schema: BenchSchema, Suite: []BenchResult{{Name: BenchAccessDispatch, NsPerOp: 100}}}
+
+	stale := &BenchReport{Schema: BenchSchema - 1}
+	if _, err := CompareBench(stale, cur); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Errorf("schema mismatch: err = %v, want schema error", err)
+	}
+
+	empty := &BenchReport{Schema: BenchSchema}
+	if _, err := CompareBench(empty, cur); err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Errorf("missing benchmark: err = %v, want missing-benchmark error", err)
+	}
+
+	base := &BenchReport{Schema: BenchSchema, Suite: []BenchResult{{Name: BenchAccessDispatch, NsPerOp: 80}}}
+	deltas, err := CompareBench(base, cur)
+	if err != nil {
+		t.Fatalf("CompareBench: %v", err)
+	}
+	if len(deltas) != 1 || deltas[0].Delta < 0.24 || deltas[0].Delta > 0.26 {
+		t.Errorf("deltas = %+v, want one row with Delta 0.25", deltas)
+	}
+}

@@ -108,19 +108,24 @@ func RunFigure1() (*Figure1Result, error) {
 		if err != nil {
 			return Figure1Row{}, err
 		}
-		return Figure1Row{
-			Distribution:   cse.name,
-			Time:           e.TimeSince(workloads.ROIMark),
-			RemoteFraction: float64(e.TotalRemoteAccesses()) / float64(e.TotalMemAccesses()),
-			Imbalance:      e.Memory().Imbalance(),
-		}, nil
+		row := Figure1Row{
+			Distribution: cse.name,
+			Time:         e.TimeSince(workloads.ROIMark),
+			Imbalance:    e.Memory().Imbalance(),
+		}
+		if total := e.TotalMemAccesses(); total > 0 {
+			row.RemoteFraction = float64(e.TotalRemoteAccesses()) / float64(total)
+		}
+		return row, nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	baseTime := rows[0].Time
 	for i := range rows {
-		rows[i].Speedup = float64(baseTime)/float64(rows[i].Time) - 1
+		if rows[i].Time > 0 {
+			rows[i].Speedup = float64(baseTime)/float64(rows[i].Time) - 1
+		}
 	}
 	return &Figure1Result{Machine: m.Name, Rows: rows}, nil
 }

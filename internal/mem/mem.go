@@ -25,14 +25,17 @@
 // (internal/sched) never shares one across cells, so cell-level
 // parallelism needs no coordination here. Within a cell, the epoch
 // request counters are atomics so per-thread simulation may run on
-// concurrent goroutines, but the epoch protocol itself is phased:
-// Record calls must all happen before the end-of-epoch factor reads,
-// which the engine's region barrier guarantees.
+// concurrent goroutines. The epoch protocol is additionally fenced by
+// a reader/writer lock: EndEpoch takes it exclusively while swapping
+// the counters out, so even a RecordRequest racing the epoch boundary
+// lands wholly in one epoch's snapshot and the per-domain counts always
+// sum to the total the contention factors are computed from.
 package mem
 
 import (
 	"fmt"
 	"math"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/topology"
@@ -68,11 +71,24 @@ type System struct {
 	topo   *topology.Machine
 	params LatencyParams
 
+	// epochMu fences epoch transitions: RecordRequest holds it shared
+	// while bumping the counters, EndEpoch holds it exclusively while
+	// swapping them out, so every recorded request lands wholly in one
+	// epoch's snapshot. Without the fence the sequential Swap(0) loop
+	// reads a torn cut — a request recorded between two swaps counts
+	// toward a different epoch than its siblings, skewing the
+	// contention factors the snapshot feeds.
+	epochMu sync.RWMutex
 	// epoch request counters, one per domain. Written with atomics so
 	// that per-thread simulation can run on concurrent goroutines.
 	epochRequests []atomic.Uint64
 	// lifetime totals per domain, for whole-run balance reporting.
 	totalRequests []atomic.Uint64
+
+	// Scratch buffers reused across epochs so the per-region EndEpoch
+	// allocates nothing in steady state.
+	epochCounts  []uint64
+	epochFactors []float64
 }
 
 // NewSystem creates the memory system for a machine.
@@ -85,6 +101,8 @@ func NewSystem(topo *topology.Machine, params LatencyParams) *System {
 		params:        params,
 		epochRequests: make([]atomic.Uint64, topo.NumDomains()),
 		totalRequests: make([]atomic.Uint64, topo.NumDomains()),
+		epochCounts:   make([]uint64, topo.NumDomains()),
+		epochFactors:  make([]float64, topo.NumDomains()),
 	}
 }
 
@@ -95,13 +113,17 @@ func (s *System) Topology() *topology.Machine { return s.topo }
 func (s *System) Params() LatencyParams { return s.params }
 
 // RecordRequest notes one DRAM request served by domain d during the
-// current epoch. Safe for concurrent use.
+// current epoch. Safe for concurrent use, including concurrently with
+// EndEpoch: the shared lock guarantees the request lands wholly inside
+// one epoch's snapshot.
 func (s *System) RecordRequest(d topology.DomainID) {
 	if d < 0 || int(d) >= len(s.epochRequests) {
 		return
 	}
+	s.epochMu.RLock()
 	s.epochRequests[d].Add(1)
 	s.totalRequests[d].Add(1)
+	s.epochMu.RUnlock()
 }
 
 // EpochRequests returns the number of requests domain d has served in
@@ -128,7 +150,12 @@ func (s *System) TotalsByDomain() []uint64 {
 
 // EndEpoch computes the contention factor for every domain from the
 // requests recorded since the last EndEpoch, resets the epoch counters,
-// and returns the factors indexed by domain id.
+// and returns the factors indexed by domain id. The snapshot is
+// consistent even against concurrent RecordRequest calls: the exclusive
+// lock drains in-flight recorders before the counters are swapped, so
+// total always equals the sum of the per-domain counts from one cut.
+// The returned slice is reused by the next EndEpoch call; callers that
+// need it longer must copy it.
 //
 // The factor for a domain is 1.0 when requests are evenly spread (or
 // absent) and grows toward MaxContentionFactor as the domain's share of
@@ -138,13 +165,15 @@ func (s *System) TotalsByDomain() []uint64 {
 // paper's Figure 1 "all data in domain 1" distribution.
 func (s *System) EndEpoch() []float64 {
 	n := len(s.epochRequests)
-	counts := make([]uint64, n)
+	counts := s.epochCounts
 	var total uint64
+	s.epochMu.Lock()
 	for i := range s.epochRequests {
 		counts[i] = s.epochRequests[i].Swap(0)
 		total += counts[i]
 	}
-	factors := make([]float64, n)
+	s.epochMu.Unlock()
+	factors := s.epochFactors
 	for i := range factors {
 		factors[i] = s.contentionFactor(counts[i], total, n)
 	}

@@ -161,6 +161,71 @@ func TestConcurrentRecordRequest(t *testing.T) {
 	}
 }
 
+// TestEndEpochConsistentUnderConcurrentRecords hammers RecordRequest
+// while EndEpoch runs, and checks every epoch snapshot is a consistent
+// cut. Each worker records strict (domain 0, domain N-1) pairs, so at
+// any instant the cumulative first-domain count leads the last-domain
+// count by at most one half-finished pair per worker: for every epoch
+// snapshot, 0 <= cum[0] - cum[N-1] <= workers must hold. Pre-fix, the
+// unfenced Swap(0) loop let pairs recorded mid-loop split across two
+// epochs — the last domain's half landed in the current epoch while the
+// first domain's half had already been swapped into the next — driving
+// cum[0] - cum[N-1] negative. Run under -race in CI, the test also
+// fences the lock protocol itself.
+func TestEndEpochConsistentUnderConcurrentRecords(t *testing.T) {
+	s := NewSystem(testMachine(), DefaultLatencyParams())
+	n := len(s.epochRequests)
+	first, last := topology.DomainID(0), topology.DomainID(n-1)
+
+	const workers = 4
+	const pairsPerWorker = 200000
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < pairsPerWorker; i++ {
+				s.RecordRequest(first)
+				s.RecordRequest(last)
+			}
+		}()
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+
+	var cumFirst, cumLast uint64
+	check := func(epoch int) {
+		s.EndEpoch()
+		// In-package test: epochCounts holds the snapshot EndEpoch
+		// just computed the factors from.
+		cumFirst += s.epochCounts[0]
+		cumLast += s.epochCounts[n-1]
+		lead := int64(cumFirst) - int64(cumLast)
+		if lead < 0 || lead > workers {
+			t.Fatalf("epoch %d: cumulative counts torn: first-domain lead = %d, want within [0, %d]",
+				epoch, lead, workers)
+		}
+	}
+	epoch := 0
+	for {
+		select {
+		case <-done:
+			// Final epoch drains whatever is left; afterwards the books
+			// must balance exactly.
+			check(epoch)
+			if cumFirst != workers*pairsPerWorker || cumLast != workers*pairsPerWorker {
+				t.Fatalf("drained totals = (%d, %d), want (%d, %d)",
+					cumFirst, cumLast, workers*pairsPerWorker, workers*pairsPerWorker)
+			}
+			return
+		default:
+			check(epoch)
+			epoch++
+		}
+	}
+}
+
 // Property: contention factors are always in [1, cap], and a domain
 // with zero requests always gets factor 1.
 func TestQuickContentionBounds(t *testing.T) {

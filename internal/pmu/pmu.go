@@ -153,6 +153,17 @@ type Monitor struct {
 	prog *isa.Program
 	cb   func(*Sample)
 
+	// caps and tr cache the mechanism's Caps() and SampleTransformer
+	// type assertion, both invariant between SetMechanism calls; the
+	// per-sample path must not re-derive them on every delivery.
+	caps Capability
+	tr   SampleTransformer
+
+	// sampleBuf is the scratch sample reused across deliveries. The
+	// callback must not retain the pointer; samples are consumed
+	// synchronously (the PMU interrupt-handler model).
+	sampleBuf Sample
+
 	// CorrectOffByOne enables the online previous-instruction fix for
 	// imprecise-IP mechanisms, at Costs.OffByOneFix per sample. The
 	// paper notes this is expensive on x86 and better done postmortem
@@ -171,15 +182,18 @@ type Monitor struct {
 	overheadCharged  units.Cycles
 }
 
-// NewMonitor builds a Monitor. cb may be nil (counting only).
+// NewMonitor builds a Monitor. cb may be nil (counting only). The
+// callback receives a pointer into a buffer reused across deliveries:
+// samples are consumed synchronously, and a callback that keeps one
+// must copy the value.
 func NewMonitor(mech Mechanism, prog *isa.Program, cb func(*Sample)) *Monitor {
-	return &Monitor{
-		mech:            mech,
+	m := &Monitor{
 		prog:            prog,
 		cb:              cb,
 		CorrectOffByOne: true,
-		costs:           DefaultCosts(mech.Name()),
 	}
+	m.SetMechanism(mech)
+	return m
 }
 
 // Mechanism returns the monitored mechanism.
@@ -191,6 +205,8 @@ func (m *Monitor) Mechanism() Mechanism { return m.mech }
 func (m *Monitor) SetMechanism(mech Mechanism) {
 	m.mech = mech
 	m.costs = DefaultCosts(mech.Name())
+	m.caps = mech.Caps()
+	m.tr, _ = mech.(SampleTransformer)
 }
 
 // SamplesLost returns the number of captured samples a
@@ -229,8 +245,9 @@ func (m *Monitor) OnAccess(ev *proc.AccessEvent) {
 		return
 	}
 	cost := m.costs.PerSample
-	caps := m.mech.Caps()
-	s := Sample{
+	caps := m.caps
+	s := &m.sampleBuf
+	*s = Sample{
 		ThreadID:    ev.Thread.ID,
 		CPU:         ev.Thread.CPU,
 		IP:          ev.Site,
@@ -264,7 +281,7 @@ func (m *Monitor) OnAccess(ev *proc.AccessEvent) {
 	ev.Thread.AddOverhead(cost)
 	m.overheadCharged += cost
 
-	if tr, ok := m.mech.(SampleTransformer); ok && !tr.TransformSample(&s) {
+	if m.tr != nil && !m.tr.TransformSample(s) {
 		// Captured but lost before delivery: the cost was paid, but
 		// the sample must not count toward I^s or reach the profiler.
 		m.samplesLost++
@@ -281,7 +298,7 @@ func (m *Monitor) OnAccess(ev *proc.AccessEvent) {
 		}
 	}
 	if m.cb != nil {
-		m.cb(&s)
+		m.cb(s)
 	}
 }
 
@@ -297,25 +314,26 @@ func (m *Monitor) OnCompute(t *proc.Thread, n uint64) {
 	}
 	for i := 0; i < samples; i++ {
 		cost := m.costs.PerSample
-		if !m.mech.Caps().PreciseIP && m.CorrectOffByOne {
+		if !m.caps.PreciseIP && m.CorrectOffByOne {
 			cost += m.costs.OffByOneFix
 		}
 		t.AddOverhead(cost)
 		m.overheadCharged += cost
-		s := Sample{
+		s := &m.sampleBuf
+		*s = Sample{
 			ThreadID:  t.ID,
 			CPU:       t.CPU,
 			IP:        isa.NoSite,
-			PreciseIP: m.mech.Caps().PreciseIP,
+			PreciseIP: m.caps.PreciseIP,
 		}
-		if tr, ok := m.mech.(SampleTransformer); ok && !tr.TransformSample(&s) {
+		if m.tr != nil && !m.tr.TransformSample(s) {
 			m.samplesLost++
 			continue
 		}
 		m.samplesTaken++
 		m.sampledInstr++
 		if m.cb != nil {
-			m.cb(&s)
+			m.cb(s)
 		}
 	}
 }

@@ -87,6 +87,12 @@ func (t *Thread) CallPath() []Frame {
 	return out
 }
 
+// CallStack returns the live call stack, oldest frame first, without
+// copying. The slice is owned by the thread and is only valid until
+// its next Call or Return; callers that keep it must use CallPath.
+// This is the allocation-free unwind the per-sample hot path uses.
+func (t *Thread) CallStack() []Frame { return t.stack }
+
 // Depth returns the current call-stack depth.
 func (t *Thread) Depth() int { return len(t.stack) }
 
@@ -214,6 +220,12 @@ type Engine struct {
 	// fault handlers (see CurrentThread).
 	currentThread *Thread
 	currentSite   isa.SiteID
+
+	// accessEv is the scratch event handed to hooks, reused across
+	// accesses: hooks must not retain the pointer (the Hook contract),
+	// and accesses never nest, so one buffer removes the per-access
+	// heap allocation the escaping &AccessEvent{...} literal caused.
+	accessEv AccessEvent
 
 	// staticRegions backs the program's symbol-table statics.
 	staticRegions []vm.Region
@@ -493,9 +505,14 @@ func (e *Engine) CurrentThread() *Thread { return e.currentThread }
 func (e *Engine) CurrentSite() isa.SiteID { return e.currentSite }
 
 // access simulates one load or store on thread t.
+//
+// This is the per-access hot path of the whole simulator; it avoids
+// deferred closures and heap allocations deliberately. The in-flight
+// marker is cleared on the explicit returns below — Touch's fault
+// handlers run between the assignments, and nothing here panics on
+// degraded inputs (the cache and memory models classify them instead).
 func (e *Engine) access(t *Thread, site isa.SiteID, addr uint64, isStore bool) {
 	e.currentThread, e.currentSite = t, site
-	defer func() { e.currentThread, e.currentSite = nil, isa.NoSite }()
 	home, first, err := e.as.Touch(addr, isStore, t.Domain)
 	if err != nil {
 		home = topology.NoDomain
@@ -529,9 +546,11 @@ func (e *Engine) access(t *Thread, site isa.SiteID, addr uint64, isStore bool) {
 	}
 
 	if len(e.hooks) == 0 {
+		e.currentThread, e.currentSite = nil, isa.NoSite
 		return
 	}
-	ev := AccessEvent{
+	ev := &e.accessEv
+	*ev = AccessEvent{
 		Thread:     t,
 		Site:       site,
 		EA:         addr,
@@ -545,8 +564,9 @@ func (e *Engine) access(t *Thread, site isa.SiteID, addr uint64, isStore bool) {
 		ev.Region, ev.RegionValid = r, true
 	}
 	for _, h := range e.hooks {
-		h.OnAccess(&ev)
+		h.OnAccess(ev)
 	}
+	e.currentThread, e.currentSite = nil, isa.NoSite
 }
 
 func (e *Engine) memFactor(d topology.DomainID) float64 {

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -656,5 +657,87 @@ func TestConcurrentMixedSubmissions(t *testing.T) {
 		if !bytes.Equal(got, ref) {
 			t.Fatalf("spec %s/%s: daemon bytes differ from serial run", sp.Mechanism, sp.Strategy)
 		}
+	}
+}
+
+// TestNaNSafeViewsForLatencylessAndZeroSampleProfiles locks the
+// JSON-safety of every server view for the profiles most likely to
+// carry non-finite numbers: a mechanism that measures no latency (MRK
+// — Totals.LPI is NaN by design, see core.buildTotals) and a run whose
+// sampling period exceeds the program, yielding a zero-sample profile.
+// Pre-fix, core.Totals marshaled the NaN straight into encoding/json,
+// so the store write (profio.Save) failed and every view of such a job
+// was unreachable.
+func TestNaNSafeViewsForLatencylessAndZeroSampleProfiles(t *testing.T) {
+	_, c := newTestServer(t, nil)
+	ctx := context.Background()
+
+	specs := map[string]Spec{
+		"latency-less": {Workload: "blackscholes", Iters: 1, Mechanism: "MRK",
+			Machine: "intel-harpertown-8", Threads: 4},
+		"zero-sample": {Workload: "blackscholes", Iters: 1, Mechanism: "MRK",
+			Machine: "intel-harpertown-8", Threads: 4, Period: 1 << 40},
+	}
+	ids := map[string]string{}
+	for name, spec := range specs {
+		st, err := c.Submit(ctx, spec)
+		if err != nil {
+			t.Fatalf("submit %s: %v", name, err)
+		}
+		mustDone(t, c, st.ID)
+		ids[name] = st.ID
+	}
+
+	for name, id := range ids {
+		if _, err := c.Text(ctx, id); err != nil {
+			t.Fatalf("%s: text view: %v", name, err)
+		}
+		if _, err := c.HTMLReport(ctx, id); err != nil {
+			t.Fatalf("%s: html view: %v", name, err)
+		}
+		raw, err := c.ProfileBytes(ctx, id)
+		if err != nil {
+			t.Fatalf("%s: profile view: %v", name, err)
+		}
+		p, err := profio.Load(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatalf("%s: load served bytes: %v", name, err)
+		}
+		// The wire carries NaN as null; the decoder must restore the
+		// in-memory convention exactly, not flatten it to 0 (a real,
+		// wrong, lpi value).
+		if !math.IsNaN(p.Totals.LPI) {
+			t.Errorf("%s: round-tripped LPI = %v, want NaN preserved", name, p.Totals.LPI)
+		}
+		// The status/json view must itself be parseable JSON.
+		resp, err := http.Get(c.BaseURL + "/api/v1/jobs/" + id + "?view=json")
+		if err != nil {
+			t.Fatalf("%s: json view: %v", name, err)
+		}
+		var status JobStatus
+		err = json.NewDecoder(resp.Body).Decode(&status)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: json view: status %d, decode err %v", name, resp.StatusCode, err)
+		}
+	}
+
+	// Diffing the two — both NaN-LPI, one with zero samples — must
+	// serve valid JSON too (the diff view feeds dashboards directly).
+	resp, err := http.Get(c.BaseURL + "/api/v1/diff?a=" + ids["latency-less"] + "&b=" + ids["zero-sample"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d diff.Result
+	err = json.NewDecoder(resp.Body).Decode(&d)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("diff json view: status %d, decode err %v", resp.StatusCode, err)
+	}
+	if math.IsNaN(d.Speedup) || math.IsInf(d.Speedup, 0) {
+		t.Errorf("diff speedup = %v, want finite", d.Speedup)
+	}
+	if _, err := c.Metrics(ctx); err != nil {
+		t.Fatalf("metrics view: %v", err)
 	}
 }
