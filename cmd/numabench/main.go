@@ -23,8 +23,10 @@
 // Section 8 speedups: LULESH, AMG2006, Blackscholes, UMT2013),
 // A1-A4 (design-choice ablations: sampling period, binning,
 // contention model, scheduling), RB (the robustness scorecard:
-// graceful degradation under injected sampler and file faults), and
-// SC (the reproduction scorecard).
+// graceful degradation under injected sampler and file faults), RC
+// (the recovery scorecard: crash recovery, sweep checkpoint resume,
+// transparent retries, circuit breaking), and SC (the reproduction
+// scorecard).
 package main
 
 import (
@@ -162,6 +164,13 @@ func artifacts() []artifact {
 		}},
 		{"RB", "Robustness scorecard: graceful degradation under injected faults", func(iters int) (string, error) {
 			r, err := experiments.RunRobustness(iters)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"RC", "Recovery scorecard: durability under crashes, retries, breaker", func(iters int) (string, error) {
+			r, err := experiments.RunRecovery(iters)
 			if err != nil {
 				return "", err
 			}

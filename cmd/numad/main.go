@@ -24,6 +24,14 @@
 // SIGINT/SIGTERM shut the daemon down gracefully: new submissions get
 // 503, the queued backlog runs to completion (bounded by
 // -drain-timeout), and the store is flushed before exit.
+//
+// Durability: unless -journal=false, every job state transition is
+// written ahead to <dir>/journal.numadlog. On startup the journal is
+// replayed — finished jobs reappear terminal, interrupted ones are
+// re-enqueued and resume from their per-cell checkpoints — so a crash
+// (power cut, OOM kill, SIGKILL) never loses acknowledged work.
+// Unparseable journal lines are quarantined to a side file, never
+// silently dropped.
 package main
 
 import (
@@ -31,10 +39,12 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -44,21 +54,37 @@ import (
 	"repro/internal/telemetry"
 )
 
+// config is the daemon's parsed command line.
+type config struct {
+	addr         string
+	debugAddr    string
+	dir          string
+	workers      int
+	queueDepth   int
+	cacheEntries int
+	jobTimeout   time.Duration
+	drainTimeout time.Duration
+	top          int
+	journal      bool
+	retries      int
+}
+
 func main() {
-	var (
-		addr         = flag.String("addr", ":7077", "listen address")
-		dir          = flag.String("dir", "numad-data", "profile store directory")
-		workers      = flag.Int("workers", sched.Workers(), "worker pool size (concurrent profiling jobs)")
-		queueDepth   = flag.Int("queue", server.DefaultQueueDepth, "job queue bound; a full queue returns 429")
-		cacheEntries = flag.Int("cache", store.DefaultCacheEntries, "decoded-profile LRU entries (negative: disable)")
-		jobTimeout   = flag.Duration("job-timeout", 0, "per-job deadline from submission (0: none)")
-		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for the backlog before cancelling it")
-		top          = flag.Int("top", 5, "variables the text/HTML views detail")
-		logLevel     = flag.String("log-level", "",
-			"log level spec, e.g. info or warn,server=debug (overrides $"+telemetry.LogEnvVar+")")
-		debugAddr = flag.String("debug-addr", "",
-			"serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
-	)
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", ":7077", "listen address")
+	flag.StringVar(&cfg.dir, "dir", "numad-data", "profile store directory")
+	flag.IntVar(&cfg.workers, "workers", sched.Workers(), "worker pool size (concurrent profiling jobs)")
+	flag.IntVar(&cfg.queueDepth, "queue", server.DefaultQueueDepth, "job queue bound; a full queue returns 429")
+	flag.IntVar(&cfg.cacheEntries, "cache", store.DefaultCacheEntries, "decoded-profile LRU entries (negative: disable)")
+	flag.DurationVar(&cfg.jobTimeout, "job-timeout", 0, "per-job deadline from submission (0: none); also arms deadline-aware load shedding")
+	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 30*time.Second, "how long shutdown waits for the backlog before cancelling it")
+	flag.IntVar(&cfg.top, "top", 5, "variables the text/HTML views detail")
+	flag.BoolVar(&cfg.journal, "journal", true, "write-ahead job journal in the store directory, replayed on startup to recover interrupted jobs")
+	flag.IntVar(&cfg.retries, "retries", 0, "transient-failure retries per job (0: default 3; negative: disable)")
+	logLevel := flag.String("log-level", "",
+		"log level spec, e.g. info or warn,server=debug (overrides $"+telemetry.LogEnvVar+")")
+	flag.StringVar(&cfg.debugAddr, "debug-addr", "",
+		"serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 	flag.Parse()
 
 	if *logLevel != "" {
@@ -68,7 +94,7 @@ func main() {
 		}
 	}
 
-	if err := run(*addr, *debugAddr, *dir, *workers, *queueDepth, *cacheEntries, *jobTimeout, *drainTimeout, *top); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "numad:", err)
 		os.Exit(1)
 	}
@@ -86,37 +112,83 @@ func debugHandler() http.Handler {
 	return mux
 }
 
-func run(addr, debugAddr, dir string, workers, queueDepth, cacheEntries int, jobTimeout, drainTimeout time.Duration, top int) error {
+// recoverJournal replays <dir>/journal.numadlog: quarantined lines are
+// preserved to the side file, the journal is compacted to its terminal
+// records, and a fresh append handle continuing the sequence is
+// returned with the recovery for server.Recover.
+func recoverJournal(dir string, logger *slog.Logger) (*store.Journal, *store.RecoveredJournal, error) {
+	jpath := filepath.Join(dir, store.JournalName)
+	rec, err := store.RecoverJournal(jpath)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n := len(rec.Quarantined); n > 0 {
+		qpath := filepath.Join(dir, store.QuarantineName)
+		logger.Warn("journal damage quarantined", "records", n, "file", qpath)
+		if err := store.AppendQuarantine(qpath, rec.Quarantined); err != nil {
+			return nil, nil, fmt.Errorf("quarantine journal damage: %w", err)
+		}
+	}
+	if err := store.CompactJournal(jpath, rec); err != nil {
+		return nil, nil, err
+	}
+	jl, err := store.OpenJournal(jpath, rec.MaxSeq)
+	if err != nil {
+		return nil, nil, err
+	}
+	return jl, rec, nil
+}
+
+func run(cfg config) error {
 	logger := telemetry.Logger("numad")
-	st, err := store.Open(dir, cacheEntries)
+	st, err := store.Open(cfg.dir, cfg.cacheEntries)
 	if err != nil {
 		return err
 	}
+	var (
+		jl  *store.Journal
+		rec *store.RecoveredJournal
+	)
+	if cfg.journal {
+		if jl, rec, err = recoverJournal(cfg.dir, logger); err != nil {
+			return err
+		}
+		defer jl.Close()
+	}
 	srv, err := server.New(server.Options{
 		Store:      st,
-		Workers:    workers,
-		QueueDepth: queueDepth,
-		JobTimeout: jobTimeout,
-		TopVars:    top,
+		Workers:    cfg.workers,
+		QueueDepth: cfg.queueDepth,
+		JobTimeout: cfg.jobTimeout,
+		TopVars:    cfg.top,
+		Journal:    jl,
+		MaxRetries: cfg.retries,
 	})
 	if err != nil {
 		return err
 	}
+	if rec != nil && len(rec.Jobs) > 0 {
+		if err := srv.Recover(rec); err != nil {
+			return fmt.Errorf("recover journal: %w", err)
+		}
+		logger.Info("journal replayed", "jobs", len(rec.Jobs),
+			"resumed", len(rec.NonTerminal()), "quarantined", len(rec.Quarantined))
+	}
 	srv.Start()
 
-	httpSrv := &http.Server{Addr: addr, Handler: srv.Handler()}
+	httpSrv := &http.Server{Addr: cfg.addr, Handler: srv.Handler()}
 	errc := make(chan error, 2)
 	go func() {
-		logger.Info("listening", "addr", addr, "store", dir,
-			"workers", workers, "queue", queueDepth)
+		logger.Info("listening", "addr", cfg.addr, "store", cfg.dir,
+			"workers", cfg.workers, "queue", cfg.queueDepth)
 		errc <- httpSrv.ListenAndServe()
 	}()
 
 	var debugSrv *http.Server
-	if debugAddr != "" {
-		debugSrv = &http.Server{Addr: debugAddr, Handler: debugHandler()}
+	if cfg.debugAddr != "" {
+		debugSrv = &http.Server{Addr: cfg.debugAddr, Handler: debugHandler()}
 		go func() {
-			logger.Info("pprof listening", "addr", debugAddr)
+			logger.Info("pprof listening", "addr", cfg.debugAddr)
 			if err := debugSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 				errc <- fmt.Errorf("debug listener: %w", err)
 			}
@@ -129,10 +201,10 @@ func run(addr, debugAddr, dir string, workers, queueDepth, cacheEntries int, job
 	case err := <-errc:
 		return err
 	case sig := <-sigc:
-		logger.Info("signal received, draining", "signal", sig.String(), "timeout", drainTimeout.String())
+		logger.Info("signal received, draining", "signal", sig.String(), "timeout", cfg.drainTimeout.String())
 	}
 
-	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
 	defer cancel()
 	// Stop accepting connections first, then drain the job queue and
 	// flush the store.

@@ -1,0 +1,32 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRecoveryScorecardAllClaimsHold(t *testing.T) {
+	r, err := RunRecovery(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Claims) != 5 {
+		t.Fatalf("claims = %d, want 5 (RC1-RC5)", len(r.Claims))
+	}
+	for _, c := range r.Claims {
+		t.Logf("%v %s %s [%s]", c.Pass, c.ID, c.Description, c.Detail)
+		if !c.Pass {
+			t.Errorf("claim %s failed: %s", c.ID, c.Detail)
+		}
+	}
+	if !r.AllPass() {
+		t.Error("recovery scorecard should pass in full")
+	}
+	out := r.Render()
+	if !strings.Contains(out, "Recovery scorecard: 5/5 claims hold.") {
+		t.Errorf("render headline wrong:\n%s", out)
+	}
+	if r.CellsReplayed != 2 || r.CellsRecomputed != 1 {
+		t.Errorf("cells replayed/recomputed = %d/%d, want 2/1", r.CellsReplayed, r.CellsRecomputed)
+	}
+}

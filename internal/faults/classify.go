@@ -1,0 +1,86 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Class buckets a run failure for the retry policy: retry transient
+// failures, fast-fail permanent ones, and leave cancellations alone.
+type Class int
+
+const (
+	// Permanent failures reflect the work itself (bad config, a
+	// deterministic pipeline error): retrying reproduces them.
+	Permanent Class = iota
+	// Transient failures reflect the environment (a sampler that
+	// needed a restart, a flaky driver): a retry may succeed.
+	Transient
+	// Canceled failures are the caller's doing (context cancellation
+	// or deadline): neither retrying nor breaker accounting applies.
+	Canceled
+)
+
+// String names the class for logs and scorecards.
+func (c Class) String() string {
+	switch c {
+	case Transient:
+		return "transient"
+	case Canceled:
+		return "canceled"
+	default:
+		return "permanent"
+	}
+}
+
+// transientError marks an error as retryable. It stays unexported; the
+// taxonomy's surface is MarkTransient and Classify.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return e.err.Error() }
+
+func (e *transientError) Unwrap() error { return e.err }
+
+// MarkTransient wraps err so Classify reports it Transient. A nil err
+// stays nil. Wrapping is idempotent in effect (classification cannot be
+// raised twice), so defensive double-marking is harmless.
+func MarkTransient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}
+
+// IsTransient reports whether Classify(err) == Transient.
+func IsTransient(err error) bool { return Classify(err) == Transient }
+
+// Classify buckets err. Cancellation wins over everything (a transient
+// error wrapping a canceled context is still the caller giving up);
+// anything not marked transient is permanent — the conservative default
+// that keeps the circuit breaker honest about deterministic failures.
+func Classify(err error) Class {
+	if err == nil {
+		return Permanent
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return Canceled
+	}
+	var te *transientError
+	if errors.As(err, &te) {
+		return Transient
+	}
+	return Permanent
+}
+
+// RunError is the run-level injection point for the Flaky knob: the job
+// runner calls it with the zero-based attempt number before each run.
+// Attempts below Flaky fail with a transient error; the first attempt
+// at or past it proceeds. Deterministic and stateless — the caller owns
+// the attempt counter, so a recovered job resumes the same schedule.
+func (p *Plan) RunError(attempt int) error {
+	if p == nil || p.Flaky == 0 || attempt < 0 || uint64(attempt) >= p.Flaky {
+		return nil
+	}
+	return MarkTransient(fmt.Errorf("faults: injected flaky run failure (attempt %d of %d)", attempt+1, p.Flaky))
+}

@@ -1,0 +1,90 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestClassify(t *testing.T) {
+	base := errors.New("boom")
+	cases := []struct {
+		name string
+		err  error
+		want Class
+	}{
+		{"plain error is permanent", base, Permanent},
+		{"marked error is transient", MarkTransient(base), Transient},
+		{"wrapped transient survives fmt.Errorf", fmt.Errorf("run: %w", MarkTransient(base)), Transient},
+		{"context canceled", context.Canceled, Canceled},
+		{"deadline exceeded", context.DeadlineExceeded, Canceled},
+		{"cancellation wins over transient mark", MarkTransient(context.Canceled), Canceled},
+		{"nil is permanent", nil, Permanent},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Classify(tc.err); got != tc.want {
+				t.Fatalf("Classify = %v, want %v", got, tc.want)
+			}
+		})
+	}
+	if !IsTransient(MarkTransient(base)) || IsTransient(base) {
+		t.Fatal("IsTransient disagrees with Classify")
+	}
+	if MarkTransient(nil) != nil {
+		t.Fatal("MarkTransient(nil) must stay nil")
+	}
+	if !errors.Is(MarkTransient(base), base) {
+		t.Fatal("MarkTransient hides the wrapped error from errors.Is")
+	}
+}
+
+func TestClassString(t *testing.T) {
+	for c, want := range map[Class]string{Permanent: "permanent", Transient: "transient", Canceled: "canceled"} {
+		if c.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", c, c.String(), want)
+		}
+	}
+}
+
+func TestPlanRunError(t *testing.T) {
+	var nilPlan *Plan
+	if nilPlan.RunError(0) != nil {
+		t.Fatal("nil plan injected a run error")
+	}
+	p := &Plan{Flaky: 2}
+	for attempt, wantErr := range []bool{true, true, false, false} {
+		err := p.RunError(attempt)
+		if (err != nil) != wantErr {
+			t.Fatalf("attempt %d: err=%v, want failure=%v", attempt, err, wantErr)
+		}
+		if err != nil && Classify(err) != Transient {
+			t.Fatalf("attempt %d: injected error classified %v", attempt, Classify(err))
+		}
+	}
+	// Deterministic: the same attempt always gets the same answer.
+	if p.RunError(0) == nil || p.RunError(5) != nil {
+		t.Fatal("RunError is not stateless")
+	}
+}
+
+func TestPlanFlakyParseRenderRoundTrip(t *testing.T) {
+	p, err := ParsePlan("flaky=3,seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Flaky != 3 || p.Seed != 7 {
+		t.Fatalf("parsed %+v", p)
+	}
+	if !p.Zero() {
+		t.Fatal("flaky-only plan must stay sampler-Zero (no pipeline wrapping)")
+	}
+	if got := p.String(); got != "flaky=3,seed=7" {
+		t.Fatalf("String() = %q", got)
+	}
+	back, err := ParsePlan(p.String())
+	if err != nil || *back != *p {
+		t.Fatalf("round trip broke: %+v vs %+v (%v)", back, p, err)
+	}
+}

@@ -1,0 +1,164 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// memCkpt is an in-memory Checkpoint for tests.
+type memCkpt struct {
+	mu      sync.Mutex
+	cells   map[int]int
+	saveErr error
+	saves   int
+}
+
+func (c *memCkpt) Lookup(i int) (int, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.cells[i]
+	return v, ok
+}
+
+func (c *memCkpt) Save(i int, v int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.saves++
+	if c.saveErr != nil {
+		return c.saveErr
+	}
+	if c.cells == nil {
+		c.cells = map[int]int{}
+	}
+	c.cells[i] = v
+	return nil
+}
+
+func TestMapCkptReplaysCompletedCells(t *testing.T) {
+	const n = 8
+	ck := &memCkpt{cells: map[int]int{0: 0, 3: 30, 7: 70}}
+	var ran sync.Map
+	results, err := MapCkptWithCtx(context.Background(), 4, n, ck, func(_ context.Context, i int) (int, error) {
+		ran.Store(i, true)
+		return i * 10, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if results[i] != i*10 {
+			t.Fatalf("results[%d] = %d, want %d", i, results[i], i*10)
+		}
+	}
+	for _, i := range []int{0, 3, 7} {
+		if _, ok := ran.Load(i); ok {
+			t.Fatalf("checkpointed cell %d re-ran", i)
+		}
+	}
+	// Every computed cell was saved, none of the replayed ones.
+	if ck.saves != n-3 {
+		t.Fatalf("saves = %d, want %d", ck.saves, n-3)
+	}
+	if len(ck.cells) != n {
+		t.Fatalf("checkpoint holds %d cells, want %d", len(ck.cells), n)
+	}
+}
+
+func TestMapCkptFailedCellNotSaved(t *testing.T) {
+	ck := &memCkpt{}
+	boom := errors.New("boom")
+	_, err := MapCkptWithCtx(context.Background(), 2, 4, ck, func(_ context.Context, i int) (int, error) {
+		if i == 2 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	se, ok := AsSweep(err)
+	if !ok || len(se.Cells) != 1 || se.Cells[0].Index != 2 {
+		t.Fatalf("want single cell-2 failure, got %v", err)
+	}
+	if _, ok := ck.cells[2]; ok {
+		t.Fatal("failed cell was checkpointed")
+	}
+	if len(ck.cells) != 3 {
+		t.Fatalf("checkpoint holds %d cells, want 3", len(ck.cells))
+	}
+	// A retry through the same checkpoint runs only the failed cell.
+	ran := 0
+	results, err := MapCkptWithCtx(context.Background(), 2, 4, ck, func(_ context.Context, i int) (int, error) {
+		ran++
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran != 1 {
+		t.Fatalf("retry ran %d cells, want 1", ran)
+	}
+	if fmt.Sprint(results) != "[0 1 2 3]" {
+		t.Fatalf("retry results %v", results)
+	}
+}
+
+func TestMapCkptSaveFailureDoesNotFailCell(t *testing.T) {
+	ck := &memCkpt{saveErr: errors.New("disk full")}
+	results, err := MapCkptWithCtx(context.Background(), 1, 3, ck, func(_ context.Context, i int) (int, error) {
+		return i + 100, nil
+	})
+	if err != nil {
+		t.Fatalf("save failures must not fail the sweep: %v", err)
+	}
+	for i, v := range results {
+		if v != i+100 {
+			t.Fatalf("results[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMapCkptNilCheckpointPassthrough(t *testing.T) {
+	results, err := MapCkptWithCtx[int](context.Background(), 2, 4, nil, func(_ context.Context, i int) (int, error) {
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(results) != "[0 1 4 9]" {
+		t.Fatalf("results %v", results)
+	}
+}
+
+func TestCheckpointFuncsNilClosures(t *testing.T) {
+	var ck CheckpointFuncs[string]
+	if _, ok := ck.Lookup(0); ok {
+		t.Fatal("nil LookupFn reported a hit")
+	}
+	if err := ck.Save(0, "x"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMapCkptDeterministicAcrossWorkerCounts: the checkpoint must not
+// perturb the input-order reassembly contract.
+func TestMapCkptDeterministicAcrossWorkerCounts(t *testing.T) {
+	const n = 17
+	fn := func(_ context.Context, i int) (int, error) { return i*7 + 1, nil }
+	base, err := MapWithCtx(context.Background(), 1, n, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{1, 2, 8} {
+		// Fresh checkpoint and a pre-seeded one must both reproduce.
+		for _, ck := range []*memCkpt{{}, {cells: map[int]int{4: 29, 11: 78}}} {
+			got, err := MapCkptWithCtx(context.Background(), w, n, ck, fn)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fmt.Sprint(got) != fmt.Sprint(base) {
+				t.Fatalf("workers=%d results diverged: %v vs %v", w, got, base)
+			}
+		}
+	}
+}

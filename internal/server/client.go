@@ -8,12 +8,18 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"time"
 )
 
 // Client is a minimal Go client for a numad daemon, shared by
-// `numaprof -submit` and examples/service-client.
+// `numaprof -submit` and examples/service-client. It retries transport
+// errors and 429/503 responses with bounded, jittered backoff, honoring
+// the daemon's Retry-After hint — so a submission survives a briefly
+// overloaded or restarting daemon. Every request it issues is safe to
+// repeat: submissions are content-addressed (a duplicate deduplicates
+// server-side) and the rest are reads or idempotent cancels.
 type Client struct {
 	// BaseURL is the daemon's root, e.g. "http://localhost:7077".
 	BaseURL string
@@ -21,7 +27,16 @@ type Client struct {
 	HTTPClient *http.Client
 	// Poll is the Wait polling interval (default 50ms).
 	Poll time.Duration
+	// Retries bounds retry attempts beyond the first (0:
+	// DefaultClientRetries; negative disables retrying).
+	Retries int
+	// RetryBase is the backoff before the first retry when the daemon
+	// sent no Retry-After hint (0: 200ms); it doubles per attempt.
+	RetryBase time.Duration
 }
+
+// DefaultClientRetries is the retry bound when Client.Retries is 0.
+const DefaultClientRetries = 3
 
 // NewClient builds a client for a daemon base URL.
 func NewClient(baseURL string) *Client {
@@ -44,28 +59,102 @@ func apiError(resp *http.Response, body []byte) error {
 	return fmt.Errorf("daemon: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(body))
 }
 
-// do issues one request and returns the body of a 2xx response.
-func (c *Client) do(ctx context.Context, method, path string, body io.Reader) ([]byte, error) {
-	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
-	if err != nil {
-		return nil, err
+// retries resolves the retry budget.
+func (c *Client) retries() int {
+	switch {
+	case c.Retries == 0:
+		return DefaultClientRetries
+	case c.Retries < 0:
+		return 0
 	}
-	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
+	return c.Retries
+}
+
+// retryDelay picks the wait before retry `attempt`: the daemon's
+// Retry-After hint when it sent one, else RetryBase doubled per attempt
+// with up to 25% deterministic jitter (per-path, so concurrent clients
+// spread out but a given call replays).
+func (c *Client) retryDelay(resp *http.Response, attempt int, path string) time.Duration {
+	if resp != nil {
+		if s := resp.Header.Get("Retry-After"); s != "" {
+			if secs, err := strconv.Atoi(s); err == nil && secs > 0 {
+				return time.Duration(secs) * time.Second
+			}
+		}
 	}
-	resp, err := c.httpClient().Do(req)
-	if err != nil {
-		return nil, err
+	base := c.RetryBase
+	if base <= 0 {
+		base = 200 * time.Millisecond
 	}
-	defer resp.Body.Close()
-	data, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return nil, err
+	d := base << attempt
+	if d > 5*time.Second {
+		d = 5 * time.Second
 	}
-	if resp.StatusCode/100 != 2 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(path); i++ {
+		h = (h ^ uint64(path[i])) * 1099511628211
+	}
+	h = (h ^ uint64(attempt)) * 1099511628211
+	return d + time.Duration(h%uint64(d/4+1))
+}
+
+// retryableStatus reports whether the daemon's refusal is temporary.
+func retryableStatus(code int) bool {
+	return code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable
+}
+
+// do issues one request, retrying transient refusals, and returns the
+// body of a 2xx response.
+func (c *Client) do(ctx context.Context, method, path string, body []byte) ([]byte, error) {
+	maxRetries := c.retries()
+	for attempt := 0; ; attempt++ {
+		var r io.Reader
+		if body != nil {
+			r = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, r)
+		if err != nil {
+			return nil, err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.httpClient().Do(req)
+		if err != nil {
+			// Transport-level failure: the daemon may be restarting.
+			if attempt < maxRetries && ctx.Err() == nil {
+				if sleepCtx(ctx, c.retryDelay(nil, attempt, path)) {
+					continue
+				}
+			}
+			return nil, err
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode/100 == 2 {
+			return data, nil
+		}
+		if retryableStatus(resp.StatusCode) && attempt < maxRetries {
+			if sleepCtx(ctx, c.retryDelay(resp, attempt, path)) {
+				continue
+			}
+		}
 		return nil, apiError(resp, data)
 	}
-	return data, nil
+}
+
+// sleepCtx waits d unless ctx ends first; it reports whether the full
+// wait elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	select {
+	case <-ctx.Done():
+		return false
+	case <-time.After(d):
+		return true
+	}
 }
 
 // Submit posts a job spec and returns the accepted job's status.
@@ -75,7 +164,7 @@ func (c *Client) Submit(ctx context.Context, spec Spec) (JobStatus, error) {
 	if err != nil {
 		return st, err
 	}
-	data, err := c.do(ctx, http.MethodPost, "/api/v1/jobs", bytes.NewReader(body))
+	data, err := c.do(ctx, http.MethodPost, "/api/v1/jobs", body)
 	if err != nil {
 		return st, err
 	}

@@ -6,7 +6,9 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/diff"
@@ -70,15 +72,35 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	job, err := s.Submit(spec)
 	switch {
-	case errors.Is(err, ErrQueueFull):
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrOverloaded):
+		setRetryAfter(w, err)
 		writeError(w, http.StatusTooManyRequests, "%v", err)
+	case errors.Is(err, ErrCircuitOpen):
+		setRetryAfter(w, err)
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
 	case errors.Is(err, ErrDraining):
+		setRetryAfter(w, err)
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 	case err != nil:
 		writeError(w, http.StatusBadRequest, "invalid job spec: %v", err)
 	default:
 		writeJSON(w, http.StatusAccepted, job.Status())
 	}
+}
+
+// setRetryAfter surfaces a Submit error's back-off hint as a
+// Retry-After header (whole seconds, rounded up, at least 1 — clients
+// without a hint still get a sane default).
+func setRetryAfter(w http.ResponseWriter, err error) {
+	d, ok := RetryAfterHint(err)
+	if !ok {
+		d = time.Second
+	}
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
 }
 
 func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
@@ -254,6 +276,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if s.Draining() {
+		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
 		return
 	}

@@ -53,6 +53,9 @@ type Job struct {
 	state     State
 	err       string
 	cacheHit  bool
+	attempt   int          // zero-based run attempt (retries increment)
+	recovered bool         // re-enqueued from the journal after a restart
+	cells     []CellStatus // per-cell progress of a sweep job
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
@@ -73,8 +76,83 @@ func newJob(base context.Context, id string, spec Spec, key store.Key, now time.
 	}
 }
 
+// newTerminalJob rebuilds a journal-recovered job that already reached
+// a terminal state in a previous process, so the API keeps answering
+// for it after a restart. Its context is pre-cancelled and its done
+// channel closed: no worker will ever touch it.
+func newTerminalJob(id string, spec Spec, key store.Key, st State, errMsg string, cacheHit bool, now time.Time) *Job {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	j := &Job{
+		id:        id,
+		spec:      spec,
+		key:       key,
+		ctx:       ctx,
+		cancel:    cancel,
+		state:     st,
+		err:       errMsg,
+		cacheHit:  cacheHit,
+		recovered: true,
+		submitted: now,
+		finished:  now,
+		done:      make(chan struct{}),
+	}
+	close(j.done)
+	return j
+}
+
 // Done is closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.done }
+
+// attemptNow reads the current zero-based attempt number.
+func (j *Job) attemptNow() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.attempt
+}
+
+// bumpAttempt advances to the next retry attempt.
+func (j *Job) bumpAttempt() {
+	j.mu.Lock()
+	j.attempt++
+	j.mu.Unlock()
+}
+
+// setAttempt restores a journal-recovered attempt counter, so a flaky
+// plan's deterministic schedule resumes where the crashed process left
+// off.
+func (j *Job) setAttempt(n int) {
+	j.mu.Lock()
+	if n > j.attempt {
+		j.attempt = n
+	}
+	j.mu.Unlock()
+}
+
+// markRecovered tags a re-enqueued job.
+func (j *Job) markRecovered() {
+	j.mu.Lock()
+	j.recovered = true
+	j.mu.Unlock()
+}
+
+// setCells installs the sweep's cell table (called once, when the sweep
+// starts executing).
+func (j *Job) setCells(cells []CellStatus) {
+	j.mu.Lock()
+	j.cells = cells
+	j.mu.Unlock()
+}
+
+// setCell updates one cell's state as the sweep progresses.
+func (j *Job) setCell(i int, st State, errMsg string) {
+	j.mu.Lock()
+	if i >= 0 && i < len(j.cells) {
+		j.cells[i].State = st
+		j.cells[i].Error = errMsg
+	}
+	j.mu.Unlock()
+}
 
 // armTimeout replaces the job's context with a deadline-bound child:
 // the clock runs from submission, so a job stuck in the queue can
@@ -138,6 +216,18 @@ func (j *Job) finish(outcome State, errMsg string, cacheHit bool, now time.Time)
 	return true
 }
 
+// CellStatus is one sweep cell's progress in JobStatus. Key addresses
+// the cell's own profile in the store (the sweep job's Key identifies
+// the sweep, not any stored bytes).
+type CellStatus struct {
+	Index    int       `json:"index"`
+	Workload string    `json:"workload"`
+	Strategy string    `json:"strategy"`
+	Key      store.Key `json:"key"`
+	State    State     `json:"state"`
+	Error    string    `json:"error,omitempty"`
+}
+
 // JobStatus is the wire form of a job, shared by the daemon's handlers
 // and the Go client.
 type JobStatus struct {
@@ -147,6 +237,12 @@ type JobStatus struct {
 	Spec     Spec      `json:"spec"`
 	CacheHit bool      `json:"cache_hit,omitempty"`
 	Error    string    `json:"error,omitempty"`
+	// Attempt counts retries: 0 for a job that ran once.
+	Attempt int `json:"attempt,omitempty"`
+	// Recovered marks a job replayed from the journal after a restart.
+	Recovered bool `json:"recovered,omitempty"`
+	// Cells is the per-cell progress of a sweep job (absent otherwise).
+	Cells []CellStatus `json:"cells,omitempty"`
 
 	SubmittedAt time.Time `json:"submitted_at"`
 	StartedAt   time.Time `json:"started_at"`
@@ -157,6 +253,10 @@ type JobStatus struct {
 func (j *Job) Status() JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	var cells []CellStatus
+	if len(j.cells) > 0 {
+		cells = append(cells, j.cells...)
+	}
 	return JobStatus{
 		ID:          j.id,
 		State:       j.state,
@@ -164,6 +264,9 @@ func (j *Job) Status() JobStatus {
 		Spec:        j.spec,
 		CacheHit:    j.cacheHit,
 		Error:       j.err,
+		Attempt:     j.attempt,
+		Recovered:   j.recovered,
+		Cells:       cells,
 		SubmittedAt: j.submitted,
 		StartedAt:   j.started,
 		FinishedAt:  j.finished,

@@ -25,9 +25,18 @@ type metrics struct {
 	done      *telemetry.Counter
 	failed    *telemetry.Counter
 	canceled  *telemetry.Counter
-	rejected  *telemetry.Counter // 429s from the bounded queue
+	rejected  *telemetry.Counter // 429s: full queue and shed jobs
 	queued    *telemetry.Gauge
 	running   *telemetry.Gauge
+
+	// Durability + recovery instruments (PR 6).
+	recovered        *telemetry.Counter // jobs re-enqueued from the journal
+	retried          *telemetry.Counter // transient-failure retry attempts
+	shed             *telemetry.Counter // deadline-infeasible rejections
+	breakerTrips     *telemetry.Counter // breaker open transitions
+	breakerFastFails *telemetry.Counter // submissions refused while open
+	cellsReplayed    *telemetry.Counter // sweep cells served from checkpoint
+	cellsRecomputed  *telemetry.Counter // sweep cells computed and saved
 
 	queueWait *telemetry.Histogram // submit → dequeue
 	run       *telemetry.Histogram // dequeue → result (compute or cache)
@@ -52,6 +61,14 @@ func newMetrics(reg *telemetry.Registry) metrics {
 		queueWait: reg.Histogram("job_queue_wait"),
 		run:       reg.Histogram("job_run"),
 		total:     reg.Histogram("job_total"),
+
+		recovered:        reg.Counter("jobs_recovered_total"),
+		retried:          reg.Counter("jobs_retried_total"),
+		shed:             reg.Counter("jobs_shed_total"),
+		breakerTrips:     reg.Counter("jobs_breaker_trips_total"),
+		breakerFastFails: reg.Counter("jobs_breaker_fastfails_total"),
+		cellsReplayed:    reg.Counter("jobs_cells_replayed_total"),
+		cellsRecomputed:  reg.Counter("jobs_cells_recomputed_total"),
 	}
 }
 
@@ -73,6 +90,18 @@ type QueueInfo struct {
 	Workers  int `json:"workers"`
 }
 
+// RecoveryInfo is the durability block of MetricsSnapshot: journal
+// replay, retry, breaker, shedding, and sweep-checkpoint counters.
+type RecoveryInfo struct {
+	Recovered        uint64 `json:"recovered"`
+	Retried          uint64 `json:"retried"`
+	Shed             uint64 `json:"shed"`
+	BreakerTrips     uint64 `json:"breaker_trips"`
+	BreakerFastFails uint64 `json:"breaker_fast_fails"`
+	CellsReplayed    uint64 `json:"cells_replayed"`
+	CellsRecomputed  uint64 `json:"cells_recomputed"`
+}
+
 // MetricsSnapshot is what GET /metrics serves. Every pre-telemetry key
 // is unchanged (scrapers keep working); Instruments is the new unified
 // registry view carrying the jobs_*/job_* instruments, the mirrored
@@ -88,6 +117,7 @@ type MetricsSnapshot struct {
 	// field.
 	StoreHits uint64                       `json:"store_hits"`
 	LatencyUs map[string]HistogramSnapshot `json:"latency_us"`
+	Recovery  RecoveryInfo                 `json:"recovery"`
 
 	Instruments telemetry.RegistrySnapshot `json:"instruments"`
 }
@@ -118,6 +148,15 @@ func (m *metrics) snapshot(st store.Stats, depth, capacity, workers int) Metrics
 			"queue_wait": m.queueWait.Snapshot(),
 			"run":        m.run.Snapshot(),
 			"total":      m.total.Snapshot(),
+		},
+		Recovery: RecoveryInfo{
+			Recovered:        m.recovered.Value(),
+			Retried:          m.retried.Value(),
+			Shed:             m.shed.Value(),
+			BreakerTrips:     m.breakerTrips.Value(),
+			BreakerFastFails: m.breakerFastFails.Value(),
+			CellsReplayed:    m.cellsReplayed.Value(),
+			CellsRecomputed:  m.cellsRecomputed.Value(),
 		},
 		// Default first: a per-server instrument shadowing a global one
 		// would win, and that is the right precedence for this server's

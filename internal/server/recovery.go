@@ -1,0 +1,404 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/store"
+	"repro/internal/telemetry"
+)
+
+// Errors the admission-control path maps to HTTP statuses, alongside
+// ErrQueueFull and ErrDraining.
+var (
+	// ErrOverloaded is deadline-aware load shedding: given the current
+	// queue latency, the job could not finish inside JobTimeout, so
+	// accepting it would only burn a worker on a doomed run (429 with
+	// Retry-After).
+	ErrOverloaded = errors.New("server: overloaded, job cannot meet its deadline")
+	// ErrCircuitOpen is the per-spec circuit breaker fast-failing a
+	// spec that failed permanently several times in a row (503 with
+	// Retry-After; the spec is retried after the cooldown).
+	ErrCircuitOpen = errors.New("server: circuit open for this spec")
+)
+
+// retryAfterError decorates a sentinel with a client back-off hint; the
+// HTTP layer turns it into a Retry-After header. errors.Is still sees
+// the wrapped sentinel.
+type retryAfterError struct {
+	err   error
+	after time.Duration
+}
+
+func (e *retryAfterError) Error() string {
+	return fmt.Sprintf("%v (retry after %s)", e.err, e.after.Round(time.Millisecond))
+}
+
+func (e *retryAfterError) Unwrap() error { return e.err }
+
+// withRetryAfter attaches a hint to err.
+func withRetryAfter(err error, after time.Duration) error {
+	if after < time.Second {
+		after = time.Second
+	}
+	return &retryAfterError{err: err, after: after}
+}
+
+// RetryAfterHint extracts a Retry-After hint from a Submit error.
+func RetryAfterHint(err error) (time.Duration, bool) {
+	var re *retryAfterError
+	if errors.As(err, &re) {
+		return re.after, true
+	}
+	return 0, false
+}
+
+// backoffDelay is the capped exponential retry backoff with
+// deterministic per-job jitter: base<<attempt clamped to cap, plus up
+// to 25% jitter derived from the job ID and attempt, so a burst of
+// retrying jobs does not thunder in lockstep but tests replay exactly.
+func backoffDelay(base, cap time.Duration, attempt int, id string) time.Duration {
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	if cap <= 0 {
+		cap = 5 * time.Second
+	}
+	d := base
+	for i := 0; i < attempt && d < cap; i++ {
+		d *= 2
+	}
+	if d > cap {
+		d = cap
+	}
+	var h uint64 = 1469598103934665603 // FNV-1a over id and attempt
+	for i := 0; i < len(id); i++ {
+		h = (h ^ uint64(id[i])) * 1099511628211
+	}
+	h = (h ^ uint64(attempt)) * 1099511628211
+	jitter := time.Duration(h % uint64(d/4+1))
+	return d + jitter
+}
+
+// breakerEntry is one spec's failure history. The breaker is keyed by
+// store key (canonical spec hash): repeated permanent failures of the
+// same spec trip it open, and submissions fast-fail until the cooldown
+// passes; the first success closes it again. Canceled and deadline
+// outcomes never count — they say nothing about the spec.
+type breakerEntry struct {
+	fails     int
+	openUntil time.Time
+}
+
+// Breaker policy defaults (overridable via Options).
+const (
+	DefaultBreakerThreshold = 3
+	DefaultBreakerCooldown  = 30 * time.Second
+)
+
+// breakerAllow decides, under s.mu, whether a submission for key may
+// proceed. After the cooldown the breaker goes half-open: one probe is
+// let through (fails drops to threshold-1, so its failure re-trips
+// immediately, and its success closes the breaker).
+func (s *Server) breakerAllow(key store.Key, now time.Time) (time.Duration, bool) {
+	if s.breakerThreshold <= 0 {
+		return 0, true
+	}
+	e, ok := s.breaker[key]
+	if !ok || e.openUntil.IsZero() {
+		return 0, true
+	}
+	if now.Before(e.openUntil) {
+		s.m.breakerFastFails.Inc()
+		return e.openUntil.Sub(now), false
+	}
+	// Half-open probe.
+	e.fails = s.breakerThreshold - 1
+	e.openUntil = time.Time{}
+	return 0, true
+}
+
+// breakerFailure records a permanent failure for key, tripping the
+// breaker at the threshold.
+func (s *Server) breakerFailure(key store.Key) {
+	if s.breakerThreshold <= 0 {
+		return
+	}
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.breaker[key]
+	if e == nil {
+		e = &breakerEntry{}
+		s.breaker[key] = e
+	}
+	e.fails++
+	if e.fails >= s.breakerThreshold && e.openUntil.IsZero() {
+		e.openUntil = now.Add(s.breakerCooldown)
+		s.m.breakerTrips.Inc()
+		s.log.Warn("circuit breaker tripped", "key", string(key),
+			"fails", e.fails, "cooldown", s.breakerCooldown.String())
+	}
+}
+
+// breakerSuccess closes the breaker for key.
+func (s *Server) breakerSuccess(key store.Key) {
+	s.mu.Lock()
+	delete(s.breaker, key)
+	s.mu.Unlock()
+}
+
+// shedMinSamples is how many completed runs the shedding estimator
+// needs before it trusts the run-latency mean; below it, admission is
+// unconditional (cold daemons must not reject their first jobs).
+const shedMinSamples = 8
+
+// shedCheck decides, under s.mu, whether a new job could still meet
+// JobTimeout: expected completion ≈ mean run time × (queue depth /
+// workers + 1). Infeasible work is rejected now, with a hint, instead
+// of timing out after burning a worker.
+func (s *Server) shedCheck(now time.Time) (time.Duration, bool) {
+	if s.timeout <= 0 {
+		return 0, true
+	}
+	snap := s.m.run.Snapshot()
+	if snap.Count < shedMinSamples {
+		return 0, true
+	}
+	mean := time.Duration(snap.MeanUs) * time.Microsecond
+	expected := mean * time.Duration(len(s.queue)/s.workers+1)
+	if expected <= s.timeout {
+		return 0, true
+	}
+	s.m.shed.Inc()
+	return expected - s.timeout, false
+}
+
+// journalAppend logs one job state transition. The spec rides along
+// only on queued records (it is what recovery re-enqueues); everything
+// else is identified by job ID. Append failures outside Submit are
+// logged, not fatal: losing durability must not fail a live job.
+func (s *Server) journalAppend(job *Job, state State, errMsg string, cacheHit bool, withSpec bool) error {
+	if s.jl == nil {
+		return nil
+	}
+	rec := store.JournalRecord{
+		ID:       job.id,
+		State:    string(state),
+		Attempt:  job.attemptNow(),
+		CacheHit: cacheHit,
+		Err:      errMsg,
+		Unix:     time.Now().Unix(),
+	}
+	if withSpec {
+		rec.Key = string(job.key)
+		b, err := json.Marshal(job.spec)
+		if err != nil {
+			return fmt.Errorf("server: journal spec: %w", err)
+		}
+		rec.Spec = b
+	}
+	if err := s.jl.Append(rec); err != nil {
+		s.log.Error("journal append failed", "id", job.id, "state", string(state), "err", err)
+		return fmt.Errorf("server: journal: %w", err)
+	}
+	return nil
+}
+
+// Recover replays a recovered journal into the server: terminal jobs
+// re-enter the job table (the API keeps answering for them), queued and
+// running jobs are re-enqueued from their journaled specs, and the job
+// ID sequence continues past the highest replayed ID. Call it after New
+// and before Start, with the journal already compacted and reopened.
+//
+// Re-enqueued jobs whose profiles landed in the store before the crash
+// resolve as cache hits; interrupted sweeps recompute only the cells
+// the store is missing. A non-terminal job whose queued record (the one
+// carrying the spec) was lost to corruption cannot be re-run and is
+// recovered as failed — never silently dropped.
+func (s *Server) Recover(rec *store.RecoveredJournal) error {
+	if rec == nil {
+		return nil
+	}
+	now := time.Now()
+	for _, jj := range rec.Jobs {
+		var spec Spec
+		specErr := json.Unmarshal(jj.Spec, &spec)
+		if len(jj.Spec) == 0 {
+			specErr = errors.New("journal lost the job's spec")
+		}
+		st := State(jj.State)
+
+		if st.Terminal() {
+			job := newTerminalJob(jj.ID, spec, store.Key(jj.Key), st, jj.Err, jj.CacheHit, now)
+			s.adoptJob(job)
+			continue
+		}
+
+		if specErr != nil {
+			job := newTerminalJob(jj.ID, spec, store.Key(jj.Key), StateFailed,
+				fmt.Sprintf("unrecoverable: %v", specErr), false, now)
+			s.adoptJob(job)
+			s.m.failed.Inc()
+			s.log.Error("job unrecoverable", "id", jj.ID, "err", specErr)
+			continue
+		}
+
+		n, err := spec.Normalize()
+		if err != nil {
+			job := newTerminalJob(jj.ID, spec, store.Key(jj.Key), StateFailed,
+				fmt.Sprintf("unrecoverable: %v", err), false, now)
+			s.adoptJob(job)
+			s.m.failed.Inc()
+			continue
+		}
+		job := newJob(s.baseCtx, jj.ID, n, n.Key(), now)
+		job.markRecovered()
+		job.setAttempt(jj.Attempt)
+		if s.timeout > 0 {
+			job.armTimeout(s.timeout)
+		}
+
+		s.mu.Lock()
+		full := len(s.queue) == cap(s.queue)
+		if !full {
+			if err := s.journalAppend(job, StateQueued, "", false, true); err != nil {
+				s.mu.Unlock()
+				job.cancel()
+				return err
+			}
+			s.m.submitted.Inc()
+			s.m.queued.Add(1)
+			_, job.queueSpan = telemetry.Start(job.ctx, "server.job_queued",
+				telemetry.String("id", job.id), telemetry.String("workload", n.Workload))
+			s.queue <- job
+		}
+		s.mu.Unlock()
+		if full {
+			job.cancel()
+			job = newTerminalJob(jj.ID, n, n.Key(), StateFailed,
+				"recovered job exceeds queue capacity", false, now)
+			s.m.failed.Inc()
+			s.log.Error("recovered job dropped, queue full", "id", jj.ID)
+		}
+		s.adoptJob(job)
+		s.m.recovered.Inc()
+		s.log.Info("job recovered", "id", jj.ID, "state", jj.State, "attempt", jj.Attempt)
+	}
+
+	// Continue job numbering past every replayed ID, recovered or not.
+	s.mu.Lock()
+	for _, jj := range rec.Jobs {
+		if n, ok := parseJobSeq(jj.ID); ok && n > s.seq {
+			s.seq = n
+		}
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// adoptJob inserts a rebuilt job into the table in replay order.
+func (s *Server) adoptJob(job *Job) {
+	s.mu.Lock()
+	if _, exists := s.jobs[job.id]; !exists {
+		s.jobs[job.id] = job
+		s.order = append(s.order, job.id)
+	} else {
+		s.jobs[job.id] = job
+	}
+	s.mu.Unlock()
+}
+
+// parseJobSeq extracts N from "job-00000N" IDs.
+func parseJobSeq(id string) (uint64, bool) {
+	rest, ok := strings.CutPrefix(id, "job-")
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(rest, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// executeSweep runs a multi-cell job with per-cell checkpointing: the
+// content-addressed store is the checkpoint substrate, so completed
+// cells persist the moment they finish and any retry, recovery, or even
+// an identical later sweep replays them instead of recomputing. Cell
+// indices follow Cells' input order, and each cell's profile is exactly
+// what a single-spec job for that cell produces — the reassembly
+// contract that keeps recovered results byte-identical.
+func (s *Server) executeSweep(ctx context.Context, job *Job) (State, string, bool, error) {
+	cells, err := job.spec.Cells()
+	if err != nil {
+		return StateFailed, err.Error(), false, err
+	}
+	keys := make([]store.Key, len(cells))
+	statuses := make([]CellStatus, len(cells))
+	for i, c := range cells {
+		keys[i] = c.Key()
+		statuses[i] = CellStatus{
+			Index: i, Workload: c.Workload, Strategy: c.Strategy,
+			Key: keys[i], State: StateQueued,
+		}
+	}
+	job.setCells(statuses)
+
+	replayed := 0 // single sweep worker, so plain ints are safe
+	ck := sched.CheckpointFuncs[*core.Profile]{
+		LookupFn: func(i int) (*core.Profile, bool) {
+			if !s.st.Has(keys[i]) {
+				return nil, false
+			}
+			p, err := s.st.Get(keys[i])
+			if err != nil {
+				return nil, false // corrupt checkpoint: recompute overwrites it
+			}
+			replayed++
+			s.m.cellsReplayed.Inc()
+			job.setCell(i, StateDone, "")
+			return p, true
+		},
+		SaveFn: func(i int, p *core.Profile) error {
+			if err := s.st.Put(keys[i], p); err != nil {
+				return err
+			}
+			s.m.cellsRecomputed.Inc()
+			job.setCell(i, StateDone, "")
+			return nil
+		},
+	}
+	// One worker: job-level parallelism is the pool's, exactly like the
+	// single-spec path.
+	_, err = sched.MapCkptWithCtx(ctx, 1, len(cells), ck, func(cellCtx context.Context, i int) (*core.Profile, error) {
+		job.setCell(i, StateRunning, "")
+		cfg, app, err := cells[i].Build()
+		if err != nil {
+			return nil, err
+		}
+		return core.AnalyzeCtx(cellCtx, cfg, app)
+	})
+	if err != nil {
+		var firstErr error = err
+		if sweep, ok := sched.AsSweep(err); ok && len(sweep.Cells) > 0 {
+			for _, ce := range sweep.Cells {
+				job.setCell(ce.Index, StateFailed, ce.Err.Error())
+			}
+			firstErr = sweep.Cells[0].Err
+		}
+		if errors.Is(firstErr, context.Canceled) || errors.Is(firstErr, context.DeadlineExceeded) {
+			st, msg, hit := cancelOutcome(firstErr)
+			return st, msg, hit, firstErr
+		}
+		return StateFailed, err.Error(), false, firstErr
+	}
+	return StateDone, "", replayed == len(cells), nil
+}

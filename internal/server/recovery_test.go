@@ -1,0 +1,522 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/store"
+)
+
+// fastRetry shrinks the backoff so retry tests run in milliseconds.
+func fastRetry(o *Options) {
+	o.MaxRetries = 3
+	o.RetryBase = time.Millisecond
+	o.RetryCap = 4 * time.Millisecond
+}
+
+func TestFlakyJobRetriesToSuccess(t *testing.T) {
+	s, c := newTestServer(t, fastRetry)
+	spec := fastSpec("baseline")
+	spec.Chaos = "flaky=2"
+	st, err := c.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := mustDone(t, c, st.ID)
+	if final.Attempt != 2 {
+		t.Fatalf("attempt = %d, want 2 (two injected transient failures)", final.Attempt)
+	}
+	if m := s.Metrics(); m.Recovery.Retried != 2 {
+		t.Fatalf("retried = %d, want 2", m.Recovery.Retried)
+	}
+	// The successful attempt's profile is byte-identical to the same
+	// spec without the flaky plan... under its own key; what matters
+	// here is that the profile exists and the client never re-submitted.
+	if !s.Store().Has(final.Key) {
+		t.Fatal("flaky job's profile missing from the store")
+	}
+}
+
+func TestTransientExhaustionFailsJob(t *testing.T) {
+	s, c := newTestServer(t, func(o *Options) {
+		o.MaxRetries = 1
+		o.RetryBase = time.Millisecond
+	})
+	spec := fastSpec("baseline")
+	spec.Chaos = "flaky=5"
+	st, err := c.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitTerminal(t, c, st.ID)
+	if final.State != StateFailed || !strings.Contains(final.Error, "flaky") {
+		t.Fatalf("state %s err %q, want failed with the injected error", final.State, final.Error)
+	}
+	if final.Attempt != 1 {
+		t.Fatalf("attempt = %d, want 1 (retry budget exhausted)", final.Attempt)
+	}
+	if m := s.Metrics(); m.Recovery.Retried != 1 {
+		t.Fatalf("retried = %d, want 1", m.Recovery.Retried)
+	}
+}
+
+// waitTerminal polls until the job is terminal, any state.
+func waitTerminal(t *testing.T, c *Client, id string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		st, err := c.Job(context.Background(), id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State.Terminal() {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s", id, st.State)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestBreakerTripsFastFailsAndRecovers drives a spec that fails
+// permanently (the store directory is gone, so persisting the computed
+// profile fails) into the breaker, asserts fast-fail with Retry-After,
+// then half-opens it.
+func TestBreakerTripsFastFailsAndRecovers(t *testing.T) {
+	dir := t.TempDir()
+	stDir := filepath.Join(dir, "profiles")
+	if err := os.MkdirAll(stDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.Open(stDir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Options{
+		Store: st, Workers: 1, QueueDepth: 8,
+		MaxRetries: -1, BreakerThreshold: 2, BreakerCooldown: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+
+	// Every compute now fails to persist: a permanent failure.
+	if err := os.RemoveAll(stDir); err != nil {
+		t.Fatal(err)
+	}
+	spec := fastSpec("baseline")
+	for i := 0; i < 2; i++ {
+		job, err := s.Submit(spec)
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		<-job.Done()
+		if got := job.Status(); got.State != StateFailed {
+			t.Fatalf("submission %d: state %s, want failed", i, got.State)
+		}
+	}
+	// Threshold reached: the third submission fast-fails, never queued.
+	_, err = s.Submit(spec)
+	if !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("want ErrCircuitOpen, got %v", err)
+	}
+	if _, ok := RetryAfterHint(err); !ok {
+		t.Fatal("circuit-open error carries no Retry-After hint")
+	}
+	m := s.Metrics()
+	if m.Recovery.BreakerTrips != 1 || m.Recovery.BreakerFastFails != 1 {
+		t.Fatalf("trips/fastfails = %d/%d, want 1/1", m.Recovery.BreakerTrips, m.Recovery.BreakerFastFails)
+	}
+	// A different spec is unaffected: the breaker is per-spec-key.
+	if _, err := s.Submit(fastSpec("interleave")); err != nil {
+		t.Fatalf("unrelated spec rejected: %v", err)
+	}
+	// After the cooldown the breaker half-opens; restore the store so
+	// the probe succeeds and closes it.
+	if err := os.MkdirAll(stDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(60 * time.Millisecond)
+	job, err := s.Submit(spec)
+	if err != nil {
+		t.Fatalf("half-open probe refused: %v", err)
+	}
+	<-job.Done()
+	if got := job.Status(); got.State != StateDone {
+		t.Fatalf("probe state %s (%s), want done", got.State, got.Error)
+	}
+	// Closed again: submissions flow.
+	if _, err := s.Submit(spec); err != nil {
+		t.Fatalf("closed breaker still refusing: %v", err)
+	}
+}
+
+func TestDeadlineAwareShedding(t *testing.T) {
+	s, _ := newTestServer(t, func(o *Options) {
+		o.Workers = 1
+		o.JobTimeout = 50 * time.Millisecond
+	})
+	// Feed the estimator a history of 1s runs: any new job's expected
+	// completion (≥ one mean run) blows the 50ms deadline.
+	for i := 0; i < shedMinSamples; i++ {
+		s.m.run.ObserveUs(1_000_000)
+	}
+	_, err := s.Submit(fastSpec("baseline"))
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("want ErrOverloaded, got %v", err)
+	}
+	if d, ok := RetryAfterHint(err); !ok || d <= 0 {
+		t.Fatalf("shed error hint = %v/%v, want a positive Retry-After", d, ok)
+	}
+	m := s.Metrics()
+	if m.Recovery.Shed != 1 || m.Jobs.Rejected != 1 {
+		t.Fatalf("shed/rejected = %d/%d, want 1/1", m.Recovery.Shed, m.Jobs.Rejected)
+	}
+}
+
+func TestSheddingNeedsHistory(t *testing.T) {
+	// A cold daemon (fewer than shedMinSamples completed runs) must
+	// admit everything, however tight the deadline.
+	s, c := newTestServer(t, func(o *Options) {
+		o.JobTimeout = 30 * time.Second
+	})
+	st, err := c.Submit(context.Background(), fastSpec("baseline"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustDone(t, c, st.ID)
+	if m := s.Metrics(); m.Recovery.Shed != 0 {
+		t.Fatalf("cold daemon shed %d jobs", m.Recovery.Shed)
+	}
+}
+
+func TestRetryAfterHeaderOnBackpressure(t *testing.T) {
+	started := make(chan *Job, 1)
+	release := make(chan struct{})
+	_, c := newTestServer(t, func(o *Options) {
+		o.Workers = 1
+		o.QueueDepth = 1
+		o.BeforeRun = func(j *Job) {
+			started <- j
+			<-release
+		}
+	})
+	defer close(release)
+	ctx := context.Background()
+	if _, err := c.Submit(ctx, fastSpec("baseline")); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if _, err := c.Submit(ctx, fastSpec("interleave")); err != nil {
+		t.Fatal(err)
+	}
+	// Queue full: raw POST sees 429 plus a Retry-After header.
+	resp, err := http.Post(c.BaseURL+"/api/v1/jobs", "application/json",
+		strings.NewReader(`{"workload":"blackscholes","strategy":"blockwise","iters":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After header")
+	}
+}
+
+func TestSweepJobCheckpointsAndReplays(t *testing.T) {
+	s, c := newTestServer(t, nil)
+	ctx := context.Background()
+	sweep := Spec{Workload: "blackscholes", Strategy: "baseline, interleave", Iters: 1}
+	st, err := c.Submit(ctx, sweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := mustDone(t, c, st.ID)
+	if len(final.Cells) != 2 {
+		t.Fatalf("cells = %d, want 2", len(final.Cells))
+	}
+	for i, cell := range final.Cells {
+		if cell.State != StateDone || !cell.Key.Valid() {
+			t.Fatalf("cell %d: %+v", i, cell)
+		}
+		if !s.Store().Has(cell.Key) {
+			t.Fatalf("cell %d profile not checkpointed", i)
+		}
+	}
+	// Cell profiles are byte-identical to single-spec submissions.
+	single := fastSpec("interleave")
+	sj, err := c.Submit(ctx, single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sres := mustDone(t, c, sj.ID)
+	if sres.Key != final.Cells[1].Key {
+		t.Fatalf("sweep cell key %s != single-spec key %s", final.Cells[1].Key, sres.Key)
+	}
+	if !sres.CacheHit {
+		t.Fatal("single spec after sweep should be a cache hit (same bytes, same key)")
+	}
+	m := s.Metrics()
+	if m.Recovery.CellsRecomputed != 2 {
+		t.Fatalf("cells recomputed = %d, want 2", m.Recovery.CellsRecomputed)
+	}
+	// An identical sweep replays every cell from the checkpoint.
+	st2, err := c.Submit(ctx, sweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final2 := mustDone(t, c, st2.ID)
+	if !final2.CacheHit {
+		t.Fatal("fully checkpointed sweep not reported as a cache hit")
+	}
+	if m := s.Metrics(); m.Recovery.CellsReplayed != 2 {
+		t.Fatalf("cells replayed = %d, want 2", m.Recovery.CellsReplayed)
+	}
+}
+
+func TestSweepResumesFromPartialCheckpoint(t *testing.T) {
+	s, c := newTestServer(t, nil)
+	ctx := context.Background()
+	// Precompute one future cell via a single-spec job.
+	pre, err := c.Submit(ctx, fastSpec("baseline"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustDone(t, c, pre.ID)
+	sweep := Spec{Workload: "blackscholes", Strategy: "baseline,interleave,blockwise", Iters: 1}
+	st, err := c.Submit(ctx, sweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := mustDone(t, c, st.ID)
+	if final.CacheHit {
+		t.Fatal("partially checkpointed sweep must not claim a full cache hit")
+	}
+	m := s.Metrics()
+	if m.Recovery.CellsReplayed != 1 {
+		t.Fatalf("cells replayed = %d, want 1 (the precomputed cell)", m.Recovery.CellsReplayed)
+	}
+	if m.Recovery.CellsRecomputed != 2 {
+		t.Fatalf("cells recomputed = %d, want 2 (only the missing cells)", m.Recovery.CellsRecomputed)
+	}
+}
+
+// TestJournalRecoveryInProcess simulates a crash without a process
+// boundary: server A journals a finished job and abandons two pending
+// ones; server B recovers the journal into the same store and drives
+// everything terminal.
+func TestJournalRecoveryInProcess(t *testing.T) {
+	dir := t.TempDir()
+	jpath := filepath.Join(dir, store.JournalName)
+	stA, err := store.Open(filepath.Join(dir, "profiles"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jlA, err := store.OpenJournal(jpath, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	held := make(chan *Job, 1)
+	release := make(chan struct{})
+	defer close(release)
+	a, err := New(Options{
+		Store: stA, Workers: 1, QueueDepth: 8, Journal: jlA,
+		BeforeRun: func(j *Job) {
+			if j.spec.Strategy == "interleave" {
+				held <- j
+				<-release
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Start()
+	// Job 1 completes and is journaled terminal.
+	j1, err := a.Submit(fastSpec("baseline"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-j1.Done()
+	// Job 2 is claimed and held mid-"run"; job 3 never leaves the queue.
+	j2, err := a.Submit(fastSpec("interleave"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-held
+	j3, err := a.Submit(fastSpec("blockwise"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "Crash": abandon A (no drain, no shutdown), cut its journal.
+	jlA.Close()
+
+	rec, err := store.RecoverJournal(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Quarantined) != 0 {
+		t.Fatalf("clean journal quarantined records: %+v", rec.Quarantined)
+	}
+	if err := store.CompactJournal(jpath, rec); err != nil {
+		t.Fatal(err)
+	}
+	jlB, err := store.OpenJournal(jpath, rec.MaxSeq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stB, err := store.Open(filepath.Join(dir, "profiles"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(Options{Store: stB, Workers: 2, QueueDepth: 8, Journal: jlB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Recover(rec); err != nil {
+		t.Fatal(err)
+	}
+	b.Start()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		b.Shutdown(ctx)
+	}()
+
+	// The finished job answers from the table without re-running.
+	got, ok := b.JobByID(j1.Status().ID)
+	if !ok {
+		t.Fatal("terminal job lost across recovery")
+	}
+	if st := got.Status(); st.State != StateDone || st.Key != j1.Status().Key {
+		t.Fatalf("recovered terminal job: %+v", st)
+	}
+	// The interrupted jobs re-run to done.
+	for _, id := range []string{j2.Status().ID, j3.Status().ID} {
+		rj, ok := b.JobByID(id)
+		if !ok {
+			t.Fatalf("job %s not recovered", id)
+		}
+		select {
+		case <-rj.Done():
+		case <-time.After(60 * time.Second):
+			t.Fatalf("recovered job %s never finished", id)
+		}
+		st := rj.Status()
+		if st.State != StateDone {
+			t.Fatalf("recovered job %s: %s (%s)", id, st.State, st.Error)
+		}
+		if !st.Recovered {
+			t.Fatalf("job %s not flagged recovered", id)
+		}
+		if !stB.Has(st.Key) {
+			t.Fatalf("job %s profile missing after recovery", id)
+		}
+	}
+	if m := b.Metrics(); m.Recovery.Recovered != 2 {
+		t.Fatalf("recovered = %d, want 2", m.Recovery.Recovered)
+	}
+	// Job numbering continues past the replayed IDs.
+	j4, err := b.Submit(fastSpec("guided"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq, ok := parseJobSeq(j4.Status().ID); !ok || seq != 4 {
+		t.Fatalf("post-recovery id %s, want job-000004", j4.Status().ID)
+	}
+}
+
+func TestSubmitRefusedWhenJournalBroken(t *testing.T) {
+	dir := t.TempDir()
+	jl, err := store.OpenJournal(filepath.Join(dir, store.JournalName), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jl.Close() // appends now fail: durability cannot be promised
+	st, err := store.Open(filepath.Join(dir, "profiles"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Options{Store: st, Workers: 1, QueueDepth: 4, Journal: jl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+	if _, err := s.Submit(fastSpec("baseline")); err == nil {
+		t.Fatal("submission accepted without a durable queued record")
+	}
+}
+
+func TestClientRetriesTransientRefusals(t *testing.T) {
+	var hits int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits++
+		if hits <= 2 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprint(w, `{"error":"draining"}`)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprint(w, `{"id":"job-000001","state":"done"}`)
+	}))
+	defer ts.Close()
+	c := NewClient(ts.URL)
+	c.RetryBase = time.Millisecond
+	// Retry-After: 1 would wait a second per attempt; keep the test fast
+	// by accepting it (2 × 1s is still fine) — but bound the total.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	st, err := c.Job(ctx, "job-000001")
+	if err != nil {
+		t.Fatalf("client gave up: %v (after %d hits)", err, hits)
+	}
+	if st.State != StateDone || hits != 3 {
+		t.Fatalf("state %s after %d hits, want done after 3", st.State, hits)
+	}
+}
+
+func TestClientRetryBudgetExhausts(t *testing.T) {
+	var hits int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits++
+		w.WriteHeader(http.StatusTooManyRequests)
+		fmt.Fprint(w, `{"error":"queue full"}`)
+	}))
+	defer ts.Close()
+	c := NewClient(ts.URL)
+	c.Retries = 2
+	c.RetryBase = time.Millisecond
+	_, err := c.Job(context.Background(), "job-000001")
+	if err == nil {
+		t.Fatal("client swallowed a persistent 429")
+	}
+	if hits != 3 {
+		t.Fatalf("hits = %d, want 3 (1 + 2 retries)", hits)
+	}
+	if !strings.Contains(err.Error(), "429") {
+		t.Fatalf("final error lost the status: %v", err)
+	}
+}

@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/sched"
 	"repro/internal/store"
 	"repro/internal/telemetry"
@@ -76,7 +77,28 @@ type Options struct {
 	// and before the job executes. Tests use it to hold a job in the
 	// running state deterministically.
 	BeforeRun func(*Job)
+	// Journal, when set, is the write-ahead job journal: every state
+	// transition is logged before it is acknowledged, and Recover
+	// replays it after a crash. nil disables durability (tests, tools).
+	Journal *store.Journal
+	// MaxRetries bounds retries of transiently failed runs (beyond the
+	// first attempt). Negative disables retries; 0 means
+	// DefaultMaxRetries.
+	MaxRetries int
+	// RetryBase is the first retry backoff (0: 100ms); RetryCap caps
+	// the exponential growth (0: 5s).
+	RetryBase time.Duration
+	RetryCap  time.Duration
+	// BreakerThreshold is how many consecutive permanent failures of
+	// one spec trip its circuit breaker (0: DefaultBreakerThreshold;
+	// negative disables the breaker). BreakerCooldown is how long it
+	// stays open (0: DefaultBreakerCooldown).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
 }
+
+// DefaultMaxRetries is the retry bound when Options.MaxRetries is 0.
+const DefaultMaxRetries = 3
 
 // DefaultQueueDepth is the queue bound when Options.QueueDepth is 0.
 const DefaultQueueDepth = 128
@@ -89,6 +111,13 @@ type Server struct {
 	timeout   time.Duration
 	beforeRun func(*Job)
 
+	jl               *store.Journal
+	maxRetries       int
+	retryBase        time.Duration
+	retryCap         time.Duration
+	breakerThreshold int
+	breakerCooldown  time.Duration
+
 	baseCtx    context.Context
 	cancelBase context.CancelFunc
 
@@ -100,6 +129,7 @@ type Server struct {
 	seq      uint64
 	jobs     map[string]*Job
 	order    []string // submission order, for listing
+	breaker  map[store.Key]*breakerEntry
 
 	m   metrics
 	log *slog.Logger
@@ -122,20 +152,53 @@ func New(opts Options) (*Server, error) {
 	if top <= 0 {
 		top = 5
 	}
+	retries := opts.MaxRetries
+	switch {
+	case retries == 0:
+		retries = DefaultMaxRetries
+	case retries < 0:
+		retries = 0
+	}
+	retryBase := opts.RetryBase
+	if retryBase <= 0 {
+		retryBase = 100 * time.Millisecond
+	}
+	retryCap := opts.RetryCap
+	if retryCap <= 0 {
+		retryCap = 5 * time.Second
+	}
+	threshold := opts.BreakerThreshold
+	switch {
+	case threshold == 0:
+		threshold = DefaultBreakerThreshold
+	case threshold < 0:
+		threshold = 0 // disabled
+	}
+	cooldown := opts.BreakerCooldown
+	if cooldown <= 0 {
+		cooldown = DefaultBreakerCooldown
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Server{
-		st:          opts.Store,
-		workers:     workers,
-		topVars:     top,
-		timeout:     opts.JobTimeout,
-		beforeRun:   opts.BeforeRun,
-		baseCtx:     ctx,
-		cancelBase:  cancel,
-		queue:       make(chan *Job, depth),
-		workersDone: make(chan struct{}),
-		jobs:        make(map[string]*Job),
-		m:           newMetrics(telemetry.NewRegistry()),
-		log:         telemetry.Logger("server"),
+		st:               opts.Store,
+		workers:          workers,
+		topVars:          top,
+		timeout:          opts.JobTimeout,
+		beforeRun:        opts.BeforeRun,
+		jl:               opts.Journal,
+		maxRetries:       retries,
+		retryBase:        retryBase,
+		retryCap:         retryCap,
+		breakerThreshold: threshold,
+		breakerCooldown:  cooldown,
+		baseCtx:          ctx,
+		cancelBase:       cancel,
+		queue:            make(chan *Job, depth),
+		workersDone:      make(chan struct{}),
+		jobs:             make(map[string]*Job),
+		breaker:          make(map[store.Key]*breakerEntry),
+		m:                newMetrics(telemetry.NewRegistry()),
+		log:              telemetry.Logger("server"),
 	}, nil
 }
 
@@ -187,22 +250,34 @@ func (s *Server) Draining() bool {
 }
 
 // Submit validates a spec and enqueues a job for it. The error is
-// ErrQueueFull, ErrDraining, or a validation error (the HTTP layer maps
-// them to 429, 503, and 400).
+// ErrQueueFull, ErrOverloaded (deadline-aware shedding), ErrCircuitOpen
+// (the spec is fast-failing), ErrDraining, or a validation error — the
+// HTTP layer maps them to 429, 429, 503, 503, and 400, attaching
+// Retry-After where a hint exists.
 func (s *Server) Submit(spec Spec) (*Job, error) {
 	n, err := spec.Normalize()
 	if err != nil {
 		return nil, err
 	}
+	key := n.Key()
 	now := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
 		return nil, ErrDraining
 	}
+	if wait, ok := s.breakerAllow(key, now); !ok {
+		s.log.Warn("job fast-failed, circuit open", "key", string(key))
+		return nil, withRetryAfter(ErrCircuitOpen, wait)
+	}
+	if late, ok := s.shedCheck(now); !ok {
+		s.m.rejected.Inc()
+		s.log.Warn("job shed, deadline infeasible", "key", string(key), "late_by", late.String())
+		return nil, withRetryAfter(ErrOverloaded, late)
+	}
 	id := fmt.Sprintf("job-%06d", s.seq+1)
 	base := s.baseCtx
-	job := newJob(base, id, n, n.Key(), now)
+	job := newJob(base, id, n, key, now)
 	if s.timeout > 0 {
 		job.armTimeout(s.timeout)
 	}
@@ -215,7 +290,14 @@ func (s *Server) Submit(spec Spec) (*Job, error) {
 		s.m.rejected.Inc()
 		job.cancel()
 		s.log.Warn("job rejected, queue full", "id", id, "key", string(job.key))
-		return nil, ErrQueueFull
+		return nil, withRetryAfter(ErrQueueFull, time.Second)
+	}
+	// Write-ahead: the queued record is durable before the job is
+	// acknowledged, so a crash between the 202 and the run is always
+	// recoverable. A journal that cannot append refuses the job.
+	if err := s.journalAppend(job, StateQueued, "", false, true); err != nil {
+		job.cancel()
+		return nil, err
 	}
 	s.m.submitted.Inc()
 	s.m.queued.Add(1)
@@ -260,10 +342,12 @@ func (s *Server) CancelJob(id string) (JobStatus, bool) {
 		job.queueSpan.End()
 		s.m.queued.Add(-1)
 		s.m.canceled.Inc()
+		s.journalAppend(job, StateCanceled, "canceled", false, false)
 		s.log.Info("job canceled while queued", "id", id)
 	case StateRunning:
 		s.m.running.Add(-1)
 		s.m.canceled.Inc()
+		s.journalAppend(job, StateCanceled, "canceled", false, false)
 		s.log.Info("job canceled while running", "id", id)
 	}
 	return job.Status(), true
@@ -284,7 +368,11 @@ func (s *Server) workerLoop() {
 	}
 }
 
-// runJob executes one dequeued job through the store.
+// runJob executes one dequeued job through the store, retrying
+// transient failures with capped exponential backoff. The worker holds
+// the job across the whole retry schedule (a retrying job is still
+// "running" to the API), and each attempt is journaled so a crash
+// resumes the flaky schedule where it stopped.
 func (s *Server) runJob(job *Job) {
 	started := time.Now()
 	s.m.queueWait.Observe(started.Sub(job.submitted))
@@ -299,37 +387,79 @@ func (s *Server) runJob(job *Job) {
 		h(job)
 	}
 
-	ctx, span := telemetry.Start(job.ctx, "server.job_run",
-		telemetry.String("id", job.id), telemetry.String("workload", job.spec.Workload))
-	outcome, errMsg, cacheHit := s.execute(ctx, job)
-	span.Annotate(telemetry.String("outcome", string(outcome)))
-	span.End()
+	var (
+		outcome  State
+		errMsg   string
+		cacheHit bool
+		runErr   error
+	)
+	for {
+		attempt := job.attemptNow()
+		s.journalAppend(job, StateRunning, "", false, false)
+		ctx, span := telemetry.Start(job.ctx, "server.job_run",
+			telemetry.String("id", job.id), telemetry.String("workload", job.spec.Workload),
+			telemetry.Int("attempt", attempt))
+		outcome, errMsg, cacheHit, runErr = s.execute(ctx, job, attempt)
+		span.Annotate(telemetry.String("outcome", string(outcome)))
+		span.End()
+		if outcome != StateFailed || faults.Classify(runErr) != faults.Transient ||
+			attempt >= s.maxRetries || job.ctx.Err() != nil {
+			break
+		}
+		delay := backoffDelay(s.retryBase, s.retryCap, attempt, job.id)
+		s.m.retried.Inc()
+		s.log.Warn("transient failure, retrying", "id", job.id,
+			"attempt", attempt+1, "backoff", delay.Round(time.Millisecond).String(), "err", errMsg)
+		select {
+		case <-job.ctx.Done():
+		case <-time.After(delay):
+		}
+		job.bumpAttempt()
+	}
 	if job.finish(outcome, errMsg, cacheHit, time.Now()) {
 		s.m.running.Add(-1)
 		switch outcome {
 		case StateDone:
 			s.m.done.Inc()
+			s.breakerSuccess(job.key)
 			s.log.Info("job done", "id", job.id, "workload", job.spec.Workload,
 				"cache_hit", cacheHit, "elapsed", time.Since(started).Round(time.Millisecond).String())
 		case StateFailed:
 			s.m.failed.Inc()
+			if faults.Classify(runErr) == faults.Permanent {
+				s.breakerFailure(job.key)
+			}
 			s.log.Error("job failed", "id", job.id, "workload", job.spec.Workload, "err", errMsg)
 		case StateCanceled:
 			s.m.canceled.Inc()
 			s.log.Info("job canceled mid-run", "id", job.id)
 		}
+		s.journalAppend(job, outcome, errMsg, cacheHit, false)
 	}
 	s.m.run.Observe(time.Since(started))
 	s.m.total.Observe(time.Since(job.submitted))
 }
 
-// execute resolves a job to its terminal outcome: a store hit, a fresh
-// run, a cancellation, or a failure. The fresh run goes through
-// sched.MapWithCtx so a panicking workload fails its own job without
-// taking a worker down, and a cancelled job refuses to start at all.
-func (s *Server) execute(ctx context.Context, job *Job) (State, string, bool) {
+// execute resolves one attempt to its outcome: a store hit, a fresh run
+// (or checkpointed sweep), a cancellation, or a failure. The raw error
+// rides along for the retry policy's fault classification. The fresh
+// run goes through the scheduler so a panicking workload fails its own
+// job without taking a worker down, and a cancelled job refuses to
+// start at all.
+func (s *Server) execute(ctx context.Context, job *Job, attempt int) (State, string, bool, error) {
 	if err := job.ctx.Err(); err != nil {
-		return cancelOutcome(err)
+		st, msg, hit := cancelOutcome(err)
+		return st, msg, hit, err
+	}
+	// Run-level fault injection (chaos "flaky=N"): fail the attempt
+	// before any work, and before the store, so nothing is poisoned.
+	if plan := job.spec.chaosPlan(); plan != nil {
+		if err := plan.RunError(attempt); err != nil {
+			return StateFailed, err.Error(), false, err
+		}
+	}
+	if job.spec.IsSweep() {
+		return s.executeSweep(ctx, job)
 	}
 	_, cached, err := s.st.GetOrCompute(ctx, job.key, func() (*core.Profile, error) {
 		res, err := sched.MapWithCtx(ctx, 1, 1, func(cellCtx context.Context, _ int) (*core.Profile, error) {
@@ -352,11 +482,12 @@ func (s *Server) execute(ctx context.Context, job *Job) (State, string, bool) {
 	})
 	switch {
 	case err == nil:
-		return StateDone, "", cached
+		return StateDone, "", cached, nil
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-		return cancelOutcome(err)
+		st, msg, hit := cancelOutcome(err)
+		return st, msg, hit, err
 	default:
-		return StateFailed, err.Error(), false
+		return StateFailed, err.Error(), false, err
 	}
 }
 

@@ -52,6 +52,9 @@ func newTestServer(t *testing.T, mod func(*Options)) (*Server, *Client) {
 	})
 	c := NewClient(ts.URL)
 	c.Poll = 5 * time.Millisecond
+	// Tests assert exact rejection counts and statuses; the client's
+	// transparent 429/503 retry would blur them.
+	c.Retries = -1
 	return s, c
 }
 

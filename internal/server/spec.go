@@ -25,6 +25,9 @@ import (
 // spec-to-config path in the tree.
 type Spec struct {
 	// Workload is required: lulesh, amg2006, blackscholes, umt2013.
+	// A comma-separated list turns the job into a sweep (see IsSweep):
+	// one cell per workload × strategy combination, checkpointed
+	// per-cell in the store.
 	Workload string `json:"workload"`
 	// Mechanism is the sampling back end (default IBS).
 	Mechanism string `json:"mechanism,omitempty"`
@@ -36,7 +39,8 @@ type Spec struct {
 	// Binding is compact or scatter (default compact; UMT forces
 	// scatter over the compact default).
 	Binding string `json:"binding,omitempty"`
-	// Strategy is the placement variant (default baseline).
+	// Strategy is the placement variant (default baseline). Like
+	// Workload, a comma-separated list sweeps several strategies.
 	Strategy string `json:"strategy,omitempty"`
 	// Period overrides the mechanism's sampling period (0: default).
 	Period uint64 `json:"period,omitempty"`
@@ -80,11 +84,36 @@ func knownWorkload(name string) bool {
 	return false
 }
 
+// IsSweep reports whether the spec names several cells: a comma list in
+// Workload and/or Strategy, the same list syntax the numaprof CLI takes.
+func (s Spec) IsSweep() bool {
+	return strings.Contains(s.Workload, ",") || strings.Contains(s.Strategy, ",")
+}
+
+// splitList splits a comma list, trimming fields and dropping empties.
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
 // Normalize resolves every default to its explicit value and validates
 // the result, returning the canonical spec that Key hashes: two
 // submissions that resolve to the same run always share one store
 // entry, however they spelled their defaults.
+//
+// A sweep spec canonicalizes its lists (trimmed, order-preserved) and
+// keeps generic defaults for the shared fields; the per-workload quirks
+// (umt2013's thread cap and scatter binding) are applied per cell by
+// Cells, never at the sweep level.
 func (s Spec) Normalize() (Spec, error) {
+	if s.IsSweep() {
+		return s.normalizeSweep()
+	}
 	n := s
 	n.Workload = strings.TrimSpace(n.Workload)
 	if !knownWorkload(n.Workload) {
@@ -117,14 +146,7 @@ func (s Spec) Normalize() (Spec, error) {
 	if n.Strategy == "" {
 		n.Strategy = string(workloads.Baseline)
 	}
-	valid := false
-	for _, st := range workloads.Strategies() {
-		if n.Strategy == string(st) {
-			valid = true
-			break
-		}
-	}
-	if !valid {
+	if !validStrategy(n.Strategy) {
 		return n, fmt.Errorf("unknown strategy %q", n.Strategy)
 	}
 	if n.Workload == "umt2013" {
@@ -156,6 +178,132 @@ func (s Spec) Normalize() (Spec, error) {
 	return n, nil
 }
 
+// normalizeSweep canonicalizes a multi-cell spec: both lists trimmed
+// and validated, shared fields resolved to generic defaults, and every
+// expanded cell proven to normalize on its own.
+func (s Spec) normalizeSweep() (Spec, error) {
+	n := s
+	wls := splitList(n.Workload)
+	if len(wls) == 0 {
+		return n, fmt.Errorf("empty workload list %q", s.Workload)
+	}
+	for _, w := range wls {
+		if !knownWorkload(w) {
+			return n, fmt.Errorf("unknown workload %q (lulesh|amg2006|blackscholes|umt2013)", w)
+		}
+	}
+	n.Workload = strings.Join(wls, ",")
+	sts := splitList(n.Strategy)
+	if len(sts) == 0 {
+		sts = []string{string(workloads.Baseline)}
+	}
+	for _, st := range sts {
+		if !validStrategy(st) {
+			return n, fmt.Errorf("unknown strategy %q", st)
+		}
+	}
+	n.Strategy = strings.Join(sts, ",")
+	if n.Mechanism == "" {
+		n.Mechanism = "IBS"
+	}
+	if _, err := pmu.ByName(n.Mechanism, n.Period); err != nil {
+		return n, err
+	}
+	if n.Machine == "" {
+		n.Machine = defaultMachineFor(n.Mechanism)
+	}
+	if _, ok := topology.Presets()[n.Machine]; !ok {
+		return n, fmt.Errorf("unknown machine %q", n.Machine)
+	}
+	if n.Binding == "" {
+		n.Binding = "compact"
+	}
+	if n.Binding != "compact" && n.Binding != "scatter" {
+		return n, fmt.Errorf("unknown binding %q (compact|scatter)", n.Binding)
+	}
+	if n.Threads < 0 {
+		return n, fmt.Errorf("negative thread count %d", n.Threads)
+	}
+	if n.Bins < 0 {
+		return n, fmt.Errorf("negative bin count %d", n.Bins)
+	}
+	if n.Iters < 0 {
+		return n, fmt.Errorf("negative iteration count %d", n.Iters)
+	}
+	if n.Chaos != "" {
+		if _, err := faults.ParsePlan(n.Chaos); err != nil {
+			return n, err
+		}
+	}
+	if n.FirstTouch == nil {
+		ft := true
+		n.FirstTouch = &ft
+	}
+	// Every cell must stand alone (the umt2013 quirks can surface new
+	// errors only through the per-cell path, but future workloads may
+	// constrain more).
+	for _, w := range wls {
+		for _, st := range sts {
+			c := n
+			c.Workload, c.Strategy = w, st
+			if _, err := c.Normalize(); err != nil {
+				return n, fmt.Errorf("sweep cell %s/%s: %w", w, st, err)
+			}
+		}
+	}
+	return n, nil
+}
+
+// chaosPlan parses the spec's fault plan, nil when absent or invalid
+// (Normalize already rejected invalid plans at submission).
+func (s Spec) chaosPlan() *faults.Plan {
+	if s.Chaos == "" {
+		return nil
+	}
+	p, err := faults.ParsePlan(s.Chaos)
+	if err != nil {
+		return nil
+	}
+	return p
+}
+
+// validStrategy reports whether name is a known placement strategy.
+func validStrategy(name string) bool {
+	for _, st := range workloads.Strategies() {
+		if name == string(st) {
+			return true
+		}
+	}
+	return false
+}
+
+// Cells expands a spec into its normalized single-run cells, workloads
+// outer × strategies inner — the sweep's input order, which fixes cell
+// indices for the checkpoint. A non-sweep spec yields exactly its own
+// normalized form.
+func (s Spec) Cells() ([]Spec, error) {
+	n, err := s.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	if !n.IsSweep() {
+		return []Spec{n}, nil
+	}
+	var cells []Spec
+	for _, w := range splitList(n.Workload) {
+		for _, st := range splitList(n.Strategy) {
+			c := n
+			c.Workload, c.Strategy = w, st
+			nc, err := c.Normalize() // applies per-workload quirks
+			if err != nil {
+				return nil, fmt.Errorf("sweep cell %s/%s: %w", w, st, err)
+			}
+			cells = append(cells, nc)
+		}
+	}
+	return cells, nil
+}
+
 // Key content-addresses the spec: the SHA-256 of the canonical
 // (normalized, field-order-fixed) JSON encoding. Normalize must have
 // succeeded for the key to be meaningful.
@@ -168,10 +316,15 @@ func (s Spec) Key() store.Key {
 
 // Build validates the spec and constructs the profiler configuration
 // and a fresh one-shot App instance, exactly as the numaprof CLI does.
+// A sweep spec has no single configuration; expand it with Cells and
+// Build each cell.
 func (s Spec) Build() (core.Config, core.App, error) {
 	n, err := s.Normalize()
 	if err != nil {
 		return core.Config{}, nil, err
+	}
+	if n.IsSweep() {
+		return core.Config{}, nil, fmt.Errorf("sweep spec (%s × %s) has no single config; expand with Cells", n.Workload, n.Strategy)
 	}
 	m := topology.Presets()[n.Machine]
 
