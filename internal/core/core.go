@@ -322,6 +322,13 @@ func AnalyzeCtx(ctx context.Context, cfg Config, app App) (*Profile, error) {
 	if cfg.Faults != nil && !cfg.Faults.Zero() {
 		mech = faults.Wrap(mech, cfg.Faults)
 	}
+	// Batched dispatch defers hook delivery to the end of each batch,
+	// which is observable only to hooks that read mid-batch state: the
+	// timeline records a simulated timestamp per sample, and fault
+	// supervision reads the clock (and may restart the sampler) between
+	// accesses. Those runs get the exact per-access interleave; everything
+	// else keeps batch delivery, which is bit-identical for them.
+	e.SetPerAccessDelivery(cfg.Trace || (cfg.Faults != nil && !cfg.Faults.Zero()))
 
 	p := newProfiler(cfg, e, prog)
 	e.AddHook(p)
@@ -558,6 +565,20 @@ func (p *profiler) OnAccess(ev *proc.AccessEvent) {
 	}
 }
 
+// OnAccessBatch implements proc.BatchHook. Supervision only has work to
+// do in fault-injected runs, and those force per-access delivery (see
+// AnalyzeCtx), so a batched run pays exactly one early-out check per
+// batch instead of one interface call per access. The loop below is a
+// belt-and-braces fallback should a faulty run ever reach this path.
+func (p *profiler) OnAccessBatch(evs []proc.AccessEvent) {
+	if p.faulty == nil || p.fellBack {
+		return
+	}
+	for i := range evs {
+		p.OnAccess(&evs[i])
+	}
+}
+
 // fallBack snapshots the estimator window and swaps the monitored
 // mechanism for Soft-IBS. Collection continues — M_l/M_r, data-centric
 // and address-centric attribution all keep accumulating — but latency
@@ -577,6 +598,11 @@ func (p *profiler) fallBack(now units.Cycles) {
 // memory access on any modelled machine costs more than a million
 // cycles, so anything above is a garbled measurement.
 const saneLatencyCeiling units.Cycles = 1 << 20
+
+// mergeWorkers caps the concurrency of the hpcprof shard merge. Small
+// forests (the common case — one tree per simulated thread) merge
+// serially anyway; see cct.MergeShards.
+const mergeWorkers = 4
 
 // validate checks one delivered sample against the machine topology,
 // the mapped address space, and latency sanity. Malformed samples are
@@ -767,11 +793,16 @@ func (p *profiler) finish(ctx context.Context, appName string, mon *pmu.Monitor)
 	p.health.ThreadsTotal = len(p.trees)
 
 	// hpcprof: merge the surviving per-thread trees into the global
-	// augmented CCT, skipping lost profiles instead of aborting.
+	// augmented CCT, skipping lost profiles instead of aborting. The
+	// worker count is a constant, never read from the environment: the
+	// merged tree is bit-identical either way (integral metrics make the
+	// grouped fold exact — see cct.MergeShards), but keeping the
+	// grouping fixed means even intermediate states never depend on how
+	// the surrounding sweep is scheduled.
 	_, mergeDone := telemetry.Timed(ctx, "pipeline.cct_merge",
 		telemetry.String("workload", appName), telemetry.Int("threads", len(p.trees)))
 	global := cct.New()
-	cct.MergeForest(global, p.trees)
+	cct.MergeShards(global, p.trees, mergeWorkers)
 
 	// Graft data-centric subtrees: allocation path -> alloc site ->
 	// variable -> bins.

@@ -1,10 +1,16 @@
 package experiments
 
 import (
+	"bytes"
+	"hash/fnv"
 	"reflect"
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/cct"
+	"repro/internal/metrics"
+	"repro/internal/profio"
 )
 
 // TestBenchDeterministicWork is the bench determinism contract: two
@@ -60,8 +66,9 @@ func TestBenchDeterministicWork(t *testing.T) {
 	}
 }
 
-// TestBenchGatePolicy pins the CI gate policy: only the access-dispatch
-// benchmark is gated, and only beyond the threshold.
+// TestBenchGatePolicy pins the CI gate policy: every benchmark in the
+// suite is gated at the threshold, and a multi-row failure names every
+// offender.
 func TestBenchGatePolicy(t *testing.T) {
 	cases := []struct {
 		name    string
@@ -71,13 +78,75 @@ func TestBenchGatePolicy(t *testing.T) {
 		{"within threshold", []BenchDelta{{Name: BenchAccessDispatch, Delta: 0.09}}, false},
 		{"improvement", []BenchDelta{{Name: BenchAccessDispatch, Delta: -0.30}}, false},
 		{"regression", []BenchDelta{{Name: BenchAccessDispatch, Delta: 0.11}}, true},
-		{"other benchmarks advisory", []BenchDelta{{Name: BenchCCTMerge, Delta: 0.50}}, false},
+		{"cct_merge gated", []BenchDelta{{Name: BenchCCTMerge, Delta: 0.50}}, true},
+		{"profio_encode gated", []BenchDelta{{Name: BenchProfioEncode, Delta: 0.11}}, true},
+		{"cache_probe gated", []BenchDelta{{Name: BenchCacheProbe, Delta: 0.11}}, true},
+		{"all rows within threshold", []BenchDelta{
+			{Name: BenchAccessDispatch, Delta: 0.05},
+			{Name: BenchCacheProbe, Delta: -0.02},
+			{Name: BenchCCTMerge, Delta: 0.09},
+			{Name: BenchProfioEncode, Delta: 0.0},
+		}, false},
 	}
 	for _, tc := range cases {
 		err := GateBench(tc.deltas, BenchGateThreshold)
 		if (err != nil) != tc.wantErr {
 			t.Errorf("%s: GateBench err = %v, wantErr %v", tc.name, err, tc.wantErr)
 		}
+	}
+
+	// A failure with two offending rows reports both.
+	err := GateBench([]BenchDelta{
+		{Name: BenchCCTMerge, Delta: 0.20},
+		{Name: BenchProfioEncode, Delta: 0.30},
+	}, BenchGateThreshold)
+	if err == nil || !strings.Contains(err.Error(), BenchCCTMerge) ||
+		!strings.Contains(err.Error(), BenchProfioEncode) {
+		t.Errorf("multi-row failure should name every offender, got: %v", err)
+	}
+}
+
+// TestBenchWorkStableAcrossBatchSizes pins the batching contract at the
+// bench layer: the simulated outcome a work fingerprint hashes must be
+// bit-identical whether accesses are delivered one at a time or in
+// slices. Dispatch is checked directly; the encode fingerprint covers
+// the whole pipeline (the encoded profile bytes come from a batched
+// run) and the merge fingerprint covers MergeShards at 1 vs parallel
+// workers.
+func TestBenchWorkStableAcrossBatchSizes(t *testing.T) {
+	const n = 1 << 12
+	if a, b := runDispatch(n, 1), runDispatch(n, benchDispatchBatch); a != b {
+		t.Errorf("dispatch fingerprint differs: batch=1 %#x vs batch=%d %#x",
+			a, benchDispatchBatch, b)
+	}
+
+	encodeWork := func(batch int) uint64 {
+		p := benchProfile(batch)
+		var buf bytes.Buffer
+		if err := profio.Save(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+		h := fnv.New64a()
+		h.Write(buf.Bytes())
+		return hashFields(buf.Len(), h.Sum64())
+	}
+	if a, b := encodeWork(1), encodeWork(benchDispatchBatch); a != b {
+		t.Errorf("profio_encode fingerprint differs: batch=1 %#x vs batch=%d %#x",
+			a, benchDispatchBatch, b)
+	}
+
+	mergeWork := func(workers int) uint64 {
+		shards := benchMergeShards()
+		dst := cct.New()
+		for i := 0; i < 8; i++ {
+			cct.MergeShards(dst, shards, workers)
+		}
+		return hashFields(dst.Root().Size(),
+			dst.Root().InclusiveMetric(metrics.Samples))
+	}
+	if a, b := mergeWork(1), mergeWork(benchMergeWorkers); a != b {
+		t.Errorf("cct_merge fingerprint differs: workers=1 %#x vs workers=%d %#x",
+			a, benchMergeWorkers, b)
 	}
 }
 

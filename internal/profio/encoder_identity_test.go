@@ -1,0 +1,140 @@
+package profio
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/topology"
+	"repro/internal/workloads"
+)
+
+// The buffered encoder in encoder.go must be a byte-for-byte drop-in
+// for the reference document path (Encode + writeDocument) that it
+// replaced. These tests diff the two outputs across every profile
+// shape we produce: each sampling mechanism, traced profiles with a
+// timeline section, chaos profiles with a fault plan in the health
+// ledger, and profiles salvaged by LoadLenient from damaged inputs.
+
+// referenceBytes renders p through the retained document path.
+func referenceBytes(t testing.TB, p *core.Profile) []byte {
+	t.Helper()
+	doc, err := Encode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := writeDocument(&buf, doc); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// bufferedBytes renders p through the pooled streaming encoder.
+func bufferedBytes(t testing.TB, p *core.Profile) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Save(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// diffBytes reports the first divergence with surrounding context.
+func diffBytes(t *testing.T, label string, got, want []byte) {
+	t.Helper()
+	if bytes.Equal(got, want) {
+		return
+	}
+	n := len(got)
+	if len(want) < n {
+		n = len(want)
+	}
+	i := 0
+	for i < n && got[i] == want[i] {
+		i++
+	}
+	lo := i - 120
+	if lo < 0 {
+		lo = 0
+	}
+	window := func(b []byte) []byte {
+		hi := i + 120
+		if hi > len(b) {
+			hi = len(b)
+		}
+		return b[lo:hi]
+	}
+	t.Errorf("%s: encoders diverge at byte %d (lens %d vs %d)\nbuffered: %q\nreference: %q",
+		label, i, len(got), len(want), window(got), window(want))
+}
+
+func TestEncoderByteIdentityGolden(t *testing.T) {
+	p := liveProfile(t)
+	diffBytes(t, "traced demo profile", bufferedBytes(t, p), referenceBytes(t, p))
+}
+
+func TestEncoderByteIdentityAllMechanisms(t *testing.T) {
+	for _, mech := range []string{"IBS", "PEBS", "PEBS-LL", "MRK", "DEAR", "Soft-IBS"} {
+		p, err := core.Analyze(core.Config{
+			Machine:         topology.MagnyCours48(),
+			Mechanism:       mech,
+			TrackFirstTouch: true,
+			Bins:            4,
+		}, workloads.NewLULESH(workloads.Params{Iters: 2}))
+		if err != nil {
+			t.Fatalf("%s: %v", mech, err)
+		}
+		diffBytes(t, mech, bufferedBytes(t, p), referenceBytes(t, p))
+	}
+}
+
+func TestEncoderByteIdentityChaos(t *testing.T) {
+	p, err := core.Analyze(core.Config{
+		Machine:   topology.MagnyCours48(),
+		Mechanism: "IBS",
+		Faults:    &faults.Plan{Seed: 42, DropRate: 0.2, CorruptRate: 0.02},
+	}, workloads.NewLULESH(workloads.Params{Iters: 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffBytes(t, "chaos profile", bufferedBytes(t, p), referenceBytes(t, p))
+}
+
+// Profiles recovered from damaged documents exercise the sparse side
+// of the encoder: missing sections, synthesized machines, empty trees.
+func TestEncoderByteIdentityLenientFixtures(t *testing.T) {
+	full := bufferedBytes(t, liveProfile(t))
+	for _, cut := range []int{len(full) / 4, len(full) / 2, len(full) - 1} {
+		prof, _, err := LoadLenient(bytes.NewReader(full[:cut]))
+		if err != nil {
+			continue // nothing salvaged at this cut; other cuts cover it
+		}
+		label := fmt.Sprintf("lenient cut at %d", cut)
+		diffBytes(t, label, bufferedBytes(t, prof), referenceBytes(t, prof))
+	}
+
+	// A bare magic line yields a fully synthesized profile.
+	prof, _, err := LoadLenient(bytes.NewReader([]byte(magicV2 + "\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffBytes(t, "synthesized", bufferedBytes(t, prof), referenceBytes(t, prof))
+}
+
+// The pool must not leak state between profiles: encoding a large
+// profile then a small one must match a cold encode of the small one.
+func TestEncoderPoolReuseClean(t *testing.T) {
+	big := liveProfile(t)
+	small, _, err := LoadLenient(bytes.NewReader([]byte(magicV2 + "\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := referenceBytes(t, small)
+	for i := 0; i < 4; i++ {
+		bufferedBytes(t, big)
+		diffBytes(t, fmt.Sprintf("reuse round %d", i), bufferedBytes(t, small), want)
+	}
+}

@@ -237,18 +237,11 @@ func (r *Report) Summary() string {
 	return strings.TrimRight(b.String(), "\n")
 }
 
-// Save writes a profile as a v2 sectioned measurement document.
-func Save(w io.Writer, p *core.Profile) error {
-	doc, err := Encode(p)
-	if err != nil {
-		return err
-	}
-	if err := writeDocument(w, doc); err != nil {
-		return err
-	}
-	telemetry.Default.Counter("profio_saves_total").Inc()
-	return nil
-}
+// Save lives in encoder.go: it streams the same sectioned v2 document
+// through pooled, reused buffers. The document path below
+// (Encode + writeDocument) is kept as the reference implementation —
+// the byte-identity regression test diffs the two outputs across the
+// golden profiles.
 
 // writeDocument shards doc into checksummed sections.
 func writeDocument(w io.Writer, doc *Document) error {
