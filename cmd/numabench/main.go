@@ -25,8 +25,9 @@
 // contention model, scheduling), RB (the robustness scorecard:
 // graceful degradation under injected sampler and file faults), RC
 // (the recovery scorecard: crash recovery, sweep checkpoint resume,
-// transparent retries, circuit breaking), and SC (the reproduction
-// scorecard).
+// transparent retries, circuit breaking), SC (the reproduction
+// scorecard), and OPT (the optimizer scorecard: the closed-loop
+// advisor autonomously recovering the Section 8 fixes).
 package main
 
 import (
@@ -182,6 +183,18 @@ func artifacts() []artifact {
 				return "", err
 			}
 			return r.Render(), nil
+		}},
+		{"OPT", "Optimizer scorecard: autonomous recovery of the case-study fixes", func(iters int) (string, error) {
+			r, err := experiments.RunOptimizer(iters)
+			if err != nil {
+				return "", err
+			}
+			out := r.Render()
+			if !r.Scorecard.AllPass() {
+				return out, fmt.Errorf("optimizer scorecard: %d/%d claims failed",
+					len(r.Scorecard.Claims)-r.Scorecard.Passed(), len(r.Scorecard.Claims))
+			}
+			return out, nil
 		}},
 	}
 }

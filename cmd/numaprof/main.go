@@ -37,6 +37,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/advisor"
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/pmu"
@@ -66,7 +67,9 @@ func main() {
 		htmlOut   = flag.String("html", "", "also write a self-contained HTML report to this path")
 		profOut   = flag.String("profile", "", "write the measurement file (for numaview) to this path")
 		chaos     = flag.String("chaos", "", "fault-injection plan, e.g. drop=0.2,corrupt=0.01,fail=2000,seed=42 (see internal/faults)")
-		parallel  = flag.Int("parallel", sched.Workers(),
+		optimize  = flag.Bool("optimize", false,
+			"closed-loop optimizer: profile the workload, diagnose its NUMA problems, re-run every candidate remedy, and report predicted vs measured speedup (with -submit, runs as a daemon advise job)")
+		parallel = flag.Int("parallel", sched.Workers(),
 			"worker goroutines when profiling several workloads (1: serial; reports are identical either way)")
 		submit = flag.String("submit", "",
 			"submit the job(s) to a numad daemon at this base URL (e.g. http://localhost:7077) instead of profiling locally")
@@ -117,6 +120,11 @@ func main() {
 		}
 	}
 
+	if *optimize && len(names) > 1 {
+		fmt.Fprintln(os.Stderr, "numaprof: -optimize needs a single workload")
+		exit(1)
+	}
+
 	if *submit != "" {
 		// Client mode: the daemon runs the jobs; identical specs are
 		// served from its store, and the fetched measurement bytes are
@@ -125,8 +133,27 @@ func main() {
 			fmt.Fprintln(os.Stderr, "numaprof: -html/-profile need a single workload")
 			exit(1)
 		}
+		if *optimize {
+			if err := optimizeRemote(os.Stdout, *submit, names[0], *mechanism, *machine, *threads,
+				*binding, *strategy, *period, *bins, *iters, *firstT, *chaos); err != nil {
+				fmt.Fprintln(os.Stderr, "numaprof:", err)
+				exit(1)
+			}
+			exit(0)
+			return
+		}
 		if err := submitJobs(os.Stdout, *submit, names, *mechanism, *machine, *threads, *binding,
 			*strategy, *period, *bins, *iters, *firstT, *doTrace, *htmlOut, *profOut, *chaos); err != nil {
+			fmt.Fprintln(os.Stderr, "numaprof:", err)
+			exit(1)
+		}
+		exit(0)
+		return
+	}
+
+	if *optimize {
+		if err := optimizeLocal(ctx, os.Stdout, names[0], *mechanism, *machine, *threads, *binding,
+			*strategy, *period, *bins, *iters, *firstT, *chaos); err != nil {
 			fmt.Fprintln(os.Stderr, "numaprof:", err)
 			exit(1)
 		}
@@ -250,6 +277,108 @@ func run(ctx context.Context, w io.Writer, workload, mechanism, machine string, 
 		}
 		fmt.Fprintf(w, "\nmeasurement file written to %s (view with numaview)\n", profOut)
 	}
+	return nil
+}
+
+// optimizeLocal is `-optimize` without a daemon: one-shot advise →
+// apply → measure. The baseline profiles through the same Spec.Build
+// path as a plain run; each candidate remedy re-runs as the baseline
+// spec with the remedy's knobs turned, fanned out through the sched
+// pipeline (-parallel bounds the width; the report is byte-identical at
+// any width).
+func optimizeLocal(ctx context.Context, w io.Writer, workload, mechanism, machine string, threads int,
+	binding, strategy string, period uint64, bins, iters int, firstTouch bool, chaos string) error {
+
+	base := server.Spec{
+		Workload:   workload,
+		Mechanism:  mechanism,
+		Machine:    machine,
+		Threads:    threads,
+		Binding:    binding,
+		Strategy:   strategy,
+		Period:     period,
+		Bins:       bins,
+		Iters:      iters,
+		FirstTouch: &firstTouch,
+		Chaos:      chaos,
+	}
+	cfg, app, err := base.Build()
+	if err != nil {
+		return err
+	}
+	baseline, err := core.AnalyzeCtx(ctx, cfg, app)
+	if err != nil {
+		return err
+	}
+	run := func(cellCtx context.Context, _ int, t advisor.Transform) (*core.Profile, error) {
+		spec := base
+		if t.Strategy != "" {
+			spec.Strategy = string(t.Strategy)
+		}
+		if t.Binding != "" {
+			spec.Binding = t.Binding
+		}
+		ccfg, capp, err := spec.Build()
+		if err != nil {
+			return nil, err
+		}
+		return core.AnalyzeCtx(cellCtx, ccfg, capp)
+	}
+	rep, err := advisor.Optimize(ctx, baseline, advisor.Options{}, run)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, rep.Render())
+	return nil
+}
+
+// optimizeRemote is `-optimize -submit`: profile on the daemon, then
+// POST /api/v1/jobs/{id}/advise and print the advise job's report. Both
+// jobs are durable and deduped server-side.
+func optimizeRemote(w io.Writer, baseURL, workload, mechanism, machine string, threads int,
+	binding, strategy string, period uint64, bins, iters int, firstTouch bool, chaos string) error {
+
+	ctx := context.Background()
+	client := server.NewClient(baseURL)
+	spec := server.Spec{
+		Workload:   workload,
+		Mechanism:  mechanism,
+		Machine:    machine,
+		Threads:    threads,
+		Binding:    binding,
+		Strategy:   strategy,
+		Period:     period,
+		Bins:       bins,
+		Iters:      iters,
+		FirstTouch: &firstTouch,
+		Chaos:      chaos,
+	}
+	st, err := client.Submit(ctx, spec)
+	if err != nil {
+		return err
+	}
+	if st, err = client.Wait(ctx, st.ID); err != nil {
+		return err
+	}
+	if st.State != server.StateDone {
+		return fmt.Errorf("job %s %s: %s", st.ID, st.State, st.Error)
+	}
+	adv, err := client.Advise(ctx, st.ID)
+	if err != nil {
+		return err
+	}
+	if adv, err = client.Wait(ctx, adv.ID); err != nil {
+		return err
+	}
+	if adv.State != server.StateDone {
+		return fmt.Errorf("advise job %s %s: %s", adv.ID, adv.State, adv.Error)
+	}
+	text, err := client.Text(ctx, adv.ID)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "advise job %s done on %s (cache hit: %v)\n\n", adv.ID, baseURL, adv.CacheHit)
+	fmt.Fprint(w, text)
 	return nil
 }
 

@@ -1,7 +1,10 @@
 // Service client: submit the same workload to a numad daemon under two
 // placement strategies and let the service diff the resulting profiles.
 // This is the paper's placement-comparison loop (profile, fix, compare)
-// driven entirely through the daemon's HTTP API.
+// driven entirely through the daemon's HTTP API. With -advise it also
+// closes the loop automatically: the daemon's optimizer diagnoses the
+// first profile, re-runs every candidate remedy, and reports measured
+// next to predicted speedups.
 //
 // With no flags it hosts a throwaway in-process daemon, so the demo
 // runs with zero setup:
@@ -34,14 +37,15 @@ func main() {
 		workload = flag.String("workload", "blackscholes", "workload to compare")
 		stratA   = flag.String("a", "baseline", "first placement strategy")
 		stratB   = flag.String("b", "interleave", "second placement strategy")
+		advise   = flag.Bool("advise", false, "also run the daemon's optimizer over the first profile")
 	)
 	flag.Parse()
-	if err := run(*addr, *workload, *stratA, *stratB); err != nil {
+	if err := run(*addr, *workload, *stratA, *stratB, *advise); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr, workload, stratA, stratB string) error {
+func run(addr, workload, stratA, stratB string, advise bool) error {
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 	defer cancel()
 
@@ -85,6 +89,39 @@ func run(addr, workload, stratA, stratB string) error {
 	}
 	fmt.Println()
 	fmt.Print(text)
+
+	if advise {
+		// Close the loop: Advise spawns an optimizer job over the first
+		// profile (retried like any submit, deduped by content address),
+		// and AdviseResult returns the ranked plan with measured vs
+		// predicted speedup per remedy.
+		st, err := c.Advise(ctx, ids[0])
+		if err != nil {
+			return fmt.Errorf("advise %s: %w", ids[0], err)
+		}
+		if st, err = c.Wait(ctx, st.ID); err != nil {
+			return err
+		} else if st.State != server.StateDone {
+			return fmt.Errorf("advise job %s ended %s: %s", st.ID, st.State, st.Error)
+		}
+		rep, err := c.AdviseResult(ctx, st.ID)
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		if rep.NoAdvice {
+			fmt.Printf("optimizer: no advice (%s)\n", rep.Reason)
+		} else {
+			for _, r := range rep.Remedies {
+				fmt.Printf("optimizer: %-22s predicted %+.1f%%  measured %+.1f%%\n",
+					r.Kind, 100*r.Predicted, 100*r.Measured)
+			}
+			if rep.Best != nil {
+				fmt.Printf("optimizer: best measured %s (%s) %+.1f%%\n",
+					rep.Best.Kind, rep.Best.Transform.String(), 100*rep.Best.Measured)
+			}
+		}
+	}
 
 	m, err := c.Metrics(ctx)
 	if err != nil {

@@ -1,0 +1,221 @@
+package advisor
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/telemetry"
+	"repro/internal/units"
+)
+
+// Candidate is one re-run the plan calls for. Remedy indexes into
+// Advice.Remedies; -1 marks the composite plan (the best-predicted
+// placement strategy combined with the binding remedy, when both
+// exist).
+type Candidate struct {
+	Index     int       `json:"index"`
+	Remedy    int       `json:"remedy"`
+	Transform Transform `json:"transform"`
+	Label     string    `json:"label"`
+}
+
+// RunFunc re-runs the workload with a remedy's transform applied and
+// returns the resulting profile. i is the candidate index (stable, for
+// checkpoint keys); implementations must honor ctx.
+type RunFunc func(ctx context.Context, i int, t Transform) (*core.Profile, error)
+
+// Report is the full advise→apply→measure result: the diagnosis plus
+// the measured outcome of every candidate, the composite plan, and the
+// best remedy by measured speedup.
+type Report struct {
+	Advice
+	// Composite is the combined plan's outcome (nil when the plan has
+	// no second knob to combine).
+	Composite *Remedy `json:"composite,omitempty"`
+	// Best points at the remedy (or composite) with the highest
+	// measured speedup; nil until measured.
+	Best *Remedy `json:"best,omitempty"`
+}
+
+// Candidates lists the re-runs a plan requires, in a deterministic
+// order: one per remedy (plan order), then the composite when the plan
+// mixes a placement strategy with a binding change. The composite is
+// decided from predictions alone, before any measurement, so the whole
+// list fans out through sched in one deterministic batch.
+func Candidates(a *Advice) []Candidate {
+	if a == nil || a.NoAdvice {
+		return nil
+	}
+	var out []Candidate
+	for i, r := range a.Remedies {
+		out = append(out, Candidate{
+			Index:     len(out),
+			Remedy:    i,
+			Transform: r.Transform,
+			Label:     string(r.Kind),
+		})
+	}
+	if c, ok := compositeTransform(a); ok {
+		out = append(out, Candidate{
+			Index:     len(out),
+			Remedy:    -1,
+			Transform: c,
+			Label:     "composite",
+		})
+	}
+	return out
+}
+
+// compositeTransform combines the best-predicted placement strategy
+// with the binding remedy. It only exists when the plan holds both
+// knobs — applying one remedy never precludes the other.
+func compositeTransform(a *Advice) (Transform, bool) {
+	var strategy, binding *Remedy
+	for i := range a.Remedies {
+		r := &a.Remedies[i]
+		if r.Transform.Binding != "" && binding == nil {
+			binding = r
+		}
+		if r.Transform.Strategy != "" && strategy == nil {
+			strategy = r
+		}
+	}
+	if strategy == nil || binding == nil {
+		return Transform{}, false
+	}
+	return Transform{Strategy: strategy.Transform.Strategy, Binding: binding.Transform.Binding}, true
+}
+
+// Measure actuates the plan: every candidate re-runs through the sched
+// pipeline at the given width (0: Options default), and the report
+// gains measured-vs-predicted speedups. Results are reassembled in
+// candidate order, so the report is identical at any width. A failed
+// candidate degrades to an errored remedy; Measure itself fails only
+// when the context is canceled or every candidate failed.
+func Measure(ctx context.Context, adv *Advice, cands []Candidate, width int, run RunFunc) (*Report, error) {
+	rep := &Report{Advice: *adv}
+	// Deep-copy the remedies so measurement never mutates the caller's
+	// advice.
+	rep.Remedies = append([]Remedy(nil), adv.Remedies...)
+	if adv.NoAdvice || len(cands) == 0 {
+		return rep, nil
+	}
+	if width <= 0 {
+		width = sched.Workers()
+	}
+
+	_, done := telemetry.Timed(context.Background(), "advisor.measure")
+	defer done()
+	rerun := telemetry.Default.Histogram("advisor_rerun_us")
+
+	type outcome struct {
+		roi units.Cycles
+		err error
+	}
+	results, err := sched.MapWithCtx(ctx, width, len(cands), func(cellCtx context.Context, i int) (outcome, error) {
+		_, cellDone := telemetry.Timed(cellCtx, "advisor.rerun", telemetry.String("label", cands[i].Label))
+		defer cellDone()
+		start := time.Now()
+		p, runErr := run(cellCtx, i, cands[i].Transform)
+		rerun.Observe(time.Since(start))
+		if runErr != nil {
+			return outcome{err: runErr}, nil
+		}
+		if p == nil {
+			return outcome{err: errors.New("remedy run returned no profile")}, nil
+		}
+		telemetry.Default.Counter("advisor_remedies_applied_total").Inc()
+		return outcome{roi: p.Totals.ROITime}, nil
+	})
+	if err != nil {
+		// MapWithCtx only fails here on context cancellation (cell
+		// errors were folded into outcomes above) — but stay defensive
+		// and surface whatever it reports.
+		return nil, err
+	}
+
+	fill := func(r *Remedy, o outcome) {
+		if o.err != nil {
+			r.Error = o.err.Error()
+			return
+		}
+		r.ROITime = o.roi
+		r.Measured, r.MeasuredOK = safeRatio(float64(adv.BaselineROI)-float64(o.roi), float64(o.roi))
+		if !r.MeasuredOK && o.roi > 0 {
+			// The candidate ran slower than baseline: still a valid
+			// measurement, just a negative speedup.
+			r.Measured = float64(adv.BaselineROI)/float64(o.roi) - 1
+			r.MeasuredOK = true
+		}
+	}
+
+	failed := 0
+	for i, c := range cands {
+		o := results[i]
+		if o.err != nil {
+			failed++
+		}
+		if c.Remedy >= 0 && c.Remedy < len(rep.Remedies) {
+			fill(&rep.Remedies[c.Remedy], o)
+		} else if c.Remedy == -1 {
+			comp := &Remedy{
+				Kind:      "composite",
+				Transform: c.Transform,
+				Rationale: "best-predicted placement strategy combined with the thread-binding remedy",
+			}
+			// The composite's prediction: the stronger of its parts (a
+			// conservative floor — the knobs partially overlap).
+			for _, r := range rep.Remedies {
+				if (r.Transform.Strategy == c.Transform.Strategy || r.Transform.Binding == c.Transform.Binding) &&
+					r.PredictedOK && r.Predicted > comp.Predicted {
+					comp.Predicted, comp.PredictedOK = r.Predicted, true
+					comp.Targets = r.Targets
+				}
+			}
+			fill(comp, o)
+			rep.Composite = comp
+		}
+	}
+	if failed == len(cands) {
+		return nil, errors.New("advisor: every remedy run failed: " + results[0].err.Error())
+	}
+
+	rep.Best = best(rep)
+	return rep, nil
+}
+
+// best picks the highest measured speedup across remedies and the
+// composite, with a deterministic kind tiebreak.
+func best(rep *Report) *Remedy {
+	var cands []*Remedy
+	for i := range rep.Remedies {
+		if rep.Remedies[i].MeasuredOK {
+			cands = append(cands, &rep.Remedies[i])
+		}
+	}
+	if rep.Composite != nil && rep.Composite.MeasuredOK {
+		cands = append(cands, rep.Composite)
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		if cands[i].Measured != cands[j].Measured {
+			return cands[i].Measured > cands[j].Measured
+		}
+		return cands[i].Kind < cands[j].Kind
+	})
+	b := *cands[0]
+	return &b
+}
+
+// Optimize is the one-shot loop: diagnose the baseline, actuate every
+// candidate remedy through run, and return the measured report.
+func Optimize(ctx context.Context, baseline *core.Profile, o Options, run RunFunc) (*Report, error) {
+	adv := Advise(baseline, o)
+	return Measure(ctx, adv, Candidates(adv), o.Width, run)
+}

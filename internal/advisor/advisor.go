@@ -1,0 +1,606 @@
+// Package advisor closes the loop the paper leaves open: the profiler
+// diagnoses NUMA problems (Sections 7-8) and a human applies the fix.
+// Advise consumes a finished profile's data-centric, address-centric,
+// and first-touch views and emits a ranked plan of concrete remedies —
+// a parallelised first-touch initialisation, block-wise or interleaved
+// page placement, a JArena-style per-domain mix for hot objects, and
+// thread binding to the data's home domain — each with a predicted
+// impact derived from the M_r/M_l and latency-share metrics. Optimize
+// then actuates the plan: every candidate remedy is applied as a
+// config/workload transform, re-run through the existing sched
+// pipeline, and reported with measured next to predicted speedup.
+//
+// Determinism contract: Advise is a pure function of the profile (the
+// variable table is already sorted by descending remote latency, region
+// scopes by descending latency), and Measure fans candidates out
+// through sched with input-order reassembly — so the advice report is
+// byte-identical for any worker count, and byte-identical whether the
+// profile was freshly analyzed or decoded from a measurement file.
+//
+// Every quotient in the impact estimators goes through the NaN-safe
+// (value, ok) contract of internal/metrics: a zero-sample profile
+// yields "no advice", never a NaN ranking.
+package advisor
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/addrcentric"
+	"repro/internal/core"
+	"repro/internal/telemetry"
+	"repro/internal/units"
+	"repro/internal/workloads"
+)
+
+// Kind names a remedy in the taxonomy (DESIGN.md §12).
+type Kind string
+
+const (
+	// KindFirstTouch parallelises the initialisation loops so each
+	// thread first-touches the data it later computes on (the paper's
+	// UMT2013 and Blackscholes fix).
+	KindFirstTouch Kind = "first-touch-init"
+	// KindBlockWise distributes a variable's pages block-wise across
+	// domains at its pinpointed first-touch site, co-locating block t
+	// with thread t (the paper's LULESH fix).
+	KindBlockWise Kind = "blockwise-placement"
+	// KindInterleave spreads pages round-robin across domains — the
+	// prior-work recipe, right for variables every thread sweeps in
+	// full.
+	KindInterleave Kind = "interleave-placement"
+	// KindGuided is the JArena-style per-domain partition of hot
+	// objects: block-wise for block-regular variables, interleaved for
+	// full-sweep ones (the paper's AMG2006 fix).
+	KindGuided Kind = "guided-partition"
+	// KindBinding migrates the thread team to the hot data's home
+	// domain when it fits there (thread binding/migration).
+	KindBinding Kind = "thread-binding"
+)
+
+// Transform is a remedy expressed as the config/workload knobs the rest
+// of the tree already understands: a placement Strategy (the tuning
+// hooks in internal/workloads) and/or a thread binding. Empty fields
+// keep the baseline's value.
+type Transform struct {
+	Strategy workloads.Strategy `json:"strategy,omitempty"`
+	Binding  string             `json:"binding,omitempty"`
+}
+
+// String renders the knobs being turned.
+func (t Transform) String() string {
+	switch {
+	case t.Strategy != "" && t.Binding != "":
+		return string(t.Strategy) + "+" + t.Binding
+	case t.Strategy != "":
+		return string(t.Strategy)
+	case t.Binding != "":
+		return "binding=" + t.Binding
+	}
+	return "baseline"
+}
+
+// Options tune the diagnosis thresholds. Zero values mean the defaults,
+// so Options{} is the standard advisor.
+type Options struct {
+	// MinShare is the remote-latency share below which a variable is
+	// not worth fixing (0: 0.05 — the paper's case studies name
+	// variables at 11-20%).
+	MinShare float64
+	// StaircaseTol is the tolerated normalised overlap for the
+	// staircase test (0: 0.15, as the case-study experiments use).
+	StaircaseTol float64
+	// OverlapMin is the mean pairwise overlap above which a pattern
+	// counts as a full-range sweep (0: 0.5).
+	OverlapMin float64
+	// Width bounds the measurement fan-out worker count
+	// (0: sched.Workers()).
+	Width int
+}
+
+func (o Options) minShare() float64 {
+	if o.MinShare <= 0 {
+		return 0.05
+	}
+	return o.MinShare
+}
+
+func (o Options) staircaseTol() float64 {
+	if o.StaircaseTol <= 0 {
+		return 0.15
+	}
+	return o.StaircaseTol
+}
+
+func (o Options) overlapMin() float64 {
+	if o.OverlapMin <= 0 {
+		return 0.5
+	}
+	return o.OverlapMin
+}
+
+// Finding is one hot variable's diagnosis: the data-centric metrics,
+// the first-touch pinpoint, and the address-centric pattern class the
+// remedies key on.
+type Finding struct {
+	Var string `json:"var"`
+	// RemoteLatShare is the variable's share of total sampled remote
+	// latency — of total sampled remote accesses when the mechanism
+	// carries no latencies (Advice.CountBased).
+	RemoteLatShare float64 `json:"remote_lat_share"`
+	// MrOverMl is the M_r/M_l quotient ((value, ok) guarded).
+	MrOverMl   float64 `json:"mr_over_ml"`
+	MrOverMlOK bool    `json:"mr_over_ml_ok"`
+	// HomeDomain is the domain holding the most sampled accesses;
+	// HomeShare its fraction.
+	HomeDomain int     `json:"home_domain"`
+	HomeShare  float64 `json:"home_share"`
+	// First-touch pinpointing (known only when tracking was enabled).
+	FirstTouchKnown  bool `json:"first_touch_known"`
+	SerialFirstTouch bool `json:"serial_first_touch"`
+	// Address-centric pattern class.
+	Staircase      bool    `json:"staircase"`
+	StaircaseScope string  `json:"staircase_scope,omitempty"`
+	Overlap        float64 `json:"overlap"`
+}
+
+// Remedy is one entry of the ranked plan.
+type Remedy struct {
+	Kind      Kind      `json:"kind"`
+	Transform Transform `json:"transform"`
+	// Targets are the variables the remedy addresses, in descending
+	// remote-latency order.
+	Targets   []string `json:"targets"`
+	Rationale string   `json:"rationale"`
+	// Predicted is the estimated speedup fraction (0.25 = +25%),
+	// derived from the targets' latency shares; PredictedOK is false
+	// when the profile could not support the estimate.
+	Predicted   float64 `json:"predicted"`
+	PredictedOK bool    `json:"predicted_ok"`
+	// Measurement, filled by Measure/Optimize: the candidate run's ROI
+	// time and the measured speedup fraction against the baseline.
+	Measured   float64      `json:"measured"`
+	MeasuredOK bool         `json:"measured_ok"`
+	ROITime    units.Cycles `json:"roi_time,omitempty"`
+	// Key is the content address of the candidate's stored profile
+	// when the run went through a store (the numad path).
+	Key string `json:"key,omitempty"`
+	// Error carries a failed candidate run's cause.
+	Error string `json:"error,omitempty"`
+}
+
+// Advice is the diagnosis half of the report: findings plus the ranked
+// remedy plan, before any candidate has been re-run.
+type Advice struct {
+	Workload  string `json:"workload"`
+	Machine   string `json:"machine"`
+	Mechanism string `json:"mechanism"`
+
+	BaselineROI units.Cycles `json:"baseline_roi"`
+	// LPI is lpi_NUMA when the mechanism estimated one (LPIOK).
+	LPI            float64 `json:"lpi"`
+	LPIOK          bool    `json:"lpi_ok"`
+	Significant    bool    `json:"significant"`
+	RemoteFraction float64 `json:"remote_fraction"`
+	Imbalance      float64 `json:"imbalance"`
+
+	// NoAdvice reports that the profile shows nothing worth fixing (or
+	// cannot support the estimators); Reason says why.
+	NoAdvice bool   `json:"no_advice"`
+	Reason   string `json:"reason,omitempty"`
+
+	// CountBased reports that the mechanism sampled no latencies (MRK's
+	// marked loads on POWER7 carry domains but not cycles), so every
+	// share below is a remote-access-count share rather than a
+	// remote-latency share — exactly the fallback the paper's POWER7
+	// study works from.
+	CountBased bool `json:"count_based,omitempty"`
+
+	Findings []Finding `json:"findings,omitempty"`
+	// Remedies is ranked by descending predicted impact.
+	Remedies []Remedy `json:"remedies,omitempty"`
+}
+
+// Remedy returns the plan entry of a kind, nil when absent.
+func (a *Advice) Remedy(k Kind) *Remedy {
+	for i := range a.Remedies {
+		if a.Remedies[i].Kind == k {
+			return &a.Remedies[i]
+		}
+	}
+	return nil
+}
+
+// safeRatio is the NaN-safe quotient: it refuses zero/invalid
+// denominators and non-finite operands, so callers branch on ok instead
+// of propagating NaN into rankings.
+func safeRatio(num, den float64) (float64, bool) {
+	if den <= 0 || math.IsNaN(num) || math.IsInf(num, 0) || math.IsNaN(den) || math.IsInf(den, 0) || num < 0 {
+		return 0, false
+	}
+	return num / den, true
+}
+
+// Per-kind efficiency: the fraction of a target's remote latency the
+// remedy is expected to recover. Block-wise and the guided mix
+// eliminate remote accesses for pattern-matched variables; a
+// parallelised first touch does the same where the compute schedule is
+// reproducible; interleaving only balances controllers (it leaves
+// (d-1)/d of accesses remote, Section 8.1); rebinding recovers locality
+// but concentrates the team on one domain's controller.
+func efficiency(k Kind) float64 {
+	switch k {
+	case KindBlockWise:
+		return 0.90
+	case KindGuided:
+		return 0.92
+	case KindFirstTouch:
+		return 0.85
+	case KindInterleave:
+		return 0.60
+	case KindBinding:
+		return 0.75
+	}
+	return 0.5
+}
+
+// Advise diagnoses a finished profile and emits the ranked remedy plan.
+// It is pure: same profile, same advice, regardless of worker count or
+// whether the profile was freshly computed or loaded from a store.
+func Advise(p *core.Profile, o Options) *Advice {
+	telemetry.Default.Counter("advisor_advise_total").Inc()
+	_, done := telemetry.Timed(context.Background(), "advisor.advise")
+	defer done()
+
+	a := &Advice{}
+	if p == nil {
+		a.NoAdvice, a.Reason = true, "no profile"
+		return a
+	}
+	a.Workload = p.AppName
+	if p.Machine != nil {
+		a.Machine = p.Machine.Name
+	}
+	a.Mechanism = p.Mechanism
+	a.BaselineROI = p.Totals.ROITime
+	if !math.IsNaN(p.Totals.LPI) && !math.IsInf(p.Totals.LPI, 0) {
+		a.LPI, a.LPIOK = p.Totals.LPI, true
+	}
+	a.Significant = p.Totals.Significant
+	if f, ok := safeRatio(p.Totals.Mr, p.Totals.Ml+p.Totals.Mr); ok {
+		a.RemoteFraction = f
+	}
+	if !math.IsNaN(p.Totals.Imbalance) && !math.IsInf(p.Totals.Imbalance, 0) {
+		a.Imbalance = p.Totals.Imbalance
+	}
+
+	// The guards, in diagnostic order: no samples means the estimators
+	// have nothing to divide by; an insignificant lpi_NUMA means the
+	// paper's 0.1 cycles/instruction rule says the program has no NUMA
+	// problem worth fixing (the Blackscholes negative control).
+	if p.Totals.Samples <= 0 {
+		a.NoAdvice, a.Reason = true, "no samples: the run delivered no usable address samples"
+		return a
+	}
+	if _, ok := safeRatio(float64(p.Totals.SampledRemoteLat), float64(p.Totals.SampledLatency)); !ok {
+		// No sampled latency (MRK and friends): fall back to access
+		// counts, refusing only when those are absent too.
+		if _, ok := safeRatio(p.Totals.Mr, p.Totals.Mr+p.Totals.Ml); !ok {
+			a.NoAdvice, a.Reason = true, "no sampled latency or access counts: shares are undefined"
+			return a
+		}
+		a.CountBased = true
+	}
+	if !p.Totals.Significant {
+		a.NoAdvice, a.Reason = true, "lpi_NUMA below the significance threshold: no NUMA problem worth fixing"
+		return a
+	}
+
+	a.Findings = diagnose(p, o, a.CountBased)
+	if len(a.Findings) == 0 {
+		a.NoAdvice, a.Reason = true,
+			fmt.Sprintf("no variable exceeds the %.0f%% remote-latency share threshold", 100*o.minShare())
+		return a
+	}
+	a.Remedies = plan(p, a, o)
+	if len(a.Remedies) == 0 {
+		a.NoAdvice, a.Reason = true, "findings match no remedy in the taxonomy"
+		return a
+	}
+	telemetry.Default.Counter("advisor_remedies_proposed_total").Add(uint64(len(a.Remedies)))
+	return a
+}
+
+// diagnose classifies every hot variable. p.Vars is sorted by
+// descending remote latency (descending remote accesses when the
+// mechanism sampled no latencies), so the findings order is
+// deterministic. countBased switches the share metric from sampled
+// remote latency to sampled remote accesses.
+func diagnose(p *core.Profile, o Options, countBased bool) []Finding {
+	var out []Finding
+	for _, v := range p.Vars {
+		if v.Var == nil || v.Mr <= 0 {
+			continue
+		}
+		share := v.RemoteLatShare
+		if countBased {
+			share, _ = safeRatio(v.Mr, p.Totals.Mr)
+		}
+		if share < o.minShare() {
+			continue
+		}
+		f := Finding{
+			Var:            v.Var.Name,
+			RemoteLatShare: share,
+		}
+		f.MrOverMl, f.MrOverMlOK = safeRatio(v.Mr, v.Ml)
+		f.HomeDomain, f.HomeShare = homeDomain(v.PerDomain)
+		f.FirstTouchKnown = len(v.FirstTouchThreads) > 0
+		f.SerialFirstTouch = len(v.FirstTouchThreads) == 1
+		if p.Patterns != nil {
+			if pat, ok := p.Patterns.Pattern(v.Var, addrcentric.WholeProgram); ok {
+				f.Overlap = pat.MeanOverlap()
+				if pat.IsStaircase(o.staircaseTol()) {
+					f.Staircase, f.StaircaseScope = true, "whole-program"
+				}
+			}
+			// Overlap is the maximum across scopes: a variable swept in
+			// full anywhere (AMG's cycle loop over its vectors) has no
+			// single per-page owner for the whole run.
+			for _, scope := range p.Patterns.Scopes(v.Var) {
+				if scope == addrcentric.WholeProgram {
+					continue
+				}
+				if pat, ok := p.Patterns.Pattern(v.Var, scope); ok && pat.MeanOverlap() > f.Overlap {
+					f.Overlap = pat.MeanOverlap()
+				}
+			}
+			if !f.Staircase && f.Overlap < o.overlapMin() {
+				// The AMG lesson (Figures 4-7): a whole-program view
+				// blurred by another region can hide a block-regular
+				// pattern; scopes come back ordered by descending
+				// latency, so the first staircase region wins
+				// deterministically. A full-range sweep region anywhere
+				// (the overlap gate above) vetoes the promotion.
+				for _, scope := range p.Patterns.Scopes(v.Var) {
+					if scope == addrcentric.WholeProgram {
+						continue
+					}
+					if pat, ok := p.Patterns.Pattern(v.Var, scope); ok && pat.IsStaircase(o.staircaseTol()) {
+						f.Staircase, f.StaircaseScope = true, scope
+						break
+					}
+				}
+			}
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// homeDomain finds the domain with the most sampled accesses.
+func homeDomain(perDomain []float64) (int, float64) {
+	var total float64
+	best, bestVal := 0, 0.0
+	for d, n := range perDomain {
+		total += n
+		if n > bestVal {
+			best, bestVal = d, n
+		}
+	}
+	share, _ := safeRatio(bestVal, total)
+	return best, share
+}
+
+// plan turns the findings into the ranked remedy list.
+func plan(p *core.Profile, a *Advice, o Options) []Remedy {
+	// Group targets by the pattern class the paper's fixes key on.
+	var blockT, sweepT, ftT []string
+	for _, f := range a.Findings {
+		switch {
+		case f.Staircase:
+			// Disjoint ascending per-thread ranges: block t belongs to
+			// thread t, so block-wise placement (and a parallelised
+			// first touch) co-locates perfectly.
+			blockT = append(blockT, f.Var)
+			if f.SerialFirstTouch || !f.FirstTouchKnown {
+				ftT = append(ftT, f.Var)
+			}
+		case f.Overlap >= o.overlapMin():
+			// Overlapping ranges: either every thread sweeps the whole
+			// variable (interleave is the only placement that helps) or
+			// the threads' subsets interleave finely (UMT's round-robin
+			// planes — a first-touch replay of the compute schedule
+			// also fixes it). Propose both; measurement arbitrates.
+			sweepT = append(sweepT, f.Var)
+			if f.SerialFirstTouch {
+				ftT = append(ftT, f.Var)
+			}
+		case f.SerialFirstTouch:
+			ftT = append(ftT, f.Var)
+		default:
+			sweepT = append(sweepT, f.Var)
+		}
+	}
+
+	rts := remoteTimeShare(p)
+	var remedies []Remedy
+	add := func(k Kind, t Transform, targets []string, rationale string) {
+		if len(targets) == 0 {
+			return
+		}
+		r := Remedy{Kind: k, Transform: t, Targets: targets, Rationale: rationale}
+		r.Predicted, r.PredictedOK = predict(k, targets, a.Findings, rts)
+		remedies = append(remedies, r)
+	}
+
+	if len(blockT) > 0 && len(sweepT) > 0 {
+		add(KindGuided, Transform{Strategy: workloads.Guided}, union(blockT, sweepT),
+			"mixed pattern classes: block-wise for the block-regular variables, interleave for the full-sweep ones (per-domain partition of hot objects)")
+	}
+	add(KindBlockWise, Transform{Strategy: workloads.BlockWise}, blockT,
+		"per-thread staircase with a pinpointed first touch: distribute pages block-wise so block t lands in thread t's domain")
+	add(KindInterleave, Transform{Strategy: workloads.Interleave}, sweepT,
+		"overlapping full-range sweeps: no single owner exists, interleave pages to spread the controller load")
+	add(KindFirstTouch, Transform{Strategy: workloads.ParallelInit}, ftT,
+		"serial master-thread first touch homes the data in one domain: parallelise the initialisation so each thread first-touches what it computes on")
+	if bt, home := bindingTargets(p, a, o); len(bt) > 0 {
+		add(KindBinding, Transform{Binding: "compact"}, bt,
+			fmt.Sprintf("hot data homed in domain %d and the team fits there: bind the threads to the data's home domain", home))
+	}
+
+	// Rank by predicted impact, ties broken by kind name — both
+	// deterministic inputs.
+	sort.SliceStable(remedies, func(i, j int) bool {
+		if remedies[i].Predicted != remedies[j].Predicted {
+			return remedies[i].Predicted > remedies[j].Predicted
+		}
+		return remedies[i].Kind < remedies[j].Kind
+	})
+	return remedies
+}
+
+// latencyExposure discounts accumulated remote latency to exposed stall
+// time: out-of-order overlap, MLP, and prefetching hide most of it, so
+// only a fraction of the remote cycles the samples account for shows up
+// as lost runtime. 0.3 calibrates the predictions to the paper's
+// measured case-study gains (LULESH +25%, UMT +7%).
+const latencyExposure = 0.3
+
+// remoteTimeShare estimates the fraction of the measured phase lost to
+// remote-access stalls: lpi_exact x instructions / ROI time when the
+// exact counters support it, else the sampled remote share of sampled
+// latency as an upper bound — both discounted by latencyExposure and capped at 0.25 of runtime.
+// Guarded; 0 disables the predictions (but not the plan).
+func remoteTimeShare(p *core.Profile) float64 {
+	if v, ok := safeRatio(p.Totals.LPIExact*float64(p.Totals.Instructions), float64(p.Totals.ROITime)); ok {
+		return clamp01(v*latencyExposure, 0.25)
+	}
+	if v, ok := safeRatio(float64(p.Totals.SampledRemoteLat), float64(p.Totals.SampledLatency)); ok {
+		return clamp01(v*latencyExposure, 0.25)
+	}
+	return 0
+}
+
+func clamp01(v, hi float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// predict estimates a remedy's speedup: the targets' combined share of
+// remote latency, scaled by the remote share of runtime and the
+// remedy's efficiency, converted from a time reduction g to a speedup
+// g/(1-g). Every quotient upstream was (value, ok) guarded.
+func predict(k Kind, targets []string, findings []Finding, remoteTimeShare float64) (float64, bool) {
+	if remoteTimeShare <= 0 {
+		return 0, false
+	}
+	var share float64
+	for _, f := range findings {
+		for _, t := range targets {
+			if f.Var == t {
+				share += f.RemoteLatShare
+				break
+			}
+		}
+	}
+	g := efficiency(k) * remoteTimeShare * clamp01(share, 1)
+	if g >= 0.9 {
+		g = 0.9
+	}
+	v, ok := safeRatio(g, 1-g)
+	return v, ok
+}
+
+// union merges target lists preserving first-seen order.
+func union(a, b []string) []string {
+	out := append([]string(nil), a...)
+	for _, v := range b {
+		seen := false
+		for _, u := range out {
+			if u == v {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// bindingTargets decides whether migrating the thread team to the hot
+// data's home domain is applicable: the hot variables' accesses
+// concentrate in one domain, the observed team fits inside it, and the
+// program actually suffers remote traffic.
+func bindingTargets(p *core.Profile, a *Advice, o Options) ([]string, int) {
+	if p.Machine == nil || a.RemoteFraction < 0.3 {
+		return nil, 0
+	}
+	cpusPerDomain := p.Machine.Config().CPUsPerDomain
+	team := teamSize(p, a)
+	if team <= 0 || team > cpusPerDomain {
+		return nil, 0
+	}
+	sums := make([]float64, p.Machine.NumDomains())
+	var targets []string
+	for _, f := range a.Findings {
+		targets = append(targets, f.Var)
+	}
+	for _, v := range p.Vars {
+		if v.Var == nil {
+			continue
+		}
+		share := v.RemoteLatShare
+		if a.CountBased {
+			share, _ = safeRatio(v.Mr, p.Totals.Mr)
+		}
+		if share < o.minShare() {
+			continue
+		}
+		for d, n := range v.PerDomain {
+			if d < len(sums) {
+				sums[d] += n
+			}
+		}
+	}
+	home, share := homeDomain(sums)
+	if share < 0.6 {
+		return nil, 0
+	}
+	return targets, home
+}
+
+// teamSize recovers the thread-team size from the address-centric
+// patterns (the profile does not record the config's Threads field, but
+// every team member that touched a hot variable appears in its pattern).
+func teamSize(p *core.Profile, a *Advice) int {
+	if p.Patterns == nil {
+		return 0
+	}
+	max := -1
+	for _, f := range a.Findings {
+		v, ok := p.Registry.Lookup(f.Var)
+		if !ok {
+			continue
+		}
+		pat, ok := p.Patterns.Pattern(v, addrcentric.WholeProgram)
+		if !ok {
+			continue
+		}
+		for _, tr := range pat.Threads() {
+			if tr.Thread > max {
+				max = tr.Thread
+			}
+		}
+	}
+	return max + 1
+}

@@ -1,0 +1,162 @@
+package advisor
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/proc"
+	"repro/internal/topology"
+	"repro/internal/workloads"
+)
+
+// luleshConfig mirrors the case-study setup: IBS on the 48-core
+// MagnyCours box, compact binding, first-touch tracking on.
+func luleshConfig(binding proc.Binding) core.Config {
+	m := topology.MagnyCours48()
+	return core.Config{
+		Machine:         m,
+		Binding:         binding,
+		Mechanism:       "IBS",
+		TrackFirstTouch: true,
+		CacheConfig:     workloads.TunedCacheConfig(),
+		MemParams:       workloads.MemParamsFor(m),
+		FabricParams:    workloads.FabricParamsFor(m),
+	}
+}
+
+func luleshBaseline(t *testing.T, iters int) *core.Profile {
+	t.Helper()
+	p, err := core.Analyze(luleshConfig(proc.Compact), workloads.NewLULESH(workloads.Params{Iters: iters}))
+	if err != nil {
+		t.Fatalf("baseline analyze: %v", err)
+	}
+	return p
+}
+
+// luleshRun is the actuation hook the local optimizer path uses: clone
+// the baseline config, apply the transform's knobs, re-analyze.
+func luleshRun(iters int) RunFunc {
+	return func(ctx context.Context, _ int, tr Transform) (*core.Profile, error) {
+		binding := proc.Compact
+		if tr.Binding == "scatter" {
+			binding = proc.Scatter
+		}
+		params := workloads.Params{Iters: iters, Strategy: tr.Strategy}
+		return core.AnalyzeCtx(ctx, luleshConfig(binding), workloads.NewLULESH(params))
+	}
+}
+
+// A zero-sample profile must yield "no advice", and the report must
+// survive JSON marshaling — i.e. no NaN leaked into any ranked field
+// (json.Marshal fails loudly on NaN, which is exactly the regression
+// this guards).
+func TestZeroSampleProfileNoAdvice(t *testing.T) {
+	p := &core.Profile{AppName: "empty", Mechanism: "IBS"}
+	adv := Advise(p, Options{})
+	if !adv.NoAdvice {
+		t.Fatalf("zero-sample profile produced advice: %+v", adv)
+	}
+	if adv.Reason == "" {
+		t.Fatal("no advice without a reason")
+	}
+	if len(adv.Remedies) != 0 {
+		t.Fatalf("zero-sample profile produced %d remedies", len(adv.Remedies))
+	}
+	if _, err := json.Marshal(adv); err != nil {
+		t.Fatalf("advice not JSON-clean (NaN leaked?): %v", err)
+	}
+	if Advise(nil, Options{}).NoAdvice != true {
+		t.Fatal("nil profile must yield no advice")
+	}
+	rep, err := Measure(context.Background(), adv, Candidates(adv), 1, nil)
+	if err != nil {
+		t.Fatalf("measuring a no-advice report: %v", err)
+	}
+	if rep.Best != nil || rep.Composite != nil {
+		t.Fatal("no-advice report gained measured remedies")
+	}
+}
+
+// The LULESH diagnosis must surface the paper's fix: the staircase
+// variables get a block-wise remedy with a positive predicted impact,
+// ranked at or above interleaving.
+func TestLULESHPlanProposesBlockwise(t *testing.T) {
+	adv := Advise(luleshBaseline(t, 2), Options{})
+	if adv.NoAdvice {
+		t.Fatalf("LULESH baseline yielded no advice: %s", adv.Reason)
+	}
+	bw := adv.Remedy(KindBlockWise)
+	if bw == nil {
+		t.Fatalf("no blockwise remedy in plan: %+v", adv.Remedies)
+	}
+	if !bw.PredictedOK || bw.Predicted <= 0 {
+		t.Fatalf("blockwise prediction not positive: %+v", bw)
+	}
+	if il := adv.Remedy(KindInterleave); il != nil && il.PredictedOK && il.Predicted > bw.Predicted {
+		t.Fatalf("interleave (%.3f) outranked blockwise (%.3f)", il.Predicted, bw.Predicted)
+	}
+	for _, r := range adv.Remedies {
+		if len(r.Targets) == 0 {
+			t.Fatalf("remedy %s has no targets", r.Kind)
+		}
+	}
+}
+
+// Same profile, same options → byte-identical advice report at sched
+// widths 1, 4, and 8. This is the serial-vs-parallel hash-identity
+// contract for the optimizer.
+func TestOptimizeDeterministicAcrossWidths(t *testing.T) {
+	baseline := luleshBaseline(t, 2)
+	run := luleshRun(2)
+	var want [32]byte
+	var wantText string
+	for i, width := range []int{1, 4, 8} {
+		rep, err := Optimize(context.Background(), baseline, Options{Width: width}, run)
+		if err != nil {
+			t.Fatalf("width %d: %v", width, err)
+		}
+		blob, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatalf("width %d: marshal: %v", width, err)
+		}
+		sum := sha256.Sum256(blob)
+		text := rep.Render()
+		if i == 0 {
+			want, wantText = sum, text
+			if rep.Best == nil {
+				t.Fatal("measured report has no best remedy")
+			}
+			continue
+		}
+		if sum != want {
+			t.Fatalf("width %d: advice JSON diverged from width 1", width)
+		}
+		if text != wantText {
+			t.Fatalf("width %d: rendered report diverged from width 1", width)
+		}
+	}
+}
+
+// The rendered report must carry the predicted-vs-measured contract for
+// every remedy.
+func TestRenderCarriesPredictedAndMeasured(t *testing.T) {
+	rep, err := Optimize(context.Background(), luleshBaseline(t, 2), Options{Width: 2}, luleshRun(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := rep.Render()
+	for _, needle := range []string{"ranked plan", "predicted", "measured", "best measured:"} {
+		if !strings.Contains(text, needle) {
+			t.Fatalf("rendered report missing %q:\n%s", needle, text)
+		}
+	}
+	for _, r := range rep.Remedies {
+		if r.Error == "" && !r.MeasuredOK {
+			t.Fatalf("remedy %s was not measured: %+v", r.Kind, r)
+		}
+	}
+}

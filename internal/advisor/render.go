@@ -1,0 +1,85 @@
+package advisor
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render produces the human-readable optimizer report. The output is a
+// pure function of the report contents — no wall-clock, no map
+// iteration — so the bytes are identical for any sched width and for
+// repeated runs over the same profile.
+func (rep *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== NUMA optimizer: %s (%s, %s) ===\n", rep.Workload, rep.Machine, rep.Mechanism)
+	if rep.LPIOK {
+		fmt.Fprintf(&b, "baseline: ROI %d cycles, lpi_NUMA %.4f (significant: %v), remote fraction %.2f, imbalance %.2f\n",
+			rep.BaselineROI, rep.LPI, rep.Significant, rep.RemoteFraction, rep.Imbalance)
+	} else {
+		fmt.Fprintf(&b, "baseline: ROI %d cycles (no lpi_NUMA estimate)\n", rep.BaselineROI)
+	}
+	if rep.NoAdvice {
+		fmt.Fprintf(&b, "no advice: %s\n", rep.Reason)
+		return b.String()
+	}
+
+	shareLabel := "remote-lat share"
+	if rep.CountBased {
+		shareLabel = "remote-acc share"
+	}
+	b.WriteString("\nfindings (hot variables):\n")
+	for _, f := range rep.Findings {
+		cls := "scattered"
+		switch {
+		case f.Staircase:
+			cls = "staircase@" + f.StaircaseScope
+		case f.Overlap >= 0.5:
+			cls = "full-sweep"
+		}
+		ft := "unknown"
+		if f.FirstTouchKnown {
+			ft = "parallel"
+			if f.SerialFirstTouch {
+				ft = "serial"
+			}
+		}
+		ratio := "n/a"
+		if f.MrOverMlOK {
+			ratio = fmt.Sprintf("%.2f", f.MrOverMl)
+		}
+		fmt.Fprintf(&b, "  %-16s %s %5.1f%%  Mr/Ml %-6s home domain %d (%.0f%%)  first touch %-8s pattern %s\n",
+			f.Var, shareLabel, 100*f.RemoteLatShare, ratio, f.HomeDomain, 100*f.HomeShare, ft, cls)
+	}
+
+	b.WriteString("\nranked plan (predicted vs measured speedup):\n")
+	renderRemedy := func(i string, r *Remedy) {
+		pred := "   n/a"
+		if r.PredictedOK {
+			pred = fmt.Sprintf("%+5.1f%%", 100*r.Predicted)
+		}
+		meas := "   n/a"
+		if r.MeasuredOK {
+			meas = fmt.Sprintf("%+5.1f%%", 100*r.Measured)
+		}
+		fmt.Fprintf(&b, "  %s %-22s %-22s predicted %s  measured %s", i, r.Kind, r.Transform.String(), pred, meas)
+		if r.Error != "" {
+			fmt.Fprintf(&b, "  FAILED: %s", r.Error)
+		}
+		b.WriteString("\n")
+		if len(r.Targets) > 0 {
+			fmt.Fprintf(&b, "      targets: %s\n", strings.Join(r.Targets, ", "))
+		}
+		fmt.Fprintf(&b, "      why: %s\n", r.Rationale)
+	}
+	for i := range rep.Remedies {
+		renderRemedy(fmt.Sprintf("%d.", i+1), &rep.Remedies[i])
+	}
+	if rep.Composite != nil {
+		renderRemedy("C.", rep.Composite)
+	}
+	if rep.Best != nil {
+		fmt.Fprintf(&b, "\nbest measured: %s (%s) %+.1f%%\n",
+			rep.Best.Kind, rep.Best.Transform.String(), 100*rep.Best.Measured)
+	}
+	return b.String()
+}

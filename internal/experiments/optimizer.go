@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/advisor"
+	"repro/internal/core"
+	"repro/internal/proc"
+	"repro/internal/topology"
+	"repro/internal/workloads"
+)
+
+// The OPT scorecard: the closed-loop optimizer must autonomously
+// recover every documented case-study fix from Section 8 — profile the
+// baseline, diagnose it, propose remedies, re-run them, and land the
+// paper's fix with a measured speedup inside the documented tolerance —
+// plus the negative control (Blackscholes gets no advice) and the
+// serial-vs-parallel determinism contract on the advice report.
+
+// optimizeCase profiles a workload's baseline under monitoring (the
+// case-study configuration: chosen mechanism, first-touch tracking on)
+// and runs the optimizer over it. Candidate re-runs apply remedies as
+// direct config/workload transforms: the placement strategy flows into
+// the workload's tuning hook, a binding change into the config — so
+// even knobs the service spec coerces away (UMT's compact binding) are
+// genuinely exercised here.
+func optimizeCase(mech string, m *topology.Machine, threads int, binding proc.Binding,
+	mk func(workloads.Strategy) core.App, o advisor.Options) (*advisor.Report, error) {
+
+	cfg := BaseConfig(m, threads, binding)
+	cfg.Mechanism = mech
+	cfg.TrackFirstTouch = true
+	baseline, err := core.Analyze(cfg, mk(workloads.Baseline))
+	if err != nil {
+		return nil, err
+	}
+	run := func(ctx context.Context, _ int, t advisor.Transform) (*core.Profile, error) {
+		ccfg := cfg
+		switch t.Binding {
+		case "compact":
+			ccfg.Binding = proc.Compact
+		case "scatter":
+			ccfg.Binding = proc.Scatter
+		}
+		strategy := workloads.Baseline
+		if t.Strategy != "" {
+			strategy = t.Strategy
+		}
+		return core.AnalyzeCtx(ctx, ccfg, mk(strategy))
+	}
+	return advisor.Optimize(context.Background(), baseline, o, run)
+}
+
+// measuredFor extracts a remedy kind's measured speedup from a report.
+func measuredFor(rep *advisor.Report, k advisor.Kind) (float64, bool) {
+	r := rep.Advice.Remedy(k)
+	if r == nil || !r.MeasuredOK {
+		return 0, false
+	}
+	return r.Measured, true
+}
+
+// reduction converts a speedup to the paper's running-time-reduction
+// form 1 - 1/(1+s).
+func reduction(s float64) float64 {
+	if s <= -1 {
+		return 0
+	}
+	return 1 - 1/(1+s)
+}
+
+// OptimizerResult bundles the scorecard with the per-case reports, so
+// the bench artifact can render the full optimizer output.
+type OptimizerResult struct {
+	Scorecard *Scorecard
+	LULESH    *advisor.Report
+	AMG       *advisor.Report
+	UMT       *advisor.Report
+	Blacksch  *advisor.Report
+}
+
+// Render prints every case's optimizer report followed by the claims.
+func (r *OptimizerResult) Render() string {
+	var b strings.Builder
+	for _, rep := range []*advisor.Report{r.LULESH, r.AMG, r.UMT, r.Blacksch} {
+		if rep != nil {
+			b.WriteString(rep.Render())
+			b.WriteString("\n")
+		}
+	}
+	for _, c := range r.Scorecard.Claims {
+		status := "PASS"
+		if !c.Pass {
+			status = "FAIL"
+		}
+		fmt.Fprintf(&b, "[%s] %-5s %s\n        %s\n", status, c.ID, c.Description, c.Detail)
+	}
+	fmt.Fprintf(&b, "%d/%d optimizer claims pass\n", r.Scorecard.Passed(), len(r.Scorecard.Claims))
+	return b.String()
+}
+
+// RunOptimizer evaluates the optimizer scorecard. iters scales the
+// LULESH/AMG runs (0: 4, the case-study default); UMT always uses its
+// own default deck (the planes-per-angle structure needs it).
+func RunOptimizer(iters int) (*OptimizerResult, error) {
+	defer timedExperiment("optimizer")()
+	if iters == 0 {
+		iters = 4
+	}
+	res := &OptimizerResult{Scorecard: &Scorecard{}}
+	s := res.Scorecard
+
+	mkLULESH := func(st workloads.Strategy) core.App {
+		return workloads.NewLULESH(workloads.Params{Strategy: st, Iters: iters})
+	}
+	mkAMG := func(st workloads.Strategy) core.App {
+		return workloads.NewAMG2006(workloads.Params{Strategy: st, Iters: iters})
+	}
+	mkUMT := func(st workloads.Strategy) core.App {
+		return workloads.NewUMT2013(workloads.Params{Strategy: st})
+	}
+	mkBS := func(st workloads.Strategy) core.App {
+		return workloads.NewBlackscholes(workloads.Params{Strategy: st})
+	}
+
+	var err error
+	res.LULESH, err = optimizeCase("IBS", MachineForMechanism("IBS"), 0, proc.Compact, mkLULESH, advisor.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("optimizer/lulesh: %w", err)
+	}
+	// The AMG study (Section 8.2) examines the solver's vectors
+	// explicitly even though they sit at ~2% of remote latency each —
+	// the guided mix exists precisely because the matrices and vectors
+	// want different placements. Lower the hot threshold to pull them in.
+	res.AMG, err = optimizeCase("IBS", MachineForMechanism("IBS"), 0, proc.Compact, mkAMG,
+		advisor.Options{MinShare: 0.015})
+	if err != nil {
+		return nil, fmt.Errorf("optimizer/amg: %w", err)
+	}
+	res.UMT, err = optimizeCase("MRK", MachineForMechanism("MRK"), 32, proc.Scatter, mkUMT, advisor.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("optimizer/umt: %w", err)
+	}
+	res.Blacksch, err = optimizeCase("IBS", MachineForMechanism("IBS"), 0, proc.Compact, mkBS, advisor.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("optimizer/blackscholes: %w", err)
+	}
+
+	// OPT1 — LULESH (Section 8.1): the advisor must find the block-wise
+	// fix on its own and measure a real gain (paper: +25% on AMD; the
+	// simulated profile-time tolerance is documented in RESULTS.md).
+	lb, lok := measuredFor(res.LULESH, advisor.KindBlockWise)
+	s.add("OPT1", "LULESH: advisor recovers the block-wise placement fix with measured speedup",
+		lok && lb > 0.05 && lb < 0.60,
+		fmt.Sprintf("blockwise measured %s (ok=%v), paper +25%% on AMD", pct(lb), lok))
+
+	// OPT2 — AMG2006 (Section 8.2): the guided per-variable mix must be
+	// proposed, beat plain interleaving, and land a solver-time
+	// reduction in the documented band (paper: 51% vs 36%).
+	ag, agok := measuredFor(res.AMG, advisor.KindGuided)
+	ai, aiok := measuredFor(res.AMG, advisor.KindInterleave)
+	s.add("OPT2", "AMG2006: advisor recovers the guided partition, beating interleave-everything",
+		agok && aiok && ag >= ai && reduction(ag) > 0.25 && reduction(ag) < 0.70,
+		fmt.Sprintf("guided reduction %s vs interleave %s, paper 51%% vs 36%%",
+			pct(reduction(ag)), pct(reduction(ai))))
+
+	// OPT3 — UMT2013 (Section 8.4): the advisor must recover the
+	// parallel first-touch initialisation fix (paper: +7%).
+	uf, ufok := measuredFor(res.UMT, advisor.KindFirstTouch)
+	s.add("OPT3", "UMT2013: advisor recovers the parallel first-touch initialisation fix",
+		ufok && uf > 0.01 && uf < 0.25,
+		fmt.Sprintf("first-touch-init measured %s (ok=%v), paper +7%%", pct(uf), ufok))
+
+	// OPT4 — Blackscholes (Section 8.3): the negative control. lpi_NUMA
+	// sits below the significance threshold, so the honest answer is no
+	// advice at all.
+	s.add("OPT4", "Blackscholes: no advice below the lpi_NUMA significance threshold",
+		res.Blacksch.NoAdvice && len(res.Blacksch.Remedies) == 0,
+		fmt.Sprintf("no_advice=%v (%s)", res.Blacksch.NoAdvice, res.Blacksch.Reason))
+
+	// OPT5 — determinism: the same baseline optimized serially and in
+	// parallel must produce hash-identical advice reports.
+	h1, err := optimizerHash(mkLULESH, 1)
+	if err != nil {
+		return nil, fmt.Errorf("optimizer/determinism: %w", err)
+	}
+	h4, err := optimizerHash(mkLULESH, 4)
+	if err != nil {
+		return nil, fmt.Errorf("optimizer/determinism: %w", err)
+	}
+	s.add("OPT5", "Advice reports are deterministic: serial and parallel runs hash-identical",
+		h1 == h4, fmt.Sprintf("width 1 %s, width 4 %s", h1[:12], h4[:12]))
+
+	return res, nil
+}
+
+// optimizerHash runs the LULESH optimizer at a given sched width and
+// hashes the canonical report JSON.
+func optimizerHash(mk func(workloads.Strategy) core.App, width int) (string, error) {
+	rep, err := optimizeCase("IBS", MachineForMechanism("IBS"), 0, proc.Compact, mk,
+		advisor.Options{Width: width})
+	if err != nil {
+		return "", err
+	}
+	blob, err := json.Marshal(rep)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%x", sha256.Sum256(blob)), nil
+}

@@ -11,6 +11,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"repro/internal/advisor"
 )
 
 // Client is a minimal Go client for a numad daemon, shared by
@@ -234,6 +236,36 @@ func (c *Client) HTMLReport(ctx context.Context, id string) (string, error) {
 // job — byte-identical to `numaprof -profile` output for the same spec.
 func (c *Client) ProfileBytes(ctx context.Context, id string) ([]byte, error) {
 	return c.view(ctx, id, "profile")
+}
+
+// Advise submits an optimizer run for a finished job and returns the
+// accepted advise job's status. Like Submit, it rides do's retry loop:
+// transport errors and 429/503 refusals back off honoring the daemon's
+// Retry-After hint, and the advise job is content-addressed
+// server-side, so a repeated request deduplicates instead of
+// re-running.
+func (c *Client) Advise(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	data, err := c.do(ctx, http.MethodPost, "/api/v1/jobs/"+url.PathEscape(id)+"/advise", nil)
+	if err != nil {
+		return st, err
+	}
+	return st, json.Unmarshal(data, &st)
+}
+
+// AdviseResult fetches a done advise job's optimizer report: findings,
+// the ranked remedies with predicted and measured speedups, the
+// composite plan, and the best measured remedy.
+func (c *Client) AdviseResult(ctx context.Context, id string) (*advisor.Report, error) {
+	data, err := c.view(ctx, id, "advice")
+	if err != nil {
+		return nil, err
+	}
+	var rep advisor.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
 }
 
 // DiffText diffs two jobs (or profile keys) and returns the rendered

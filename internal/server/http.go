@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/advisor"
 	"repro/internal/core"
 	"repro/internal/diff"
 	coremetrics "repro/internal/metrics"
@@ -21,8 +22,9 @@ import (
 // Handler returns the daemon's HTTP API:
 //
 //	POST   /api/v1/jobs            submit a job (Spec JSON body)
+//	POST   /api/v1/jobs/{id}/advise  submit an optimizer run for a done job
 //	GET    /api/v1/jobs            list jobs (?state= filters)
-//	GET    /api/v1/jobs/{id}       job status (?view=text|html|profile)
+//	GET    /api/v1/jobs/{id}       job status (?view=text|html|profile|advice)
 //	DELETE /api/v1/jobs/{id}       cancel a job
 //	GET    /api/v1/profiles        list stored profile keys
 //	GET    /api/v1/profiles/{key}  raw .numaprof bytes for a key
@@ -33,6 +35,7 @@ import (
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
+	mux.HandleFunc("POST /api/v1/jobs/{id}/advise", s.handleAdvise)
 	mux.HandleFunc("GET /api/v1/jobs", s.handleListJobs)
 	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleGetJob)
 	mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleCancelJob)
@@ -71,6 +74,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	job, err := s.Submit(spec)
+	s.writeSubmitResult(w, job, err)
+}
+
+// writeSubmitResult maps a Submit outcome to the wire, shared by the
+// plain submit and advise endpoints.
+func (s *Server) writeSubmitResult(w http.ResponseWriter, job *Job, err error) {
 	switch {
 	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrOverloaded):
 		setRetryAfter(w, err)
@@ -126,16 +135,61 @@ func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 	switch v := r.URL.Query().Get("view"); v {
 	case "", "status", "json":
 		writeJSON(w, http.StatusOK, job.Status())
+	case "advice":
+		st := job.Status()
+		if !st.Spec.Advise {
+			writeError(w, http.StatusBadRequest, "job %s is not an advise job; POST /api/v1/jobs/%s/advise first", st.ID, st.ID)
+			return
+		}
+		if st.State != StateDone {
+			writeError(w, http.StatusConflict, "job %s is %s, not done", st.ID, st.State)
+			return
+		}
+		blob, err := s.adviceReport(r.Context(), job)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "advice: %v", err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(blob)
 	case "text", "html", "profile":
 		st := job.Status()
 		if st.State != StateDone {
 			writeError(w, http.StatusConflict, "job %s is %s, not done", st.ID, st.State)
 			return
 		}
+		if st.Spec.Advise {
+			// An advise job stores no profile under its own key; its
+			// text view is the optimizer report, and the byte views
+			// live under the per-remedy keys in that report.
+			if v != "text" {
+				writeError(w, http.StatusBadRequest,
+					"advise job %s has no %s view; use ?view=advice and the per-remedy profile keys", st.ID, v)
+				return
+			}
+			s.serveAdviceText(r.Context(), w, job)
+			return
+		}
 		s.serveProfileView(r.Context(), w, st.Key, v)
 	default:
-		writeError(w, http.StatusBadRequest, "unknown view %q (status|text|html|profile)", v)
+		writeError(w, http.StatusBadRequest, "unknown view %q (status|text|html|profile|advice)", v)
 	}
+}
+
+// serveAdviceText renders a done advise job's report as plain text.
+func (s *Server) serveAdviceText(ctx context.Context, w http.ResponseWriter, job *Job) {
+	blob, err := s.adviceReport(ctx, job)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "advice: %v", err)
+		return
+	}
+	var rep advisor.Report
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		writeError(w, http.StatusInternalServerError, "advice: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, rep.Render())
 }
 
 // serveProfileView renders a stored profile as text, HTML, or raw

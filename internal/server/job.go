@@ -56,6 +56,7 @@ type Job struct {
 	attempt   int          // zero-based run attempt (retries increment)
 	recovered bool         // re-enqueued from the journal after a restart
 	cells     []CellStatus // per-cell progress of a sweep job
+	advice    []byte       // advise job's marshaled advisor.Report
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
@@ -142,6 +143,23 @@ func (j *Job) setCells(cells []CellStatus) {
 	j.mu.Lock()
 	j.cells = cells
 	j.mu.Unlock()
+}
+
+// setAdvice caches an advise job's finished report (canonical JSON).
+// The cache is a convenience, not the durability story: every input to
+// the report is content-addressed in the store, so a restarted daemon
+// recomputes identical bytes on demand (see adviceReport).
+func (j *Job) setAdvice(b []byte) {
+	j.mu.Lock()
+	j.advice = b
+	j.mu.Unlock()
+}
+
+// adviceNow reads the cached advice report, nil when absent.
+func (j *Job) adviceNow() []byte {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.advice
 }
 
 // setCell updates one cell's state as the sweep progresses.

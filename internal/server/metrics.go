@@ -38,9 +38,16 @@ type metrics struct {
 	cellsReplayed    *telemetry.Counter // sweep cells served from checkpoint
 	cellsRecomputed  *telemetry.Counter // sweep cells computed and saved
 
+	// Optimizer instruments (PR 8): advise endpoint traffic, remedies
+	// actually re-run, and per-candidate rerun latency.
+	adviseRequests  *telemetry.Counter
+	adviseDone      *telemetry.Counter
+	remediesApplied *telemetry.Counter
+
 	queueWait *telemetry.Histogram // submit → dequeue
 	run       *telemetry.Histogram // dequeue → result (compute or cache)
 	total     *telemetry.Histogram // submit → terminal state
+	rerun     *telemetry.Histogram // one advise candidate re-run
 }
 
 // newMetrics registers the job-lifecycle instruments on reg. The
@@ -69,6 +76,11 @@ func newMetrics(reg *telemetry.Registry) metrics {
 		breakerFastFails: reg.Counter("jobs_breaker_fastfails_total"),
 		cellsReplayed:    reg.Counter("jobs_cells_replayed_total"),
 		cellsRecomputed:  reg.Counter("jobs_cells_recomputed_total"),
+
+		adviseRequests:  reg.Counter("jobs_advise_requests_total"),
+		adviseDone:      reg.Counter("jobs_advise_done_total"),
+		remediesApplied: reg.Counter("jobs_remedies_applied_total"),
+		rerun:           reg.Histogram("job_advise_rerun"),
 	}
 }
 
@@ -102,6 +114,13 @@ type RecoveryInfo struct {
 	CellsRecomputed  uint64 `json:"cells_recomputed"`
 }
 
+// AdvisorInfo is the optimizer block of MetricsSnapshot.
+type AdvisorInfo struct {
+	Requests        uint64 `json:"requests"`
+	Done            uint64 `json:"done"`
+	RemediesApplied uint64 `json:"remedies_applied"`
+}
+
 // MetricsSnapshot is what GET /metrics serves. Every pre-telemetry key
 // is unchanged (scrapers keep working); Instruments is the new unified
 // registry view carrying the jobs_*/job_* instruments, the mirrored
@@ -118,6 +137,7 @@ type MetricsSnapshot struct {
 	StoreHits uint64                       `json:"store_hits"`
 	LatencyUs map[string]HistogramSnapshot `json:"latency_us"`
 	Recovery  RecoveryInfo                 `json:"recovery"`
+	Advisor   AdvisorInfo                  `json:"advisor"`
 
 	Instruments telemetry.RegistrySnapshot `json:"instruments"`
 }
@@ -145,9 +165,15 @@ func (m *metrics) snapshot(st store.Stats, depth, capacity, workers int) Metrics
 		Store:         st,
 		StoreHits:     st.Hits(),
 		LatencyUs: map[string]HistogramSnapshot{
-			"queue_wait": m.queueWait.Snapshot(),
-			"run":        m.run.Snapshot(),
-			"total":      m.total.Snapshot(),
+			"queue_wait":   m.queueWait.Snapshot(),
+			"run":          m.run.Snapshot(),
+			"total":        m.total.Snapshot(),
+			"advise_rerun": m.rerun.Snapshot(),
+		},
+		Advisor: AdvisorInfo{
+			Requests:        m.adviseRequests.Value(),
+			Done:            m.adviseDone.Value(),
+			RemediesApplied: m.remediesApplied.Value(),
 		},
 		Recovery: RecoveryInfo{
 			Recovered:        m.recovered.Value(),

@@ -458,6 +458,9 @@ func (s *Server) execute(ctx context.Context, job *Job, attempt int) (State, str
 			return StateFailed, err.Error(), false, err
 		}
 	}
+	if job.spec.Advise {
+		return s.executeAdvise(ctx, job)
+	}
 	if job.spec.IsSweep() {
 		return s.executeSweep(ctx, job)
 	}

@@ -56,6 +56,13 @@ type Spec struct {
 	// Chaos is a fault-injection plan (see internal/faults), e.g.
 	// "drop=0.2,fail=2000,seed=42".
 	Chaos string `json:"chaos,omitempty"`
+	// Advise turns the job into an optimizer run: profile the spec (or
+	// reuse its stored baseline), diagnose it, and re-run every
+	// candidate remedy (see internal/advisor). Set by POST
+	// /api/v1/jobs/{id}/advise, not usually by hand. omitempty keeps
+	// every pre-existing spec's canonical JSON — and store key —
+	// unchanged.
+	Advise bool `json:"advise,omitempty"`
 }
 
 // defaultMachineFor mirrors the CLI's mechanism → Table 1 testbed
@@ -175,6 +182,11 @@ func (s Spec) Normalize() (Spec, error) {
 		ft := true
 		n.FirstTouch = &ft
 	}
+	if n.Advise && !*n.FirstTouch {
+		// The advisor's first-touch remedies need the pinpointing view;
+		// refusing here beats silently weaker advice.
+		return n, fmt.Errorf("advise requires first_touch tracking")
+	}
 	return n, nil
 }
 
@@ -183,6 +195,9 @@ func (s Spec) Normalize() (Spec, error) {
 // expanded cell proven to normalize on its own.
 func (s Spec) normalizeSweep() (Spec, error) {
 	n := s
+	if n.Advise {
+		return n, fmt.Errorf("advise applies to a single run, not a sweep (%s × %s)", n.Workload, n.Strategy)
+	}
 	wls := splitList(n.Workload)
 	if len(wls) == 0 {
 		return n, fmt.Errorf("empty workload list %q", s.Workload)
