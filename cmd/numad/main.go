@@ -67,6 +67,7 @@ type config struct {
 	top          int
 	journal      bool
 	retries      int
+	snapEvery    int
 }
 
 func main() {
@@ -81,6 +82,8 @@ func main() {
 	flag.IntVar(&cfg.top, "top", 5, "variables the text/HTML views detail")
 	flag.BoolVar(&cfg.journal, "journal", true, "write-ahead job journal in the store directory, replayed on startup to recover interrupted jobs")
 	flag.IntVar(&cfg.retries, "retries", 0, "transient-failure retries per job (0: default 3; negative: disable)")
+	flag.IntVar(&cfg.snapEvery, "snapshot-every", 0,
+		"publish a live progress snapshot every N profiling epochs to /api/v1/jobs/{id}/events (0: lifecycle events only)")
 	logLevel := flag.String("log-level", "",
 		"log level spec, e.g. info or warn,server=debug (overrides $"+telemetry.LogEnvVar+")")
 	flag.StringVar(&cfg.debugAddr, "debug-addr", "",
@@ -156,13 +159,14 @@ func run(cfg config) error {
 		defer jl.Close()
 	}
 	srv, err := server.New(server.Options{
-		Store:      st,
-		Workers:    cfg.workers,
-		QueueDepth: cfg.queueDepth,
-		JobTimeout: cfg.jobTimeout,
-		TopVars:    cfg.top,
-		Journal:    jl,
-		MaxRetries: cfg.retries,
+		Store:         st,
+		Workers:       cfg.workers,
+		QueueDepth:    cfg.queueDepth,
+		JobTimeout:    cfg.jobTimeout,
+		TopVars:       cfg.top,
+		Journal:       jl,
+		MaxRetries:    cfg.retries,
+		SnapshotEvery: cfg.snapEvery,
 	})
 	if err != nil {
 		return err
@@ -206,16 +210,20 @@ func run(cfg config) error {
 
 	ctx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
 	defer cancel()
-	// Stop accepting connections first, then drain the job queue and
-	// flush the store.
+	// Drain the job queue first: Shutdown immediately flips the server
+	// to draining (new submissions get 503) and, once the backlog ends,
+	// closes every live event stream with a terminal `shutdown` event.
+	// Only then can httpSrv.Shutdown finish — it waits for active
+	// connections, and SSE handlers hold theirs open until their hub
+	// closes.
+	if err := srv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
 	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		logger.Warn("http shutdown", "err", err.Error())
 	}
 	if debugSrv != nil {
 		debugSrv.Close()
-	}
-	if err := srv.Shutdown(ctx); err != nil {
-		return fmt.Errorf("drain: %w", err)
 	}
 	logger.Info("drained, store flushed")
 	return nil

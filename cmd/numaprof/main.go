@@ -42,6 +42,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/pmu"
 	"repro/internal/profio"
+	"repro/internal/progress"
 	"repro/internal/sched"
 	"repro/internal/server"
 	"repro/internal/telemetry"
@@ -73,6 +74,10 @@ func main() {
 			"worker goroutines when profiling several workloads (1: serial; reports are identical either way)")
 		submit = flag.String("submit", "",
 			"submit the job(s) to a numad daemon at this base URL (e.g. http://localhost:7077) instead of profiling locally")
+		follow = flag.Bool("follow", false,
+			"with -submit: stream the job's live events (SSE) and print a progress line per snapshot instead of polling silently")
+		convergeEarly = flag.Bool("converge-early", false,
+			"local only: stop sampling once the profile's metric estimates converge; the report's health block records the early stop")
 		telemetryDir = flag.String("telemetry", "",
 			"self-profile the run: write "+telemetry.TraceFile+" (chrome://tracing), "+
 				telemetry.SpanFile+" and "+telemetry.MetricsFile+" to this directory and print a per-phase summary")
@@ -124,6 +129,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "numaprof: -optimize needs a single workload")
 		exit(1)
 	}
+	if *follow && *submit == "" {
+		fmt.Fprintln(os.Stderr, "numaprof: -follow needs -submit")
+		exit(1)
+	}
+	if *convergeEarly && *submit != "" {
+		// Daemon profiles are content-addressed by spec; an early-stopped
+		// run would not be byte-identical, so the flag is local-only.
+		fmt.Fprintln(os.Stderr, "numaprof: -converge-early is local-only (daemon profiles are cached by spec)")
+		exit(1)
+	}
 
 	if *submit != "" {
 		// Client mode: the daemon runs the jobs; identical specs are
@@ -143,7 +158,7 @@ func main() {
 			return
 		}
 		if err := submitJobs(os.Stdout, *submit, names, *mechanism, *machine, *threads, *binding,
-			*strategy, *period, *bins, *iters, *firstT, *doTrace, *htmlOut, *profOut, *chaos); err != nil {
+			*strategy, *period, *bins, *iters, *firstT, *doTrace, *follow, *htmlOut, *profOut, *chaos); err != nil {
 			fmt.Fprintln(os.Stderr, "numaprof:", err)
 			exit(1)
 		}
@@ -163,7 +178,7 @@ func main() {
 
 	if len(names) == 1 {
 		if err := run(ctx, os.Stdout, names[0], *mechanism, *machine, *threads, *binding, *strategy,
-			*period, *bins, *iters, *top, *firstT, *showCCT, *doTrace, *htmlOut, *profOut, *chaos); err != nil {
+			*period, *bins, *iters, *top, *firstT, *showCCT, *doTrace, *convergeEarly, *htmlOut, *profOut, *chaos); err != nil {
 			fmt.Fprintln(os.Stderr, "numaprof:", err)
 			exit(1)
 		}
@@ -182,7 +197,7 @@ func main() {
 	outs, err := sched.MapCtx(ctx, len(names), func(ctx context.Context, i int) (string, error) {
 		var buf bytes.Buffer
 		if err := run(ctx, &buf, names[i], *mechanism, *machine, *threads, *binding, *strategy,
-			*period, *bins, *iters, *top, *firstT, *showCCT, *doTrace, "", "", *chaos); err != nil {
+			*period, *bins, *iters, *top, *firstT, *showCCT, *doTrace, *convergeEarly, "", "", *chaos); err != nil {
 			return "", fmt.Errorf("%s: %w", names[i], err)
 		}
 		return buf.String(), nil
@@ -213,7 +228,7 @@ func main() {
 }
 
 func run(ctx context.Context, w io.Writer, workload, mechanism, machine string, threads int, binding, strategy string,
-	period uint64, bins, iters, top int, firstTouch, showCCT, doTrace bool, htmlOut, profOut, chaos string) error {
+	period uint64, bins, iters, top int, firstTouch, showCCT, doTrace, convergeEarly bool, htmlOut, profOut, chaos string) error {
 
 	// The spec-to-config path is shared with the numad daemon
 	// (internal/server), which is what makes a daemon-served profile
@@ -238,6 +253,14 @@ func run(ctx context.Context, w io.Writer, workload, mechanism, machine string, 
 	buildDone()
 	if err != nil {
 		return err
+	}
+	if convergeEarly {
+		// Config-level (never Spec-level) so the early-stopped profile is
+		// clearly a different artifact from the spec's cached one.
+		cfg.ConvergeEarly = true
+		if cfg.SnapshotEvery <= 0 {
+			cfg.SnapshotEvery = 1
+		}
 	}
 	prof, err := core.AnalyzeCtx(ctx, cfg, app)
 	if err != nil {
@@ -386,8 +409,38 @@ func optimizeRemote(w io.Writer, baseURL, workload, mechanism, machine string, t
 // daemon, wait for completion, and print each report in the order
 // given. With a single workload, -html and -profile fetch the daemon's
 // rendered HTML and raw measurement bytes into local files.
+// followJob streams one job's SSE events, printing a progress line per
+// snapshot and an announcement per lifecycle transition, and returns
+// the terminal status.
+func followJob(ctx context.Context, w io.Writer, client *server.Client, id string) (server.JobStatus, error) {
+	return client.Follow(ctx, id, func(ev server.StreamEvent) {
+		switch ev.Type {
+		case progress.EventSnapshot:
+			s := ev.Snapshot
+			if s == nil || s.Final {
+				return
+			}
+			lpi := "n/a"
+			if s.LPIValid {
+				lpi = fmt.Sprintf("%.3f", s.LPI)
+			}
+			conv := ""
+			switch {
+			case s.Converged:
+				conv = "  [converged]"
+			case s.Confidence > 0:
+				conv = fmt.Sprintf("  [stabilising %.0f%%]", 100*s.Confidence)
+			}
+			fmt.Fprintf(w, "%s  epoch %-4d samples %-8.0f remote %5.1f%%  lpi %s%s\n",
+				id, s.Epoch, s.Samples, 100*s.RemoteFraction, lpi, conv)
+		case progress.EventQueued, progress.EventRunning, progress.EventShutdown:
+			fmt.Fprintf(w, "%s  %s\n", id, ev.Type)
+		}
+	})
+}
+
 func submitJobs(w io.Writer, baseURL string, names []string, mechanism, machine string, threads int,
-	binding, strategy string, period uint64, bins, iters int, firstTouch, doTrace bool,
+	binding, strategy string, period uint64, bins, iters int, firstTouch, doTrace, follow bool,
 	htmlOut, profOut, chaos string) error {
 
 	ctx := context.Background()
@@ -415,7 +468,15 @@ func submitJobs(w io.Writer, baseURL string, names []string, mechanism, machine 
 		ids[i] = st.ID
 	}
 	for i, id := range ids {
-		st, err := client.Wait(ctx, id)
+		var (
+			st  server.JobStatus
+			err error
+		)
+		if follow {
+			st, err = followJob(ctx, w, client, id)
+		} else {
+			st, err = client.Wait(ctx, id)
+		}
 		if err != nil {
 			return fmt.Errorf("%s: %w", names[i], err)
 		}

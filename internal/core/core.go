@@ -39,6 +39,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/pmu"
 	"repro/internal/proc"
+	"repro/internal/progress"
 	"repro/internal/telemetry"
 	"repro/internal/topology"
 	"repro/internal/trace"
@@ -100,6 +101,32 @@ type Config struct {
 	// on hard failure, and salvaging the merge when per-thread
 	// profiles are lost — and accounts for it all in Profile.Health.
 	Faults *faults.Plan
+
+	// SnapshotEvery enables the live-progress publisher: every N
+	// completed parallel/serial regions ("epochs") the profiler
+	// captures an immutable progress.Snapshot of the in-flight
+	// aggregates and derived metric estimates and hands it to
+	// OnSnapshot, plus one final snapshot mirroring the completed
+	// profile's Totals. 0 (the default) disables capture; the
+	// per-region cost is then a counter increment and one compare.
+	// Snapshots are observational: enabling them never changes the
+	// profile's bytes (only ConvergeEarly does).
+	SnapshotEvery int
+	// SnapshotTopK bounds the hot-variable estimates carried by each
+	// snapshot (0: 5).
+	SnapshotTopK int
+	// OnSnapshot receives every snapshot, synchronously on the run's
+	// goroutine; it must not block. May be nil — the convergence
+	// detector still runs, which is what ConvergeEarly needs.
+	OnSnapshot func(progress.Snapshot)
+	// ConvergeEarly stops sampling once the live estimates converge
+	// (progress.Detector over the LPI and remote-fraction quotients).
+	// The run itself completes — only monitoring detaches — so the
+	// profile still covers the whole execution, but its sampled
+	// metrics describe the pre-stop window. Such profiles are
+	// intentionally NOT byte-identical to full-sampling runs; the
+	// early stop is recorded in Health. Requires SnapshotEvery > 0.
+	ConvergeEarly bool
 }
 
 // Totals carries whole-program measurements and derived metrics.
@@ -454,6 +481,14 @@ type profiler struct {
 	quarInstr     uint64
 	quarRemote    uint64
 	quarRemoteLat units.Cycles
+
+	// Live-progress publisher state: completed-region epochs, the
+	// snapshot sequence, the convergence detector, and whether the
+	// converge-early policy already detached the monitor.
+	epoch        int
+	snapSeq      int
+	detector     progress.Detector
+	stoppedEarly bool
 }
 
 type varAgg struct {
@@ -647,9 +682,17 @@ func (p *profiler) OnRegionBegin(name string, _ []*proc.Thread) {
 	p.patterns.EnterRegion(name)
 }
 
-// OnRegionEnd implements proc.Hook.
+// OnRegionEnd implements proc.Hook. Each completed region is one
+// "epoch" of the live-progress publisher; at the configured cadence it
+// captures a snapshot of the in-flight estimates. Runs synchronously
+// on the engine's goroutine, so the capture reads the plain profiler
+// fields without locks.
 func (p *profiler) OnRegionEnd(string) {
 	p.patterns.LeaveRegion()
+	p.epoch++
+	if n := p.cfg.SnapshotEvery; n > 0 && p.epoch%n == 0 {
+		p.publishSnapshot(p.liveSnapshot(), false)
+	}
 }
 
 // onSample is the PMU monitor's callback: attribute one address sample.
@@ -872,6 +915,13 @@ func (p *profiler) finish(ctx context.Context, appName string, mon *pmu.Monitor)
 		telemetry.String("workload", appName))
 	totals := p.buildTotals(mon, caps)
 	deriveDone()
+
+	// Close the stream with a snapshot mirroring the completed
+	// profile's derived metrics exactly: a subscriber's last estimate
+	// IS the stored profile's truth.
+	if p.cfg.SnapshotEvery > 0 {
+		p.publishSnapshot(p.finalSnapshot(totals, vars), true)
+	}
 	return &Profile{
 		Health:         p.health,
 		AppName:        appName,
@@ -964,13 +1014,167 @@ func (p *profiler) buildTotals(mon *pmu.Monitor, caps pmu.Capability) Totals {
 	}
 	t.Overhead = overhead
 
-	// Estimator inputs. On a hard sampler failure the fallback
-	// mechanism measures no latency, so the estimate comes from the
-	// window collected before the failure; quarantined samples are
-	// subtracted so garbage never reaches an equation.
-	remLat := mon.SampledRemoteLatency()
-	instr := mon.SampledInstructions()
-	remEvents := mon.SampledRemote()
+	t.LPI, t.LPIInsufficient = p.estimateLPI(caps)
+	best := t.LPI
+	if math.IsNaN(best) {
+		best = t.LPIExact
+	}
+	t.Significant = metrics.Significant(best)
+	return t
+}
+
+// snapshotTopK resolves the per-snapshot hot-variable bound.
+func (p *profiler) snapshotTopK() int {
+	if p.cfg.SnapshotTopK > 0 {
+		return p.cfg.SnapshotTopK
+	}
+	return 5
+}
+
+// estimatorCaps returns the capability row the estimators key off: the
+// *configured* mechanism's, even after a mid-run fallback — matching
+// finish's accounting, so mid-run estimates use the same equations the
+// final Totals will.
+func (p *profiler) estimatorCaps() pmu.Capability {
+	if p.faulty != nil {
+		return p.faulty.Inner().Caps()
+	}
+	return p.mon.Mechanism().Caps()
+}
+
+// liveSnapshot captures the in-flight aggregates into a Snapshot: the
+// same quantities buildTotals derives at the end of the run, estimated
+// over the samples collected so far. Pure read — the profiler's state
+// and the eventual profile bytes are untouched.
+func (p *profiler) liveSnapshot() progress.Snapshot {
+	s := progress.Snapshot{
+		Epoch:               p.epoch,
+		SimTime:             p.engine.TotalTime(),
+		Samples:             p.samples,
+		SampledInstructions: float64(p.mon.SampledInstructions()),
+		Ml:                  p.ml,
+		Mr:                  p.mr,
+		RemoteFraction:      metrics.RemoteFraction(p.ml, p.mr),
+		Imbalance:           metrics.ImbalanceFactor(p.perDomain),
+		PerDomain:           append([]float64(nil), p.perDomain...),
+	}
+	if lpi, insufficient := p.estimateLPI(p.estimatorCaps()); !math.IsNaN(lpi) && !insufficient {
+		s.LPI, s.LPIValid = lpi, true
+	}
+	// Hottest variables by sampled remote latency — the final
+	// report's ordering (see finish) applied to the live aggregates.
+	aggs := make([]*varAgg, 0, len(p.varAggs))
+	for _, a := range p.varAggs {
+		aggs = append(aggs, a)
+	}
+	sort.Slice(aggs, func(i, j int) bool {
+		if aggs[i].rlat != aggs[j].rlat {
+			return aggs[i].rlat > aggs[j].rlat
+		}
+		if aggs[i].mr != aggs[j].mr {
+			return aggs[i].mr > aggs[j].mr
+		}
+		return aggs[i].v.Name < aggs[j].v.Name
+	})
+	k := p.snapshotTopK()
+	for _, a := range aggs {
+		if len(s.TopVars) == k {
+			break
+		}
+		ve := progress.VarEstimate{
+			Name:    a.v.Name,
+			Kind:    a.v.Kind.String(),
+			Samples: a.samples,
+			Ml:      a.ml,
+			Mr:      a.mr,
+		}
+		if a.samples > 0 {
+			ve.LPI = float64(a.rlat) / a.samples
+		}
+		if p.sampledRLat > 0 {
+			ve.RemoteLatShare = float64(a.rlat) / float64(p.sampledRLat)
+		}
+		if p.mr > 0 {
+			ve.MrShare = a.mr / p.mr
+		}
+		s.TopVars = append(s.TopVars, ve)
+	}
+	return s
+}
+
+// finalSnapshot mirrors the completed profile's derived metrics into
+// the stream's closing snapshot, so the final estimates a subscriber
+// saw equal the stored profile's Totals and Vars exactly.
+func (p *profiler) finalSnapshot(t Totals, vars []*VarProfile) progress.Snapshot {
+	s := progress.Snapshot{
+		Epoch:               p.epoch,
+		SimTime:             t.SimTime,
+		Samples:             t.Samples,
+		SampledInstructions: t.SampledInstructions,
+		Ml:                  t.Ml,
+		Mr:                  t.Mr,
+		RemoteFraction:      t.RemoteFraction,
+		Imbalance:           t.Imbalance,
+		PerDomain:           append([]float64(nil), t.PerDomain...),
+	}
+	if !math.IsNaN(t.LPI) && !t.LPIInsufficient {
+		s.LPI, s.LPIValid = t.LPI, true
+	}
+	k := p.snapshotTopK()
+	for _, v := range vars {
+		if len(s.TopVars) == k {
+			break
+		}
+		s.TopVars = append(s.TopVars, progress.VarEstimate{
+			Name:           v.Var.Name,
+			Kind:           v.Var.Kind.String(),
+			Samples:        v.Samples,
+			Ml:             v.Ml,
+			Mr:             v.Mr,
+			MrShare:        v.MrShare,
+			RemoteLatShare: v.RemoteLatShare,
+			LPI:            v.LPI,
+		})
+	}
+	return s
+}
+
+// publishSnapshot stamps the sequence number, runs the convergence
+// detector, hands the snapshot to the configured sink, and applies the
+// converge-early policy: once the estimates converge mid-run, detach
+// the monitor (no further samples, no further overhead charging) and
+// record the stop in Health — the only path on which streaming state
+// reaches the profile's bytes.
+func (p *profiler) publishSnapshot(s progress.Snapshot, final bool) {
+	p.snapSeq++
+	s.Seq = p.snapSeq
+	s.Final = final
+	p.detector.Observe(&s)
+	if p.cfg.OnSnapshot != nil {
+		p.cfg.OnSnapshot(s)
+	}
+	if p.cfg.ConvergeEarly && s.Converged && !final && !p.stoppedEarly {
+		p.stoppedEarly = true
+		p.mon.StopSampling()
+		p.health.EarlyStop = true
+		p.health.EarlyStopEpoch = p.epoch
+		p.health.EarlyStopAt = p.engine.TotalTime()
+	}
+}
+
+// estimateLPI evaluates the mechanism's lpi_NUMA estimator over the
+// samples collected so far — at the end of the run for Totals, mid-run
+// for progress snapshots, with identical semantics. Returns
+// (NaN, false) for mechanisms that measure no latency, and
+// (0, true) when the estimator exists but too few usable samples
+// reached it. Estimator inputs: on a hard sampler failure the fallback
+// mechanism measures no latency, so the estimate comes from the window
+// collected before the failure; quarantined samples are subtracted so
+// garbage never reaches an equation.
+func (p *profiler) estimateLPI(caps pmu.Capability) (lpi float64, insufficient bool) {
+	remLat := p.mon.SampledRemoteLatency()
+	instr := p.mon.SampledInstructions()
+	remEvents := p.mon.SampledRemote()
 	if p.fellBack {
 		remLat, instr, remEvents = p.snapRemoteLat, p.snapInstr, p.snapRemote
 	}
@@ -978,29 +1182,25 @@ func (p *profiler) buildTotals(mon *pmu.Monitor, caps pmu.Capability) Totals {
 	instr -= min(p.quarInstr, instr)
 	remEvents -= min(p.quarRemote, remEvents)
 
+	e := p.engine
 	var ok bool
 	switch {
 	case caps.SamplesAllInstructions && caps.MeasuresLatency:
 		// Equation 2 (IBS).
-		t.LPI, ok = metrics.LPIFromInstructionSamples(float64(remLat), instr)
-		t.LPIInsufficient = !ok
+		lpi, ok = metrics.LPIFromInstructionSamples(float64(remLat), instr)
+		insufficient = !ok
 		p.health.LPIWindowed = p.fellBack
 	case caps.EventBased && caps.MeasuresLatency:
 		// Equation 3 (PEBS-LL): average sampled remote latency times
 		// the absolute remote-event rate. The engine's full remote
 		// count plays the conventional counter.
-		t.LPI, ok = metrics.LPIFromEventSamples(
+		lpi, ok = metrics.LPIFromEventSamples(
 			float64(remLat), remEvents,
 			e.TotalRemoteAccesses(), e.TotalInstructions())
-		t.LPIInsufficient = !ok
+		insufficient = !ok
 		p.health.LPIWindowed = p.fellBack
 	default:
-		t.LPI = math.NaN()
+		lpi = math.NaN()
 	}
-	best := t.LPI
-	if math.IsNaN(best) {
-		best = t.LPIExact
-	}
-	t.Significant = metrics.Significant(best)
-	return t
+	return lpi, insufficient
 }

@@ -74,6 +74,15 @@ type Health struct {
 	// not recover (filled by profio.LoadLenient, empty for live
 	// profiles and clean loads).
 	FileDamage []string `json:"file_damage,omitempty"`
+
+	// Early-stop ledger (Config.ConvergeEarly): sampling detached at
+	// EarlyStopEpoch (simulated time EarlyStopAt) once the live
+	// estimates converged. The run itself completed; the sampled
+	// metrics describe the pre-stop window only, and the profile is
+	// intentionally not byte-identical to a full-sampling run's.
+	EarlyStop      bool         `json:"early_stop,omitempty"`
+	EarlyStopEpoch int          `json:"early_stop_epoch,omitempty"`
+	EarlyStopAt    units.Cycles `json:"early_stop_at,omitempty"`
 }
 
 // Quarantined returns the total number of quarantined samples.
@@ -87,7 +96,8 @@ func (h *Health) Degraded() bool {
 	return h.SamplesDropped > 0 || h.LostToStall > 0 || h.LostToFailure > 0 ||
 		h.Quarantined() > 0 || h.SamplerStalls > 0 || h.SamplerRetries > 0 ||
 		h.Fallback != "" || len(h.ThreadsLost) > 0 || len(h.FileDamage) > 0 ||
-		h.InjectedCorruptEA > 0 || h.InjectedIPSkid > 0 || h.InjectedGarbleLat > 0
+		h.InjectedCorruptEA > 0 || h.InjectedIPSkid > 0 || h.InjectedGarbleLat > 0 ||
+		h.EarlyStop
 }
 
 // Accounted verifies the delivery identity: every sample the sampler
@@ -163,6 +173,10 @@ func (h *Health) Summary() string {
 	}
 	for _, d := range h.FileDamage {
 		fmt.Fprintf(&b, "  measurement file: %s\n", d)
+	}
+	if h.EarlyStop {
+		fmt.Fprintf(&b, "  sampling stopped at convergence (epoch %d, cycle %d); metrics cover the converged window\n",
+			h.EarlyStopEpoch, uint64(h.EarlyStopAt))
 	}
 	return b.String()
 }

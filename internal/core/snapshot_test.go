@@ -1,0 +1,219 @@
+// Live-snapshot publisher tests: byte-identity (streaming never
+// changes the profile), final-snapshot fidelity (the stream's last
+// estimate equals the stored profile's truth), and the converge-early
+// policy. External test package so profio and server (which import
+// core) are usable.
+package core_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/profio"
+	"repro/internal/progress"
+	"repro/internal/server"
+)
+
+// buildSpec resolves a workload spec through the same path the CLI and
+// daemon use.
+func buildSpec(t *testing.T, workload string, iters int) (core.Config, core.App) {
+	t.Helper()
+	cfg, app, err := server.Spec{Workload: workload, Iters: iters}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg, app
+}
+
+func encode(t *testing.T, p *core.Profile) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := profio.Save(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestSnapshotStreamByteIdentity is the tentpole's determinism
+// guarantee: enabling the snapshot publisher at the tightest cadence
+// produces measurement bytes identical to a run with streaming off,
+// and the stream itself is well-formed (strictly increasing sequence
+// numbers, non-decreasing epochs, exactly one trailing final).
+func TestSnapshotStreamByteIdentity(t *testing.T) {
+	cfg, app := buildSpec(t, "blackscholes", 3)
+	plain, err := core.Analyze(cfg, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg2, app2 := buildSpec(t, "blackscholes", 3)
+	var snaps []progress.Snapshot
+	cfg2.SnapshotEvery = 1
+	cfg2.OnSnapshot = func(s progress.Snapshot) { snaps = append(snaps, s) }
+	streamed, err := core.Analyze(cfg2, app2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if a, b := encode(t, plain), encode(t, streamed); !bytes.Equal(a, b) {
+		t.Fatalf("streaming changed the profile bytes: %d vs %d bytes", len(a), len(b))
+	}
+	if len(snaps) < 3 {
+		t.Fatalf("expected at least 3 snapshots at cadence 1, got %d", len(snaps))
+	}
+	for i, s := range snaps {
+		if s.Seq != i+1 {
+			t.Fatalf("snapshot %d has seq %d, want %d", i, s.Seq, i+1)
+		}
+		if i > 0 && s.Epoch < snaps[i-1].Epoch {
+			t.Fatalf("epoch regressed: snapshot %d epoch %d after %d", i, s.Epoch, snaps[i-1].Epoch)
+		}
+		if s.Final != (i == len(snaps)-1) {
+			t.Fatalf("snapshot %d (of %d): Final=%v", i, len(snaps), s.Final)
+		}
+	}
+}
+
+// TestFinalSnapshotMatchesProfile pins the acceptance criterion: the
+// closing snapshot's metric estimates equal the completed profile's
+// derived metrics exactly — not approximately.
+func TestFinalSnapshotMatchesProfile(t *testing.T) {
+	cfg, app := buildSpec(t, "blackscholes", 2)
+	var snaps []progress.Snapshot
+	cfg.SnapshotEvery = 1
+	cfg.SnapshotTopK = 4
+	cfg.OnSnapshot = func(s progress.Snapshot) { snaps = append(snaps, s) }
+	prof, err := core.Analyze(cfg, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) == 0 {
+		t.Fatal("no snapshots published")
+	}
+	fin := snaps[len(snaps)-1]
+	if !fin.Final {
+		t.Fatal("last snapshot not marked final")
+	}
+	tt := prof.Totals
+	if fin.Samples != tt.Samples || fin.Ml != tt.Ml || fin.Mr != tt.Mr {
+		t.Fatalf("final snapshot counts %v/%v/%v != totals %v/%v/%v",
+			fin.Samples, fin.Ml, fin.Mr, tt.Samples, tt.Ml, tt.Mr)
+	}
+	if fin.RemoteFraction != tt.RemoteFraction || fin.Imbalance != tt.Imbalance {
+		t.Fatalf("final snapshot quotients (%v, %v) != totals (%v, %v)",
+			fin.RemoteFraction, fin.Imbalance, tt.RemoteFraction, tt.Imbalance)
+	}
+	if fin.SimTime != tt.SimTime {
+		t.Fatalf("final snapshot sim time %d != totals %d", fin.SimTime, tt.SimTime)
+	}
+	if fin.LPIValid && fin.LPI != tt.LPI {
+		t.Fatalf("final snapshot lpi %v != totals %v", fin.LPI, tt.LPI)
+	}
+	want := len(prof.Vars)
+	if want > 4 {
+		want = 4
+	}
+	if len(fin.TopVars) != want {
+		t.Fatalf("final snapshot has %d top vars, want %d", len(fin.TopVars), want)
+	}
+	for i, v := range fin.TopVars {
+		pv := prof.Vars[i]
+		if v.Name != pv.Var.Name || v.Samples != pv.Samples || v.Ml != pv.Ml || v.Mr != pv.Mr ||
+			v.MrShare != pv.MrShare || v.RemoteLatShare != pv.RemoteLatShare || v.LPI != pv.LPI {
+			t.Fatalf("final snapshot var %d (%s) diverges from profile var %s", i, v.Name, pv.Var.Name)
+		}
+	}
+}
+
+// TestMidRunEstimatesUseFinalEquations checks that a mid-run snapshot
+// carries populated estimates, not zero values: the live path shares
+// the finish path's estimators.
+func TestMidRunEstimatesUseFinalEquations(t *testing.T) {
+	cfg, app := buildSpec(t, "blackscholes", 3)
+	var snaps []progress.Snapshot
+	cfg.SnapshotEvery = 1
+	cfg.OnSnapshot = func(s progress.Snapshot) { snaps = append(snaps, s) }
+	if _, err := core.Analyze(cfg, app); err != nil {
+		t.Fatal(err)
+	}
+	// The last non-final snapshot has seen nearly the whole run:
+	// samples must be flowing and the remote fraction in range.
+	mid := snaps[len(snaps)-2]
+	if mid.Final {
+		t.Fatal("expected a non-final snapshot before the closer")
+	}
+	if mid.Samples == 0 {
+		t.Fatal("mid-run snapshot saw no samples")
+	}
+	if mid.RemoteFraction < 0 || mid.RemoteFraction > 1 {
+		t.Fatalf("remote fraction out of range: %v", mid.RemoteFraction)
+	}
+	if len(mid.TopVars) == 0 {
+		t.Fatal("mid-run snapshot attributed no variables")
+	}
+}
+
+// TestConvergeEarlyStopsSampling exercises the opt-in policy on a
+// scorecard workload: the estimates converge before the run ends,
+// sampling detaches, the health ledger records the stop, and the
+// early-stopped profile carries fewer samples than the full run.
+func TestConvergeEarlyStopsSampling(t *testing.T) {
+	const iters = 20
+	cfg, app := buildSpec(t, "lulesh", iters)
+	full, err := core.Analyze(cfg, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg2, app2 := buildSpec(t, "lulesh", iters)
+	cfg2.SnapshotEvery = 1
+	cfg2.ConvergeEarly = true
+	var converged []progress.Snapshot
+	cfg2.OnSnapshot = func(s progress.Snapshot) {
+		if s.Converged && !s.Final {
+			converged = append(converged, s)
+		}
+	}
+	early, err := core.Analyze(cfg2, app2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(converged) == 0 {
+		t.Fatal("estimates never converged mid-run on lulesh")
+	}
+	h := early.Health
+	if !h.EarlyStop {
+		t.Fatal("Health.EarlyStop not set")
+	}
+	if h.EarlyStopEpoch == 0 || h.EarlyStopAt == 0 {
+		t.Fatalf("early-stop coordinates missing: epoch %d, cycle %d", h.EarlyStopEpoch, h.EarlyStopAt)
+	}
+	if !h.Degraded() {
+		t.Fatal("early-stopped profile must report Degraded")
+	}
+	if early.Totals.Samples >= full.Totals.Samples {
+		t.Fatalf("early stop did not reduce sampling: %v >= %v samples",
+			early.Totals.Samples, full.Totals.Samples)
+	}
+	// The run itself still completes: absolute counters cover the
+	// whole execution.
+	if early.Totals.Instructions != full.Totals.Instructions {
+		t.Fatalf("early stop changed execution: %d vs %d instructions",
+			early.Totals.Instructions, full.Totals.Instructions)
+	}
+}
+
+// TestSnapshotDisabledPublishesNothing pins the default-off contract.
+func TestSnapshotDisabledPublishesNothing(t *testing.T) {
+	cfg, app := buildSpec(t, "blackscholes", 2)
+	called := false
+	cfg.OnSnapshot = func(progress.Snapshot) { called = true }
+	if _, err := core.Analyze(cfg, app); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Fatal("OnSnapshot fired with SnapshotEvery = 0")
+	}
+}

@@ -200,6 +200,11 @@ type Monitor struct {
 	sampledRemote    uint64
 	sampledRemoteLat units.Cycles
 	overheadCharged  units.Cycles
+
+	// stopped detaches the monitor mid-run: no further observation,
+	// sampling, or overhead charging. Counters freeze at their values
+	// as of the stop (the converge-early window).
+	stopped bool
 }
 
 // NewMonitor builds a Monitor. cb may be nil (counting only). The
@@ -250,8 +255,21 @@ func (m *Monitor) SampledRemote() uint64 { return m.sampledRemote }
 // OverheadCharged returns the total monitoring cost charged to threads.
 func (m *Monitor) OverheadCharged() units.Cycles { return m.overheadCharged }
 
+// StopSampling detaches the monitor for the rest of the run: no
+// further samples fire and no further monitoring overhead is charged.
+// Used by the profiler's converge-early policy once the live metric
+// estimates stabilize — the whole point of stopping is that the
+// remaining execution proceeds unmonitored and untaxed.
+func (m *Monitor) StopSampling() { m.stopped = true }
+
+// SamplingStopped reports whether StopSampling was called.
+func (m *Monitor) SamplingStopped() bool { return m.stopped }
+
 // OnAccess implements proc.Hook.
 func (m *Monitor) OnAccess(ev *proc.AccessEvent) {
+	if m.stopped {
+		return
+	}
 	if m.costs.PerAccess > 0 {
 		// Instrumentation-based sampling pays on every access.
 		ev.Thread.AddOverhead(m.costs.PerAccess)
@@ -275,7 +293,7 @@ func (m *Monitor) OnAccess(ev *proc.AccessEvent) {
 // observation (overhead charges are additive, so bulk-charging the
 // per-access tax up front changes no observable state).
 func (m *Monitor) OnAccessBatch(evs []proc.AccessEvent) {
-	if len(evs) == 0 {
+	if m.stopped || len(evs) == 0 {
 		return
 	}
 	if m.bm == nil {
@@ -367,6 +385,9 @@ func (m *Monitor) deliverSample(ev *proc.AccessEvent) {
 // address. Those samples still count toward I^s — they are what lets
 // Equation 2's denominator represent all instructions.
 func (m *Monitor) OnCompute(t *proc.Thread, n uint64) {
+	if m.stopped {
+		return
+	}
 	samples, overhead := m.mech.ObserveCompute(t, n)
 	if overhead > 0 {
 		t.AddOverhead(overhead)

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -13,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/advisor"
+	"repro/internal/progress"
 )
 
 // Client is a minimal Go client for a numad daemon, shared by
@@ -236,6 +238,119 @@ func (c *Client) HTMLReport(ctx context.Context, id string) (string, error) {
 // job — byte-identical to `numaprof -profile` output for the same spec.
 func (c *Client) ProfileBytes(ctx context.Context, id string) ([]byte, error) {
 	return c.view(ctx, id, "profile")
+}
+
+// StreamEvent mirrors one SSE event from GET /api/v1/jobs/{id}/events:
+// a lifecycle transition (Job set), a progress snapshot (Snapshot
+// set), or the daemon's drain marker (type "shutdown"). Every event
+// carries the run's latest convergence verdict.
+type StreamEvent struct {
+	ID         uint64             `json:"id"`
+	Type       string             `json:"type"`
+	Job        *JobStatus         `json:"job,omitempty"`
+	Snapshot   *progress.Snapshot `json:"snapshot,omitempty"`
+	Converged  bool               `json:"converged"`
+	Confidence float64            `json:"confidence"`
+}
+
+// Follow subscribes to a job's live event stream and invokes fn for
+// every event until the job reaches a terminal state, then returns the
+// terminal status. It rides the same retry policy as the rest of the
+// client: transport errors, retryable statuses, and daemon restarts
+// (terminal `shutdown` events) reconnect with backoff, resuming from
+// the last seen event ID so no terminal transition is missed; the
+// retry budget resets whenever a connection makes progress. fn may be
+// nil to just wait.
+func (c *Client) Follow(ctx context.Context, id string, fn func(StreamEvent)) (JobStatus, error) {
+	path := "/api/v1/jobs/" + url.PathEscape(id) + "/events"
+	maxRetries := c.retries()
+	var lastID uint64
+	for attempt := 0; ; {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+		if err != nil {
+			return JobStatus{}, err
+		}
+		req.Header.Set("Accept", "text/event-stream")
+		if lastID > 0 {
+			req.Header.Set("Last-Event-ID", strconv.FormatUint(lastID, 10))
+		}
+		resp, err := c.httpClient().Do(req)
+		if err != nil {
+			if attempt < maxRetries && ctx.Err() == nil && sleepCtx(ctx, c.retryDelay(nil, attempt, path)) {
+				attempt++
+				continue
+			}
+			return JobStatus{}, err
+		}
+		if resp.StatusCode/100 != 2 {
+			data, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if retryableStatus(resp.StatusCode) && attempt < maxRetries && sleepCtx(ctx, c.retryDelay(resp, attempt, path)) {
+				attempt++
+				continue
+			}
+			return JobStatus{}, apiError(resp, data)
+		}
+		st, terminal, progressed := c.consumeEvents(resp.Body, &lastID, fn)
+		resp.Body.Close()
+		if terminal {
+			if st != nil {
+				return *st, nil
+			}
+			// Terminal event without an embedded status (shouldn't
+			// happen for job terminals): fetch it.
+			return c.Job(ctx, id)
+		}
+		// Stream ended without a job terminal: daemon drained
+		// (shutdown event) or the connection dropped. Reconnect.
+		if progressed {
+			attempt = 0
+		}
+		if attempt >= maxRetries || ctx.Err() != nil {
+			return JobStatus{}, fmt.Errorf("daemon: event stream for %s ended before a terminal event", id)
+		}
+		if !sleepCtx(ctx, c.retryDelay(nil, attempt, path)) {
+			return JobStatus{}, ctx.Err()
+		}
+		attempt++
+	}
+}
+
+// consumeEvents parses one SSE connection's data lines, forwarding
+// each event to fn and tracking the resume cursor. It returns the
+// job's terminal status once a done/failed/canceled event arrives,
+// whether such a terminal arrived, and whether any event was received
+// at all (retry-budget reset).
+func (c *Client) consumeEvents(body io.Reader, lastID *uint64, fn func(StreamEvent)) (st *JobStatus, terminal, progressed bool) {
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		// The payload duplicates the id and event-type framing lines,
+		// so data lines alone carry the full event.
+		if !strings.HasPrefix(line, "data:") {
+			continue
+		}
+		var ev StreamEvent
+		if err := json.Unmarshal([]byte(strings.TrimSpace(line[len("data:"):])), &ev); err != nil {
+			continue
+		}
+		if ev.ID > *lastID {
+			*lastID = ev.ID
+		}
+		progressed = true
+		if fn != nil {
+			fn(ev)
+		}
+		switch ev.Type {
+		case progress.EventDone, progress.EventFailed, progress.EventCanceled:
+			return ev.Job, true, true
+		case progress.EventShutdown:
+			// Daemon drained mid-job: reconnect after it restarts.
+			return nil, false, true
+		}
+	}
+	return nil, false, progressed
 }
 
 // Advise submits an optimizer run for a finished job and returns the

@@ -38,6 +38,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /api/v1/jobs/{id}/advise", s.handleAdvise)
 	mux.HandleFunc("GET /api/v1/jobs", s.handleListJobs)
 	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleGetJob)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/events", s.handleJobEvents)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/live", s.handleJobLive)
 	mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleCancelJob)
 	mux.HandleFunc("GET /api/v1/profiles", s.handleListProfiles)
 	mux.HandleFunc("GET /api/v1/profiles/{key}", s.handleGetProfile)

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/progress"
 	"repro/internal/store"
 	"repro/internal/telemetry"
 )
@@ -49,6 +50,12 @@ type Job struct {
 	// a cancel while still queued ends it too.
 	queueSpan *telemetry.Span
 
+	// hub is the job's live event stream: lifecycle transitions and
+	// progress snapshots, fanned out to SSE subscribers. The hub
+	// enforces monotonic lifecycle ordering, so racing publishers
+	// (worker vs. cancel) cannot show a subscriber a rewound state.
+	hub *progress.Hub
+
 	mu        sync.Mutex
 	state     State
 	err       string
@@ -74,6 +81,7 @@ func newJob(base context.Context, id string, spec Spec, key store.Key, now time.
 		state:     StateQueued,
 		submitted: now,
 		done:      make(chan struct{}),
+		hub:       progress.NewHub(),
 	}
 }
 
@@ -97,9 +105,26 @@ func newTerminalJob(id string, spec Spec, key store.Key, st State, errMsg string
 		submitted: now,
 		finished:  now,
 		done:      make(chan struct{}),
+		hub:       progress.NewHub(),
 	}
 	close(j.done)
+	// A recovered terminal job's stream is just its terminal event —
+	// a subscriber that reconnects after a daemon restart still gets a
+	// clean, ordered close instead of a hang.
+	j.hub.Publish(string(st), nil, j.Status())
 	return j
+}
+
+// Events subscribes to the job's live event stream, resuming past
+// lastID (0 for the full replay).
+func (j *Job) Events(lastID uint64, buf int) ([]progress.Event, *progress.Subscription) {
+	return j.hub.Subscribe(lastID, buf)
+}
+
+// publish appends one lifecycle event (with the job's wire status) to
+// the stream.
+func (j *Job) publish(typ string) {
+	j.hub.Publish(typ, nil, j.Status())
 }
 
 // Done is closed when the job reaches a terminal state.

@@ -44,10 +44,20 @@ type metrics struct {
 	adviseDone      *telemetry.Counter
 	remediesApplied *telemetry.Counter
 
+	// Live-streaming instruments (PR 9): SSE subscribers currently
+	// attached, events written to streams, events lost to slow
+	// consumers (drop-oldest), and snapshots published by running
+	// profiles.
+	streamSubscribers *telemetry.Gauge
+	streamEvents      *telemetry.Counter
+	streamDropped     *telemetry.Counter
+	streamSnapshots   *telemetry.Counter
+
 	queueWait *telemetry.Histogram // submit → dequeue
 	run       *telemetry.Histogram // dequeue → result (compute or cache)
 	total     *telemetry.Histogram // submit → terminal state
 	rerun     *telemetry.Histogram // one advise candidate re-run
+	snapLat   *telemetry.Histogram // snapshot publish → SSE write
 }
 
 // newMetrics registers the job-lifecycle instruments on reg. The
@@ -81,6 +91,12 @@ func newMetrics(reg *telemetry.Registry) metrics {
 		adviseDone:      reg.Counter("jobs_advise_done_total"),
 		remediesApplied: reg.Counter("jobs_remedies_applied_total"),
 		rerun:           reg.Histogram("job_advise_rerun"),
+
+		streamSubscribers: reg.Gauge("stream_subscribers"),
+		streamEvents:      reg.Counter("stream_events_total"),
+		streamDropped:     reg.Counter("stream_events_dropped_total"),
+		streamSnapshots:   reg.Counter("stream_snapshots_total"),
+		snapLat:           reg.Histogram("stream_snapshot_latency"),
 	}
 }
 
@@ -121,6 +137,14 @@ type AdvisorInfo struct {
 	RemediesApplied uint64 `json:"remedies_applied"`
 }
 
+// StreamingInfo is the live-streaming block of MetricsSnapshot.
+type StreamingInfo struct {
+	Subscribers int64  `json:"subscribers"`
+	Events      uint64 `json:"events"`
+	Dropped     uint64 `json:"dropped"`
+	Snapshots   uint64 `json:"snapshots"`
+}
+
 // MetricsSnapshot is what GET /metrics serves. Every pre-telemetry key
 // is unchanged (scrapers keep working); Instruments is the new unified
 // registry view carrying the jobs_*/job_* instruments, the mirrored
@@ -138,6 +162,7 @@ type MetricsSnapshot struct {
 	LatencyUs map[string]HistogramSnapshot `json:"latency_us"`
 	Recovery  RecoveryInfo                 `json:"recovery"`
 	Advisor   AdvisorInfo                  `json:"advisor"`
+	Streaming StreamingInfo                `json:"streaming"`
 
 	Instruments telemetry.RegistrySnapshot `json:"instruments"`
 }
@@ -165,15 +190,22 @@ func (m *metrics) snapshot(st store.Stats, depth, capacity, workers int) Metrics
 		Store:         st,
 		StoreHits:     st.Hits(),
 		LatencyUs: map[string]HistogramSnapshot{
-			"queue_wait":   m.queueWait.Snapshot(),
-			"run":          m.run.Snapshot(),
-			"total":        m.total.Snapshot(),
-			"advise_rerun": m.rerun.Snapshot(),
+			"queue_wait":      m.queueWait.Snapshot(),
+			"run":             m.run.Snapshot(),
+			"total":           m.total.Snapshot(),
+			"advise_rerun":    m.rerun.Snapshot(),
+			"stream_snapshot": m.snapLat.Snapshot(),
 		},
 		Advisor: AdvisorInfo{
 			Requests:        m.adviseRequests.Value(),
 			Done:            m.adviseDone.Value(),
 			RemediesApplied: m.remediesApplied.Value(),
+		},
+		Streaming: StreamingInfo{
+			Subscribers: m.streamSubscribers.Value(),
+			Events:      m.streamEvents.Value(),
+			Dropped:     m.streamDropped.Value(),
+			Snapshots:   m.streamSnapshots.Value(),
 		},
 		Recovery: RecoveryInfo{
 			Recovered:        m.recovered.Value(),

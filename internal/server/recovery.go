@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/progress"
 	"repro/internal/sched"
 	"repro/internal/store"
 	"repro/internal/telemetry"
@@ -276,6 +277,12 @@ func (s *Server) Recover(rec *store.RecoveredJournal) error {
 			}
 			s.m.submitted.Inc()
 			s.m.queued.Add(1)
+			// Recovered jobs stream like fresh ones: a subscriber that
+			// reconnects after the restart sees queued → running →
+			// snapshots → terminal in order, with Recovered set on the
+			// lifecycle payloads.
+			job.hub.SetInstruments(s.m.streamDropped)
+			job.publish(progress.EventQueued)
 			_, job.queueSpan = telemetry.Start(job.ctx, "server.job_queued",
 				telemetry.String("id", job.id), telemetry.String("workload", n.Workload))
 			s.queue <- job

@@ -44,6 +44,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/faults"
+	"repro/internal/progress"
 	"repro/internal/sched"
 	"repro/internal/store"
 	"repro/internal/telemetry"
@@ -95,6 +96,13 @@ type Options struct {
 	// stays open (0: DefaultBreakerCooldown).
 	BreakerThreshold int
 	BreakerCooldown  time.Duration
+	// SnapshotEvery enables live progress streaming for single-spec
+	// jobs: every N completed regions the profiler publishes a
+	// progress.Snapshot to the job's event stream (SSE /events,
+	// /live). 0 (the default) disables snapshots — lifecycle events
+	// still stream. Streaming never changes profile bytes; cache hits
+	// and sweep/advise jobs publish lifecycle events only.
+	SnapshotEvery int
 }
 
 // DefaultMaxRetries is the retry bound when Options.MaxRetries is 0.
@@ -105,11 +113,12 @@ const DefaultQueueDepth = 128
 
 // Server is the numad daemon: queue, worker pool, job table, metrics.
 type Server struct {
-	st        *store.Store
-	workers   int
-	topVars   int
-	timeout   time.Duration
-	beforeRun func(*Job)
+	st            *store.Store
+	workers       int
+	topVars       int
+	timeout       time.Duration
+	beforeRun     func(*Job)
+	snapshotEvery int
 
 	jl               *store.Journal
 	maxRetries       int
@@ -178,6 +187,10 @@ func New(opts Options) (*Server, error) {
 	if cooldown <= 0 {
 		cooldown = DefaultBreakerCooldown
 	}
+	snapEvery := opts.SnapshotEvery
+	if snapEvery < 0 {
+		snapEvery = 0
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Server{
 		st:               opts.Store,
@@ -185,6 +198,7 @@ func New(opts Options) (*Server, error) {
 		topVars:          top,
 		timeout:          opts.JobTimeout,
 		beforeRun:        opts.BeforeRun,
+		snapshotEvery:    snapEvery,
 		jl:               opts.Journal,
 		maxRetries:       retries,
 		retryBase:        retryBase,
@@ -239,6 +253,19 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		<-s.workersDone
 	}
 	s.cancelBase()
+	// Close every live event stream. Drained jobs already published
+	// their terminal event (making this a no-op); anything still open
+	// gets a terminal `shutdown` so no SSE subscriber hangs and no
+	// handler goroutine leaks.
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	for _, j := range jobs {
+		j.hub.Publish(progress.EventShutdown, nil, nil)
+	}
 	return s.st.Flush()
 }
 
@@ -301,6 +328,8 @@ func (s *Server) Submit(spec Spec) (*Job, error) {
 	}
 	s.m.submitted.Inc()
 	s.m.queued.Add(1)
+	job.hub.SetInstruments(s.m.streamDropped)
+	job.publish(progress.EventQueued)
 	_, job.queueSpan = telemetry.Start(job.ctx, "server.job_queued",
 		telemetry.String("id", id), telemetry.String("workload", n.Workload))
 	s.queue <- job
@@ -343,11 +372,13 @@ func (s *Server) CancelJob(id string) (JobStatus, bool) {
 		s.m.queued.Add(-1)
 		s.m.canceled.Inc()
 		s.journalAppend(job, StateCanceled, "canceled", false, false)
+		job.publish(progress.EventCanceled)
 		s.log.Info("job canceled while queued", "id", id)
 	case StateRunning:
 		s.m.running.Add(-1)
 		s.m.canceled.Inc()
 		s.journalAppend(job, StateCanceled, "canceled", false, false)
+		job.publish(progress.EventCanceled)
 		s.log.Info("job canceled while running", "id", id)
 	}
 	return job.Status(), true
@@ -382,6 +413,9 @@ func (s *Server) runJob(job *Job) {
 	job.queueSpan.End()
 	s.m.queued.Add(-1)
 	s.m.running.Add(1)
+	// The hub drops this if a cancel already published its terminal
+	// event — a subscriber never sees running after canceled.
+	job.publish(progress.EventRunning)
 	s.log.Debug("job running", "id", job.id, "workload", job.spec.Workload)
 	if h := s.beforeRun; h != nil {
 		h(job)
@@ -435,6 +469,7 @@ func (s *Server) runJob(job *Job) {
 			s.log.Info("job canceled mid-run", "id", job.id)
 		}
 		s.journalAppend(job, outcome, errMsg, cacheHit, false)
+		job.publish(string(outcome))
 	}
 	s.m.run.Observe(time.Since(started))
 	s.m.total.Observe(time.Since(job.submitted))
@@ -472,6 +507,19 @@ func (s *Server) execute(ctx context.Context, job *Job, attempt int) (State, str
 			buildDone()
 			if err != nil {
 				return nil, err
+			}
+			// Live streaming is a server option, never a Spec field:
+			// the store key and the profile bytes stay identical with
+			// or without it. Only the first computation of a key runs
+			// this — a cache hit or dedup-waiting duplicate streams
+			// lifecycle events only.
+			if s.snapshotEvery > 0 {
+				cfg.SnapshotEvery = s.snapshotEvery
+				cfg.SnapshotTopK = s.topVars
+				cfg.OnSnapshot = func(snap progress.Snapshot) {
+					s.m.streamSnapshots.Inc()
+					job.hub.Publish(progress.EventSnapshot, &snap, nil)
+				}
 			}
 			return core.AnalyzeCtx(cellCtx, cfg, app)
 		})

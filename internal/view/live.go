@@ -1,0 +1,83 @@
+// Live views render an in-flight progress.Snapshot — the code- and
+// data-centric panes of a profile that is still running, served by
+// numad's GET /api/v1/jobs/{id}/live endpoint and printed by
+// `numaprof -submit -follow`.
+package view
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/progress"
+)
+
+// liveHeader renders the shared snapshot banner.
+func liveHeader(s *progress.Snapshot, b *strings.Builder) {
+	state := "in flight"
+	if s.Final {
+		state = "final"
+	}
+	fmt.Fprintf(b, "=== live profile: snapshot %d (%s) at epoch %d, cycle %d ===\n",
+		s.Seq, state, s.Epoch, uint64(s.SimTime))
+}
+
+// liveConvergence renders the detector's verdict line.
+func liveConvergence(s *progress.Snapshot, b *strings.Builder) {
+	switch {
+	case s.Converged:
+		b.WriteString("convergence: CONVERGED (estimates stable)\n")
+	case s.Confidence > 0:
+		fmt.Fprintf(b, "convergence: stabilising (%.0f%% of window)\n", 100*s.Confidence)
+	default:
+		b.WriteString("convergence: not yet stable\n")
+	}
+}
+
+// liveLPI renders an estimated lpi value: estimates carry validity
+// instead of NaN.
+func liveLPI(s *progress.Snapshot) string {
+	if !s.LPIValid {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.3f", s.LPI)
+}
+
+// LiveCode renders the code-/program-centric estimate of an in-flight
+// snapshot: the live analog of Totals.
+func LiveCode(s *progress.Snapshot) string {
+	var b strings.Builder
+	liveHeader(s, &b)
+	fmt.Fprintf(&b, "samples %.0f  (I^s %.0f)\n", s.Samples, s.SampledInstructions)
+	fmt.Fprintf(&b, "NUMA_MATCH %.0f  NUMA_MISMATCH %.0f  remote fraction %.1f%%\n",
+		s.Ml, s.Mr, 100*s.RemoteFraction)
+	for d, n := range s.PerDomain {
+		if n > 0 {
+			fmt.Fprintf(&b, "  NUMA_NODE%d %.0f\n", d, n)
+		}
+	}
+	fmt.Fprintf(&b, "request imbalance %.2fx (1.0 = balanced)\n", s.Imbalance)
+	fmt.Fprintf(&b, "lpi_NUMA (estimate) %s\n", liveLPI(s))
+	liveConvergence(s, &b)
+	return b.String()
+}
+
+// LiveData renders the data-centric estimate of an in-flight snapshot:
+// the live analog of VarTable, over the snapshot's top-K variables.
+func LiveData(s *progress.Snapshot) string {
+	var b strings.Builder
+	liveHeader(s, &b)
+	if len(s.TopVars) == 0 {
+		b.WriteString("  (no attributed samples yet)\n")
+		liveConvergence(s, &b)
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%-18s %6s %8s %8s %8s %7s %6s\n",
+		"VARIABLE", "KIND", "SAMPLES", "MATCH", "MISMATCH", "MR%", "LPI")
+	for _, v := range s.TopVars {
+		fmt.Fprintf(&b, "%-18s %6s %8.0f %8.0f %8.0f %6.1f%% %6.1f\n",
+			truncate(v.Name, 18), v.Kind, v.Samples, v.Ml, v.Mr,
+			100*v.MrShare, v.LPI)
+	}
+	liveConvergence(s, &b)
+	return b.String()
+}
