@@ -1,0 +1,299 @@
+// Mid-run checkpointing: at a configured epoch cadence the profiler
+// captures its complete resumable state — engine and thread clocks, PMU
+// counters and sampler RNGs, per-thread CCTs, data-centric aggregates,
+// address-centric patterns, the timeline, and the health ledger — and a
+// later run can adopt it to continue where an interrupted one stopped.
+//
+// Resume works by fast-forward: the simulator re-executes the program
+// from the start with the monitor paused. The access stream is a
+// deterministic function of the program and machine, so allocations,
+// first touches, cache state, and contention factors rebuild exactly;
+// what does not replay is everything derived from sampling (no samples
+// fire while paused) and the monitoring overhead folded into the
+// clocks. At the checkpointed epoch the profiler restores that state
+// wholesale and unpauses the monitor — from there the run is
+// bit-for-bit the uninterrupted run, which is the invariant the
+// byte-identity tests pin.
+//
+// Checkpointing is unsupported for fault-injected runs: a decorated
+// sampler carries hidden state the export cannot see, and replaying a
+// chaos plan against a half-adopted pipeline would diverge silently.
+package core
+
+import (
+	"errors"
+	"sort"
+
+	"repro/internal/addrcentric"
+	"repro/internal/cct"
+	"repro/internal/datacentric"
+	"repro/internal/isa"
+	"repro/internal/pmu"
+	"repro/internal/proc"
+	"repro/internal/trace"
+	"repro/internal/units"
+	"repro/internal/vm"
+)
+
+// ErrResume marks a run refused or aborted because its Config.Resume
+// checkpoint cannot apply (fault-injected run, missing epoch, or an
+// epoch past the program's end). Callers holding a checkpoint that
+// fails this way should drop it and rerun from scratch — the error is
+// about the checkpoint, not the spec.
+var ErrResume = errors.New("core: invalid resume checkpoint")
+
+// Checkpoint is the full resumable profiler state at an epoch boundary.
+//
+// A checkpoint handed to Config.OnCheckpoint holds live references
+// (Trees, Timeline, the per-variable slices): the callback must
+// serialize synchronously and retain nothing — the run keeps mutating
+// that state the moment the callback returns. A checkpoint built by a
+// decoder (profio.DecodeCheckpoint) owns its state and can be kept.
+type Checkpoint struct {
+	// Epoch is the completed-region count at capture; resume
+	// fast-forwards to exactly this epoch.
+	Epoch int
+	// SnapSeq continues the live-snapshot sequence across the resume.
+	SnapSeq int
+
+	Engine  proc.EngineClock
+	Threads []proc.ThreadClock
+	Monitor pmu.MonitorState
+
+	// Whole-program sampled totals.
+	Samples          float64
+	Ml, Mr           float64
+	PerDomain        []float64
+	SampledLatency   units.Cycles
+	SampledRemoteLat units.Cycles
+
+	// Quarantine subtraction state for the LPI estimators.
+	QuarantinedInstr     uint64
+	QuarantinedRemote    uint64
+	QuarantinedRemoteLat units.Cycles
+
+	// StoppedEarly mirrors the converge-early latch (the monitor's own
+	// stop flag travels in Monitor.Stopped).
+	StoppedEarly bool
+
+	Health Health
+
+	// Trees holds the per-thread access CCTs, index == thread id.
+	Trees []*cct.Tree
+	// Vars holds the data-centric aggregates, sorted by region id.
+	Vars []CheckpointVar
+	// Patterns holds every (variable, bin, scope) address-centric
+	// pattern, in the Vars order.
+	Patterns []CheckpointPattern
+	// Timeline holds the time-stamped samples of a traced run.
+	Timeline []trace.Event
+}
+
+// CheckpointVar is one variable's data-centric aggregate plus the
+// variable descriptor itself — carried in full because the variable may
+// have been freed by the time of the checkpoint, in which case the
+// fast-forwarded registry no longer knows it.
+type CheckpointVar struct {
+	Name        string
+	Kind        datacentric.VarKind
+	Region      vm.Region
+	AllocPath   []proc.Frame
+	AllocSite   isa.SiteID
+	AllocThread int
+	BinCount    int
+
+	Samples   float64
+	Ml, Mr    float64
+	PerDomain []float64
+	Latency   units.Cycles
+	RemoteLat units.Cycles
+	Bins      []BinStats
+}
+
+// CheckpointPattern is one (variable, bin, scope) address-centric
+// pattern; Bin is addrcentric.WholeVariable for the whole-extent one.
+type CheckpointPattern struct {
+	RegionID int
+	Bin      int
+	Scope    string
+	Threads  []addrcentric.ThreadRange
+}
+
+// captureCheckpoint snapshots the profiler's resumable state. It
+// returns nil when the attached sampler cannot export (decorated
+// mechanisms under fault injection) — checkpointing is then silently
+// off, never wrong.
+func (p *profiler) captureCheckpoint() *Checkpoint {
+	mstate, ok := p.mon.ExportState()
+	if !ok {
+		return nil
+	}
+	ck := &Checkpoint{
+		Epoch:   p.epoch,
+		SnapSeq: p.snapSeq,
+		Engine:  p.engine.ExportClock(),
+		Monitor: mstate,
+
+		Samples:          p.samples,
+		Ml:               p.ml,
+		Mr:               p.mr,
+		PerDomain:        append([]float64(nil), p.perDomain...),
+		SampledLatency:   p.sampledLat,
+		SampledRemoteLat: p.sampledRLat,
+
+		QuarantinedInstr:     p.quarInstr,
+		QuarantinedRemote:    p.quarRemote,
+		QuarantinedRemoteLat: p.quarRemoteLat,
+
+		StoppedEarly: p.stoppedEarly,
+		Health:       p.health,
+
+		Trees: p.trees,
+	}
+	for _, t := range p.engine.Threads() {
+		ck.Threads = append(ck.Threads, t.ExportClock())
+	}
+	ids := make([]int, 0, len(p.varAggs))
+	for id := range p.varAggs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		agg := p.varAggs[id]
+		v := agg.v
+		ck.Vars = append(ck.Vars, CheckpointVar{
+			Name:        v.Name,
+			Kind:        v.Kind,
+			Region:      v.Region,
+			AllocPath:   v.AllocPath,
+			AllocSite:   v.AllocSite,
+			AllocThread: v.AllocThread,
+			BinCount:    v.Bins,
+
+			Samples:   agg.samples,
+			Ml:        agg.ml,
+			Mr:        agg.mr,
+			PerDomain: agg.perDomain,
+			Latency:   agg.lat,
+			RemoteLat: agg.rlat,
+			Bins:      agg.bins,
+		})
+		for _, scope := range p.patterns.Scopes(v) {
+			if pat, ok := p.patterns.Pattern(v, scope); ok {
+				ck.Patterns = append(ck.Patterns, CheckpointPattern{
+					RegionID: v.Region.ID,
+					Bin:      addrcentric.WholeVariable,
+					Scope:    scope,
+					Threads:  pat.Threads(),
+				})
+			}
+			for b := 0; b < v.Bins; b++ {
+				if bp, ok := p.patterns.BinPattern(v, b, scope); ok {
+					ck.Patterns = append(ck.Patterns, CheckpointPattern{
+						RegionID: v.Region.ID,
+						Bin:      b,
+						Scope:    scope,
+						Threads:  bp.Threads(),
+					})
+				}
+			}
+		}
+	}
+	if p.timeline != nil {
+		ck.Timeline = p.timeline.Events()
+	}
+	return ck
+}
+
+// adoptCheckpoint installs a checkpoint's state at the end of the
+// fast-forward, just before the monitor unpauses. The registry,
+// first-touch recorder, address space, caches, and contention factors
+// were rebuilt by the replay; everything sampling-derived is adopted
+// here.
+func (p *profiler) adoptCheckpoint(ck *Checkpoint) {
+	p.engine.RestoreClock(ck.Engine)
+	for i, t := range p.engine.Threads() {
+		if i < len(ck.Threads) {
+			t.RestoreClock(ck.Threads[i])
+		}
+	}
+	p.mon.RestoreState(ck.Monitor)
+
+	p.samples = ck.Samples
+	p.ml, p.mr = ck.Ml, ck.Mr
+	for i := range p.perDomain {
+		p.perDomain[i] = 0
+		if i < len(ck.PerDomain) {
+			p.perDomain[i] = ck.PerDomain[i]
+		}
+	}
+	p.sampledLat = ck.SampledLatency
+	p.sampledRLat = ck.SampledRemoteLat
+	p.quarInstr = ck.QuarantinedInstr
+	p.quarRemote = ck.QuarantinedRemote
+	p.quarRemoteLat = ck.QuarantinedRemoteLat
+	p.stoppedEarly = ck.StoppedEarly
+	p.health = ck.Health
+	p.snapSeq = ck.SnapSeq
+
+	for i := range p.trees {
+		if i < len(ck.Trees) && ck.Trees[i] != nil {
+			p.trees[i] = ck.Trees[i]
+		}
+	}
+
+	// Resolve each checkpointed variable against the replayed registry;
+	// variables freed before the checkpoint are reconstructed from the
+	// descriptor the checkpoint carries.
+	byRegion := make(map[int]*datacentric.Variable)
+	for _, v := range p.registry.Variables() {
+		byRegion[v.Region.ID] = v
+	}
+	vars := make(map[int]*datacentric.Variable, len(ck.Vars))
+	for i := range ck.Vars {
+		cv := &ck.Vars[i]
+		v := byRegion[cv.Region.ID]
+		if v == nil {
+			v = &datacentric.Variable{
+				Name:        cv.Name,
+				Kind:        cv.Kind,
+				Region:      cv.Region,
+				AllocPath:   cv.AllocPath,
+				AllocSite:   cv.AllocSite,
+				AllocThread: cv.AllocThread,
+				Bins:        cv.BinCount,
+			}
+		}
+		vars[cv.Region.ID] = v
+		perDomain := make([]float64, len(p.perDomain))
+		copy(perDomain, cv.PerDomain)
+		p.varAggs[cv.Region.ID] = &varAgg{
+			v:         v,
+			samples:   cv.Samples,
+			ml:        cv.Ml,
+			mr:        cv.Mr,
+			perDomain: perDomain,
+			lat:       cv.Latency,
+			rlat:      cv.RemoteLat,
+			bins:      cv.Bins,
+		}
+	}
+	for _, cp := range ck.Patterns {
+		v := vars[cp.RegionID]
+		if v == nil {
+			continue
+		}
+		p.patterns.RestoreBin(v, cp.Bin, cp.Scope, cp.Threads)
+	}
+	if p.timeline != nil && len(ck.Timeline) > 0 {
+		p.timeline = trace.New()
+		for _, ev := range ck.Timeline {
+			p.timeline.Record(ev)
+		}
+	}
+
+	// A resumed run must re-earn its full convergence window: the
+	// detector's previous-quotient memory spans the interruption gap
+	// and must not vouch for stability across it.
+	p.detector.Reset()
+}

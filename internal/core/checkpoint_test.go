@@ -1,0 +1,181 @@
+// Mid-run checkpoint tests: capture never perturbs profile bytes, and a
+// resumed run is byte-identical to an uninterrupted one — the tentpole
+// invariant. External test package so profio and server are usable.
+package core_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/profio"
+	"repro/internal/progress"
+	"repro/internal/server"
+)
+
+// captureCheckpoints runs a workload with checkpointing at cadence,
+// encoding every checkpoint to bytes inside the callback (the
+// serialize-synchronously contract: the state is live and keeps
+// mutating after the callback returns). Returns the profile bytes and
+// the encoded checkpoints in publish order.
+func captureCheckpoints(t *testing.T, workload string, iters, cadence int) ([]byte, [][]byte) {
+	t.Helper()
+	cfg, app := buildSpec(t, workload, iters)
+	var blobs [][]byte
+	cfg.CheckpointEvery = cadence
+	cfg.OnCheckpoint = func(ck *core.Checkpoint) {
+		blob, err := profio.EncodeCheckpointBytes(ck)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blobs = append(blobs, blob)
+	}
+	prof, err := core.Analyze(cfg, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return encode(t, prof), blobs
+}
+
+// TestCheckpointCaptureByteIdentity: enabling checkpoint capture at the
+// tightest cadence produces measurement bytes identical to a run with
+// it off. Like live streaming, checkpointing is an observer.
+func TestCheckpointCaptureByteIdentity(t *testing.T) {
+	cfg, app := buildSpec(t, "blackscholes", 3)
+	plain, err := core.Analyze(cfg, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withCkpt, blobs := captureCheckpoints(t, "blackscholes", 3, 1)
+	if !bytes.Equal(encode(t, plain), withCkpt) {
+		t.Fatal("checkpoint capture changed the profile bytes")
+	}
+	if len(blobs) < 3 {
+		t.Fatalf("expected at least 3 checkpoints at cadence 1, got %d", len(blobs))
+	}
+}
+
+// TestResumeByteIdentity is the load-bearing invariant: resuming from
+// ANY checkpoint of an interrupted run reproduces the uninterrupted
+// run's profile bytes exactly.
+func TestResumeByteIdentity(t *testing.T) {
+	golden, blobs := captureCheckpoints(t, "blackscholes", 3, 1)
+	if len(blobs) < 3 {
+		t.Fatalf("need several checkpoints, got %d", len(blobs))
+	}
+	for i, blob := range blobs {
+		ck, err := profio.DecodeCheckpointBytes(blob)
+		if err != nil {
+			t.Fatalf("checkpoint %d: %v", i, err)
+		}
+		cfg, app := buildSpec(t, "blackscholes", 3)
+		cfg.Resume = ck
+		prof, err := core.Analyze(cfg, app)
+		if err != nil {
+			t.Fatalf("resume from checkpoint %d (epoch %d): %v", i, ck.Epoch, err)
+		}
+		if !bytes.Equal(golden, encode(t, prof)) {
+			t.Fatalf("resume from checkpoint %d (epoch %d) diverged from the uninterrupted run", i, ck.Epoch)
+		}
+	}
+}
+
+// TestResumeContinuesSnapshotStream: the resumed run's live snapshots
+// continue the interrupted run's sequence (SnapSeq rides in the
+// checkpoint) and the convergence verdict is re-earned, not inherited —
+// the first post-resume snapshot must not already be converged off
+// stale detector memory.
+func TestResumeContinuesSnapshotStream(t *testing.T) {
+	cfg, app := buildSpec(t, "blackscholes", 3)
+	var blobs [][]byte
+	cfg.SnapshotEvery = 2
+	cfg.CheckpointEvery = 2
+	cfg.OnSnapshot = func(progress.Snapshot) {}
+	cfg.OnCheckpoint = func(ck *core.Checkpoint) {
+		blob, err := profio.EncodeCheckpointBytes(ck)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blobs = append(blobs, blob)
+	}
+	if _, err := core.Analyze(cfg, app); err != nil {
+		t.Fatal(err)
+	}
+	if len(blobs) == 0 {
+		t.Fatal("no checkpoints captured")
+	}
+	ck, err := profio.DecodeCheckpointBytes(blobs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2, app2 := buildSpec(t, "blackscholes", 3)
+	cfg2.SnapshotEvery = 2
+	cfg2.Resume = ck
+	var snaps []progress.Snapshot
+	cfg2.OnSnapshot = func(s progress.Snapshot) { snaps = append(snaps, s) }
+	if _, err := core.Analyze(cfg2, app2); err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) == 0 {
+		t.Fatal("resumed run published no snapshots")
+	}
+	if snaps[0].Seq != ck.SnapSeq+1 {
+		t.Fatalf("first post-resume snapshot has seq %d, want %d (checkpoint SnapSeq %d)",
+			snaps[0].Seq, ck.SnapSeq+1, ck.SnapSeq)
+	}
+	if snaps[0].Converged {
+		t.Fatal("first post-resume snapshot already converged: detector memory not reset")
+	}
+}
+
+// TestResumeBeyondProgramEnd: a checkpoint whose epoch the program
+// never reaches (wrong spec, truncated workload) fails with ErrResume
+// instead of silently returning a half-adopted profile.
+func TestResumeBeyondProgramEnd(t *testing.T) {
+	_, blobs := captureCheckpoints(t, "blackscholes", 3, 1)
+	ck, err := profio.DecodeCheckpointBytes(blobs[len(blobs)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck.Epoch = 1 << 20
+	cfg, app := buildSpec(t, "blackscholes", 3)
+	cfg.Resume = ck
+	if _, err := core.Analyze(cfg, app); !errors.Is(err, core.ErrResume) {
+		t.Fatalf("resume past program end: got %v, want ErrResume", err)
+	}
+}
+
+// TestResumeRefusedUnderFaults: fault-injected runs can be neither
+// checkpointed (the decorated sampler's state is invisible to the
+// export) nor resumed.
+func TestResumeRefusedUnderFaults(t *testing.T) {
+	_, blobs := captureCheckpoints(t, "blackscholes", 2, 1)
+	ck, err := profio.DecodeCheckpointBytes(blobs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, app, err := server.Spec{Workload: "blackscholes", Iters: 2, Chaos: "drop=0.2,seed=7"}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Resume = ck
+	if _, err := core.Analyze(cfg, app); !errors.Is(err, core.ErrResume) {
+		t.Fatalf("resume of fault-injected run: got %v, want ErrResume", err)
+	}
+
+	// And capture is silently off: the callback must never fire.
+	cfg2, app2, err := server.Spec{Workload: "blackscholes", Iters: 2, Chaos: "drop=0.2,seed=7"}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2.CheckpointEvery = 1
+	fired := false
+	cfg2.OnCheckpoint = func(*core.Checkpoint) { fired = true }
+	if _, err := core.Analyze(cfg2, app2); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("OnCheckpoint fired on a fault-injected run")
+	}
+}

@@ -1,0 +1,151 @@
+// Checkpoint support: the monitor and the six built-in mechanisms can
+// export their complete sampling state — period counters, jitter RNGs,
+// absolute-event counters, delivery counters — and adopt it back later.
+// This is what makes a resumed run byte-identical to an uninterrupted
+// one: the next sample after resume fires at exactly the instruction it
+// would have fired at had the run never stopped.
+//
+// Decorated mechanisms (e.g. faults.Faulty) carry hidden state the type
+// switch cannot see, so export fails for them and the caller must gate
+// checkpointing off — a wrong resume is worse than no resume.
+package pmu
+
+import "repro/internal/units"
+
+// CounterState is one thread's period-counter slot: events accumulated
+// since the last sample, the jittered threshold for the next one, and
+// the per-thread LCG that draws thresholds.
+type CounterState struct {
+	Count uint64 `json:"count"`
+	Next  uint64 `json:"next"`
+	RNG   uint64 `json:"rng"`
+}
+
+// SamplerState is a mechanism's complete sampling state.
+type SamplerState struct {
+	// Counters holds per-thread period-counter state, indexed by
+	// thread id (the periodCounter growth order).
+	Counters []CounterState `json:"counters,omitempty"`
+	// AbsoluteEvents is PEBS-LL's conventional-counter reading; zero
+	// for every other mechanism.
+	AbsoluteEvents uint64 `json:"absolute_events,omitempty"`
+}
+
+// MonitorState is the monitor's complete resumable state: the counters
+// the profiler reads back plus the mechanism's sampler state.
+type MonitorState struct {
+	SamplesTaken     uint64       `json:"samples_taken"`
+	SamplesLost      uint64       `json:"samples_lost"`
+	SampledInstr     uint64       `json:"sampled_instr"`
+	SampledMemAccess uint64       `json:"sampled_mem_access"`
+	SampledRemote    uint64       `json:"sampled_remote"`
+	SampledRemoteLat units.Cycles `json:"sampled_remote_lat"`
+	OverheadCharged  units.Cycles `json:"overhead_charged"`
+	Stopped          bool         `json:"stopped,omitempty"`
+
+	Sampler SamplerState `json:"sampler"`
+}
+
+// export copies the period-counter table.
+func (p *periodCounter) export() []CounterState {
+	if len(p.counts) == 0 {
+		return nil
+	}
+	out := make([]CounterState, len(p.counts))
+	for i, s := range p.counts {
+		out[i] = CounterState{Count: s.count, Next: s.next, RNG: s.rng}
+	}
+	return out
+}
+
+// restore replaces the period-counter table. Slots beyond the restored
+// length regrow deterministically on demand (state content is a pure
+// function of thread id), so a shorter table is not a loss of fidelity.
+func (p *periodCounter) restore(sts []CounterState) {
+	p.counts = p.counts[:0]
+	for _, s := range sts {
+		p.counts = append(p.counts, ctrState{count: s.Count, next: s.Next, rng: s.RNG})
+	}
+}
+
+// ExportSamplerState reads a mechanism's sampling state. It reports
+// false for mechanisms outside the built-in six (decorators may hold
+// state the export cannot see).
+func ExportSamplerState(mech Mechanism) (SamplerState, bool) {
+	switch m := mech.(type) {
+	case *IBS:
+		return SamplerState{Counters: m.ctr.export()}, true
+	case *MRK:
+		return SamplerState{Counters: m.ctr.export()}, true
+	case *PEBS:
+		return SamplerState{Counters: m.ctr.export()}, true
+	case *DEAR:
+		return SamplerState{Counters: m.ctr.export()}, true
+	case *PEBSLL:
+		return SamplerState{Counters: m.ctr.export(), AbsoluteEvents: m.absoluteEvents}, true
+	case *SoftIBS:
+		return SamplerState{Counters: m.ctr.export()}, true
+	}
+	return SamplerState{}, false
+}
+
+// RestoreSamplerState adopts previously exported sampling state. It
+// reports false for mechanisms the export does not support.
+func RestoreSamplerState(mech Mechanism, st SamplerState) bool {
+	switch m := mech.(type) {
+	case *IBS:
+		m.ctr.restore(st.Counters)
+	case *MRK:
+		m.ctr.restore(st.Counters)
+	case *PEBS:
+		m.ctr.restore(st.Counters)
+	case *DEAR:
+		m.ctr.restore(st.Counters)
+	case *PEBSLL:
+		m.ctr.restore(st.Counters)
+		m.absoluteEvents = st.AbsoluteEvents
+	case *SoftIBS:
+		m.ctr.restore(st.Counters)
+	default:
+		return false
+	}
+	return true
+}
+
+// ExportState reads the monitor's complete resumable state. It reports
+// false when the attached mechanism cannot export (decorated samplers).
+func (m *Monitor) ExportState() (MonitorState, bool) {
+	sampler, ok := ExportSamplerState(m.mech)
+	if !ok {
+		return MonitorState{}, false
+	}
+	return MonitorState{
+		SamplesTaken:     m.samplesTaken,
+		SamplesLost:      m.samplesLost,
+		SampledInstr:     m.sampledInstr,
+		SampledMemAccess: m.sampledMemAccess,
+		SampledRemote:    m.sampledRemote,
+		SampledRemoteLat: m.sampledRemoteLat,
+		OverheadCharged:  m.overheadCharged,
+		Stopped:          m.stopped,
+		Sampler:          sampler,
+	}, true
+}
+
+// RestoreState adopts previously exported monitor state, including the
+// mechanism's sampler state. It reports false when the attached
+// mechanism cannot adopt it.
+func (m *Monitor) RestoreState(st MonitorState) bool {
+	if !RestoreSamplerState(m.mech, st.Sampler) {
+		return false
+	}
+	m.samplesTaken = st.SamplesTaken
+	m.samplesLost = st.SamplesLost
+	m.sampledInstr = st.SampledInstr
+	m.sampledMemAccess = st.SampledMemAccess
+	m.sampledRemote = st.SampledRemote
+	m.sampledRemoteLat = st.SampledRemoteLat
+	m.overheadCharged = st.OverheadCharged
+	m.stopped = st.Stopped
+	return true
+}

@@ -1,0 +1,88 @@
+// Checkpoint support: the engine and its threads can export their cycle
+// accounting and adopt it back later. The resume fast-forward re-executes
+// the deterministic access stream with monitoring paused, which replays
+// every retirement count and access latency exactly — but not the
+// monitoring overhead folded into the cycle clocks, nor the region
+// durations and marks derived from them. Restoring the absolute clock
+// values at the checkpointed region boundary therefore puts the engine
+// in the precise state the interrupted run had.
+package proc
+
+import "repro/internal/units"
+
+// ThreadClock is one thread's complete cycle and retirement accounting.
+type ThreadClock struct {
+	Cycles       units.Cycles `json:"cycles"`
+	RegionCycles units.Cycles `json:"region_cycles"`
+	Overhead     units.Cycles `json:"overhead"`
+	Instructions uint64       `json:"instructions"`
+	MemAccesses  uint64       `json:"mem_accesses"`
+}
+
+// ExportClock reads the thread's clock state.
+func (t *Thread) ExportClock() ThreadClock {
+	return ThreadClock{
+		Cycles:       t.cycles,
+		RegionCycles: t.regionCycles,
+		Overhead:     t.overhead,
+		Instructions: t.instructions,
+		MemAccesses:  t.memAccesses,
+	}
+}
+
+// RestoreClock adopts a previously exported clock state. Call it at a
+// region boundary (regionCycles is reset at the next BeginRegion, so
+// the restored value only matters for Now-style reads before then).
+func (t *Thread) RestoreClock(c ThreadClock) {
+	t.cycles = c.Cycles
+	t.regionCycles = c.RegionCycles
+	t.overhead = c.Overhead
+	t.instructions = c.Instructions
+	t.memAccesses = c.MemAccesses
+}
+
+// EngineClock is the engine's program-wide time and retirement state.
+type EngineClock struct {
+	TotalTime         units.Cycles            `json:"total_time"`
+	TotalInstructions uint64                  `json:"total_instructions"`
+	TotalMemAccesses  uint64                  `json:"total_mem_accesses"`
+	TotalRemote       uint64                  `json:"total_remote"`
+	TotalRemoteCycles units.Cycles            `json:"total_remote_cycles"`
+	Marks             map[string]units.Cycles `json:"marks,omitempty"`
+}
+
+// ExportClock reads the engine's clock state, copying the marks map.
+func (e *Engine) ExportClock() EngineClock {
+	var marks map[string]units.Cycles
+	if len(e.marks) > 0 {
+		marks = make(map[string]units.Cycles, len(e.marks))
+		for k, v := range e.marks {
+			marks[k] = v
+		}
+	}
+	return EngineClock{
+		TotalTime:         e.totalTime,
+		TotalInstructions: e.totalInstructions,
+		TotalMemAccesses:  e.totalMemAccesses,
+		TotalRemote:       e.totalRemote,
+		TotalRemoteCycles: e.totalRemoteCycles,
+		Marks:             marks,
+	}
+}
+
+// RestoreClock adopts a previously exported engine clock. Call it at a
+// region boundary, outside any active region.
+func (e *Engine) RestoreClock(c EngineClock) {
+	e.totalTime = c.TotalTime
+	e.totalInstructions = c.TotalInstructions
+	e.totalMemAccesses = c.TotalMemAccesses
+	e.totalRemote = c.TotalRemote
+	e.totalRemoteCycles = c.TotalRemoteCycles
+	e.marks = nil
+	if len(c.Marks) > 0 {
+		e.marks = make(map[string]units.Cycles, len(c.Marks))
+		for k, v := range c.Marks {
+			e.marks[k] = v
+		}
+	}
+}

@@ -1,0 +1,352 @@
+// Checkpoint files: the serialised form of core.Checkpoint, written in
+// the same CRC-framed section-per-line discipline as v2 measurement
+// files but under their own magic — a checkpoint is not a profile and
+// must never be mistaken for one by Load. Unlike measurement loading,
+// checkpoint decoding is strict only: a checkpoint with any damaged
+// section is useless (a partial adoption would silently diverge from
+// the byte-identity invariant), so the caller quarantines it and falls
+// back to recomputing the cell from epoch zero.
+package profio
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/cct"
+	"repro/internal/core"
+	"repro/internal/datacentric"
+	"repro/internal/isa"
+	"repro/internal/pmu"
+	"repro/internal/proc"
+	"repro/internal/trace"
+	"repro/internal/units"
+	"repro/internal/vm"
+)
+
+// CheckpointVersion is the checkpoint format version.
+const CheckpointVersion = 1
+
+// magicCkpt is the first line of a checkpoint file.
+const magicCkpt = "#numaprof-checkpoint-v1"
+
+// Checkpoint section names.
+const (
+	SectionCkptState    = "ckpt-state"
+	SectionCkptTrees    = "ckpt-trees"
+	SectionCkptVars     = "ckpt-vars"
+	SectionCkptPatterns = "ckpt-patterns"
+	SectionCkptTimeline = "ckpt-timeline"
+)
+
+// ckptStateDoc carries the scalar resumable state: clocks, monitor and
+// sampler counters, whole-program aggregates, and the health ledger.
+type ckptStateDoc struct {
+	Version int `json:"version"`
+	Epoch   int `json:"epoch"`
+	SnapSeq int `json:"snap_seq"`
+
+	Engine  proc.EngineClock   `json:"engine"`
+	Threads []proc.ThreadClock `json:"threads"`
+	Monitor pmu.MonitorState   `json:"monitor"`
+
+	Samples          float64      `json:"samples"`
+	Ml               float64      `json:"ml"`
+	Mr               float64      `json:"mr"`
+	PerDomain        []float64    `json:"per_domain"`
+	SampledLatency   units.Cycles `json:"sampled_latency"`
+	SampledRemoteLat units.Cycles `json:"sampled_remote_lat"`
+
+	QuarInstr     uint64       `json:"quar_instr,omitempty"`
+	QuarRemote    uint64       `json:"quar_remote,omitempty"`
+	QuarRemoteLat units.Cycles `json:"quar_remote_lat,omitempty"`
+
+	StoppedEarly bool        `json:"stopped_early,omitempty"`
+	Health       core.Health `json:"health"`
+}
+
+// ckptVarDoc is one checkpointed data-centric aggregate plus its
+// variable descriptor (VarDoc's identity fields with the in-flight
+// sums; no derived shares — those are computed at finish).
+type ckptVarDoc struct {
+	Name        string              `json:"name"`
+	Kind        datacentric.VarKind `json:"kind"`
+	Region      vm.Region           `json:"region"`
+	AllocPath   []FrameDoc          `json:"alloc_path,omitempty"`
+	AllocSite   isa.SiteID          `json:"alloc_site"`
+	AllocThread int                 `json:"alloc_thread"`
+	BinCount    int                 `json:"bin_count"`
+
+	Samples   float64         `json:"samples"`
+	Ml        float64         `json:"ml"`
+	Mr        float64         `json:"mr"`
+	PerDomain []float64       `json:"per_domain"`
+	Latency   units.Cycles    `json:"latency"`
+	RemoteLat units.Cycles    `json:"remote_lat"`
+	Bins      []core.BinStats `json:"bins,omitempty"`
+}
+
+// EncodeCheckpoint writes ck to w in the sectioned checkpoint format.
+func EncodeCheckpoint(w io.Writer, ck *core.Checkpoint) error {
+	if ck == nil {
+		return fmt.Errorf("profio: nil checkpoint")
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, magicCkpt); err != nil {
+		return err
+	}
+	writeSection := func(name string, v any) error {
+		body, err := json.Marshal(v)
+		if err != nil {
+			return fmt.Errorf("profio: encode section %s: %w", name, err)
+		}
+		rec := sectionRec{Name: name, CRC: crc32.ChecksumIEEE(body), Body: body}
+		line, err := json.Marshal(&rec)
+		if err != nil {
+			return fmt.Errorf("profio: encode section %s: %w", name, err)
+		}
+		if _, err := bw.Write(line); err != nil {
+			return err
+		}
+		return bw.WriteByte('\n')
+	}
+	state := ckptStateDoc{
+		Version: CheckpointVersion,
+		Epoch:   ck.Epoch,
+		SnapSeq: ck.SnapSeq,
+
+		Engine:  ck.Engine,
+		Threads: ck.Threads,
+		Monitor: ck.Monitor,
+
+		Samples:          ck.Samples,
+		Ml:               ck.Ml,
+		Mr:               ck.Mr,
+		PerDomain:        ck.PerDomain,
+		SampledLatency:   ck.SampledLatency,
+		SampledRemoteLat: ck.SampledRemoteLat,
+
+		QuarInstr:     ck.QuarantinedInstr,
+		QuarRemote:    ck.QuarantinedRemote,
+		QuarRemoteLat: ck.QuarantinedRemoteLat,
+
+		StoppedEarly: ck.StoppedEarly,
+		Health:       ck.Health,
+	}
+	if err := writeSection(SectionCkptState, &state); err != nil {
+		return err
+	}
+	trees := make([]*NodeDoc, len(ck.Trees))
+	for i, tr := range ck.Trees {
+		if tr != nil {
+			trees[i] = encodeNode(tr.Root())
+		}
+	}
+	if err := writeSection(SectionCkptTrees, trees); err != nil {
+		return err
+	}
+	vars := make([]ckptVarDoc, 0, len(ck.Vars))
+	for i := range ck.Vars {
+		cv := &ck.Vars[i]
+		vars = append(vars, ckptVarDoc{
+			Name:        cv.Name,
+			Kind:        cv.Kind,
+			Region:      cv.Region,
+			AllocPath:   encodeFrames(cv.AllocPath),
+			AllocSite:   cv.AllocSite,
+			AllocThread: cv.AllocThread,
+			BinCount:    cv.BinCount,
+
+			Samples:   cv.Samples,
+			Ml:        cv.Ml,
+			Mr:        cv.Mr,
+			PerDomain: cv.PerDomain,
+			Latency:   cv.Latency,
+			RemoteLat: cv.RemoteLat,
+			Bins:      cv.Bins,
+		})
+	}
+	if err := writeSection(SectionCkptVars, vars); err != nil {
+		return err
+	}
+	pats := make([]PatternDoc, 0, len(ck.Patterns))
+	for _, cp := range ck.Patterns {
+		pats = append(pats, PatternDoc{
+			RegionID: cp.RegionID,
+			Bin:      cp.Bin,
+			Scope:    cp.Scope,
+			Threads:  cp.Threads,
+		})
+	}
+	if err := writeSection(SectionCkptPatterns, pats); err != nil {
+		return err
+	}
+	if len(ck.Timeline) > 0 {
+		if err := writeSection(SectionCkptTimeline, ck.Timeline); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// EncodeCheckpointBytes renders ck to a byte slice (the store's blob
+// form).
+func EncodeCheckpointBytes(ck *core.Checkpoint) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := EncodeCheckpoint(&buf, ck); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeCheckpoint parses a checkpoint strictly: wrong magic, a
+// checksum mismatch, an unparseable line, or a missing required
+// section all fail the load. The returned checkpoint owns its state.
+func DecodeCheckpoint(r io.Reader) (*core.Checkpoint, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeCheckpointBytes(data)
+}
+
+// DecodeCheckpointBytes is DecodeCheckpoint over an in-memory blob.
+func DecodeCheckpointBytes(data []byte) (*core.Checkpoint, error) {
+	lines := bytes.Split(data, []byte("\n"))
+	if len(lines) == 0 || strings.TrimRight(string(lines[0]), "\r") != magicCkpt {
+		return nil, fmt.Errorf("profio: not a checkpoint file")
+	}
+	bodies := make(map[string]json.RawMessage)
+	for _, line := range lines[1:] {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var rec sectionRec
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return nil, fmt.Errorf("profio: checkpoint truncated or corrupt: %w", err)
+		}
+		if crc32.ChecksumIEEE(rec.Body) != rec.CRC {
+			return nil, fmt.Errorf("profio: checkpoint section %s: checksum mismatch", rec.Name)
+		}
+		bodies[rec.Name] = rec.Body
+	}
+	stateBody, ok := bodies[SectionCkptState]
+	if !ok {
+		return nil, fmt.Errorf("profio: checkpoint missing section %s", SectionCkptState)
+	}
+	var state ckptStateDoc
+	if err := json.Unmarshal(stateBody, &state); err != nil {
+		return nil, fmt.Errorf("profio: checkpoint section %s: %w", SectionCkptState, err)
+	}
+	if state.Version != CheckpointVersion {
+		return nil, fmt.Errorf("profio: unsupported checkpoint version %d", state.Version)
+	}
+	if state.Epoch <= 0 {
+		return nil, fmt.Errorf("profio: checkpoint carries no epoch")
+	}
+	ck := &core.Checkpoint{
+		Epoch:   state.Epoch,
+		SnapSeq: state.SnapSeq,
+
+		Engine:  state.Engine,
+		Threads: state.Threads,
+		Monitor: state.Monitor,
+
+		Samples:          state.Samples,
+		Ml:               state.Ml,
+		Mr:               state.Mr,
+		PerDomain:        state.PerDomain,
+		SampledLatency:   state.SampledLatency,
+		SampledRemoteLat: state.SampledRemoteLat,
+
+		QuarantinedInstr:     state.QuarInstr,
+		QuarantinedRemote:    state.QuarRemote,
+		QuarantinedRemoteLat: state.QuarRemoteLat,
+
+		StoppedEarly: state.StoppedEarly,
+		Health:       state.Health,
+	}
+	for _, name := range []string{SectionCkptTrees, SectionCkptVars, SectionCkptPatterns} {
+		if _, ok := bodies[name]; !ok {
+			return nil, fmt.Errorf("profio: checkpoint missing section %s", name)
+		}
+	}
+	var trees []*NodeDoc
+	if err := json.Unmarshal(bodies[SectionCkptTrees], &trees); err != nil {
+		return nil, fmt.Errorf("profio: checkpoint section %s: %w", SectionCkptTrees, err)
+	}
+	for _, td := range trees {
+		tr := cct.New()
+		if td != nil {
+			decodeNodeInto(tr.Root(), td)
+		}
+		ck.Trees = append(ck.Trees, tr)
+	}
+	var vars []ckptVarDoc
+	if err := json.Unmarshal(bodies[SectionCkptVars], &vars); err != nil {
+		return nil, fmt.Errorf("profio: checkpoint section %s: %w", SectionCkptVars, err)
+	}
+	for i := range vars {
+		vd := &vars[i]
+		ck.Vars = append(ck.Vars, core.CheckpointVar{
+			Name:        vd.Name,
+			Kind:        vd.Kind,
+			Region:      vd.Region,
+			AllocPath:   decodeFrames(vd.AllocPath),
+			AllocSite:   vd.AllocSite,
+			AllocThread: vd.AllocThread,
+			BinCount:    vd.BinCount,
+
+			Samples:   vd.Samples,
+			Ml:        vd.Ml,
+			Mr:        vd.Mr,
+			PerDomain: vd.PerDomain,
+			Latency:   vd.Latency,
+			RemoteLat: vd.RemoteLat,
+			Bins:      vd.Bins,
+		})
+	}
+	var pats []PatternDoc
+	if err := json.Unmarshal(bodies[SectionCkptPatterns], &pats); err != nil {
+		return nil, fmt.Errorf("profio: checkpoint section %s: %w", SectionCkptPatterns, err)
+	}
+	for _, pd := range pats {
+		ck.Patterns = append(ck.Patterns, core.CheckpointPattern{
+			RegionID: pd.RegionID,
+			Bin:      pd.Bin,
+			Scope:    pd.Scope,
+			Threads:  pd.Threads,
+		})
+	}
+	if body, ok := bodies[SectionCkptTimeline]; ok {
+		var evs []trace.Event
+		if err := json.Unmarshal(body, &evs); err != nil {
+			return nil, fmt.Errorf("profio: checkpoint section %s: %w", SectionCkptTimeline, err)
+		}
+		ck.Timeline = evs
+	}
+	return ck, nil
+}
+
+// SaveCheckpointFile writes ck to path atomically (temp + rename),
+// exactly like SaveFile: a crash mid-write leaves either the old
+// checkpoint or none, never a torn one.
+func SaveCheckpointFile(path string, ck *core.Checkpoint) error {
+	return atomicWrite(path, func(w io.Writer) error {
+		return EncodeCheckpoint(w, ck)
+	})
+}
+
+// LoadCheckpointFile reads a checkpoint file strictly.
+func LoadCheckpointFile(path string) (*core.Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeCheckpointBytes(data)
+}

@@ -1,0 +1,133 @@
+// Checkpoint codec tests: deterministic encode, strict decode (any
+// damage is an error, never a silently partial checkpoint), and file
+// round-trips through the atomic writer.
+package profio
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/topology"
+	"repro/internal/units"
+)
+
+// liveCheckpoint captures one mid-run checkpoint from the demo app,
+// encoding inside the callback per the serialize-synchronously
+// contract.
+func liveCheckpoint(t testing.TB) []byte {
+	t.Helper()
+	m := topology.New(topology.Config{
+		Name: "profio-m", NumDomains: 4, CPUsPerDomain: 2,
+		MemoryPerDomain: units.GiB, RemoteDistance: 18,
+	})
+	var blob []byte
+	_, err := core.Analyze(core.Config{
+		Machine:         m,
+		Mechanism:       "IBS",
+		Period:          32,
+		TrackFirstTouch: true,
+		Trace:           true,
+		CheckpointEvery: 1,
+		OnCheckpoint: func(ck *core.Checkpoint) {
+			b, err := EncodeCheckpointBytes(ck)
+			if err != nil {
+				t.Fatal(err)
+			}
+			blob = b // keep the latest
+		},
+	}, newDemoApp())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blob == nil {
+		t.Fatal("no checkpoint captured")
+	}
+	return blob
+}
+
+// TestCheckpointRoundTripDeterministic: decode → re-encode reproduces
+// the original bytes, so checkpoint blobs are content-stable.
+func TestCheckpointRoundTripDeterministic(t *testing.T) {
+	blob := liveCheckpoint(t)
+	ck, err := DecodeCheckpointBytes(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Epoch <= 0 {
+		t.Fatalf("decoded checkpoint has epoch %d", ck.Epoch)
+	}
+	again, err := EncodeCheckpointBytes(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, again) {
+		t.Fatalf("re-encode differs: %d vs %d bytes", len(blob), len(again))
+	}
+}
+
+// TestCheckpointDecodeStrict: a checkpoint is adopt-or-reject — every
+// kind of damage must fail the decode outright, because a partially
+// adopted checkpoint would silently break the resume byte-identity
+// invariant.
+func TestCheckpointDecodeStrict(t *testing.T) {
+	blob := liveCheckpoint(t)
+	lines := strings.Split(string(blob), "\n")
+	cases := []struct {
+		name   string
+		mutate func() []byte
+	}{
+		{"empty", func() []byte { return nil }},
+		{"wrong magic", func() []byte {
+			return []byte("#numaprof-measurement-v2\n" + strings.Join(lines[1:], "\n"))
+		}},
+		{"truncated mid-section", func() []byte { return blob[:len(blob)-len(lines[len(lines)-2])/2] }},
+		{"crc flipped", func() []byte {
+			return bytes.Replace(blob, []byte(`"crc":`), []byte(`"crc":1`), 1)
+		}},
+		{"state section dropped", func() []byte {
+			var keep []string
+			for _, l := range lines {
+				if !strings.Contains(l, SectionCkptState) {
+					keep = append(keep, l)
+				}
+			}
+			return []byte(strings.Join(keep, "\n"))
+		}},
+		{"garbage line", func() []byte {
+			return []byte(lines[0] + "\nnot a section\n" + strings.Join(lines[1:], "\n"))
+		}},
+	}
+	for _, tc := range cases {
+		if _, err := DecodeCheckpointBytes(tc.mutate()); err == nil {
+			t.Errorf("%s: decode accepted damaged checkpoint", tc.name)
+		}
+	}
+}
+
+// TestCheckpointFileRoundTrip: SaveCheckpointFile writes atomically and
+// LoadCheckpointFile reads back the identical checkpoint.
+func TestCheckpointFileRoundTrip(t *testing.T) {
+	blob := liveCheckpoint(t)
+	ck, err := DecodeCheckpointBytes(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "run.numackpt")
+	if err := SaveCheckpointFile(path, ck); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCheckpointFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := EncodeCheckpointBytes(loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, again) {
+		t.Fatal("file round-trip changed the checkpoint bytes")
+	}
+}

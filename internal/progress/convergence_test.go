@@ -95,6 +95,74 @@ func TestDetectorNoEstimatorConvergesOnQuotient(t *testing.T) {
 	}
 }
 
+func observeAt(d *Detector, epoch int, samples, rf, lpi float64, valid bool) *Snapshot {
+	s := &Snapshot{Epoch: epoch, Samples: samples, RemoteFraction: rf, LPI: lpi, LPIValid: valid}
+	d.Observe(s)
+	return s
+}
+
+func TestDetectorResetDropsStaleMemory(t *testing.T) {
+	var d Detector
+	observe(&d, 10, 0.4, 2.0, true)
+	observe(&d, 20, 0.4, 2.0, true)
+	observe(&d, 30, 0.4, 2.0, true)
+	d.Reset()
+	// After a reset the detector has nothing to compare against: even a
+	// snapshot identical to the pre-reset stream earns no confidence,
+	// and the full window must be rebuilt from scratch.
+	if s := observe(&d, 40, 0.4, 2.0, true); s.Converged || s.Confidence != 0 {
+		t.Fatalf("first post-reset snapshot inherited stale memory: %+v", s)
+	}
+	observe(&d, 50, 0.4, 2.0, true)
+	observe(&d, 60, 0.4, 2.0, true)
+	s := observe(&d, 70, 0.4, 2.0, true)
+	if !s.Converged {
+		t.Fatalf("full window after reset did not converge: %+v", s)
+	}
+}
+
+func TestDetectorEpochGapVoidsStreak(t *testing.T) {
+	var d Detector
+	// Establish the cadence: snapshots every 2 epochs, stable quotients.
+	observeAt(&d, 2, 10, 0.4, 2.0, true)
+	observeAt(&d, 4, 20, 0.4, 2.0, true)
+	s := observeAt(&d, 6, 30, 0.4, 2.0, true)
+	if s.Confidence == 0 {
+		t.Fatal("stable cadenced snapshots built no streak")
+	}
+	// A snapshot far past the cadence crossed a sampling gap: its
+	// quotients match the stale pre-gap memory, but the detector must
+	// not let that memory vouch for stability across the gap.
+	s = observeAt(&d, 20, 40, 0.4, 2.0, true)
+	if s.Converged || s.Confidence != 0 {
+		t.Fatalf("streak survived an epoch gap: %+v", s)
+	}
+	// The resumed stream re-earns its window at the regular cadence.
+	observeAt(&d, 22, 50, 0.4, 2.0, true)
+	observeAt(&d, 24, 60, 0.4, 2.0, true)
+	s = observeAt(&d, 26, 70, 0.4, 2.0, true)
+	if !s.Converged {
+		t.Fatalf("post-gap stream did not re-converge over a full window: %+v", s)
+	}
+}
+
+func TestDetectorFinalSnapshotMidStrideIsNotAGap(t *testing.T) {
+	var d Detector
+	observeAt(&d, 2, 10, 0.4, 2.0, true)
+	observeAt(&d, 4, 20, 0.4, 2.0, true)
+	observeAt(&d, 6, 30, 0.4, 2.0, true)
+	s := observeAt(&d, 8, 40, 0.4, 2.0, true)
+	if !s.Converged {
+		t.Fatalf("stable cadenced stream did not converge: %+v", s)
+	}
+	// The closing snapshot lands one epoch past the last periodic one —
+	// inside the stride, so no gap: convergence holds.
+	s = observeAt(&d, 9, 41, 0.4, 2.0, true)
+	if !s.Converged {
+		t.Fatalf("mid-stride final snapshot treated as a gap: %+v", s)
+	}
+}
+
 func TestDetectorCustomEpsilonWindow(t *testing.T) {
 	d := Detector{Epsilon: 0.5, Window: 1}
 	observe(&d, 10, 0.2, 1.0, true)

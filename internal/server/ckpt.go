@@ -1,0 +1,174 @@
+// Mid-cell checkpoint wiring: the glue between core's resumable
+// checkpoints, the store's blob tier, and the journal. A running cell
+// periodically serializes its profiler state (profio checkpoint codec)
+// into the store's checkpoint tier and journals a pointer to it; after
+// a crash, Recover hands the pointers to the re-enqueued job and the
+// worker resumes each interrupted cell from its latest checkpoint
+// instead of recomputing from epoch zero. Checkpoints are an
+// accelerator, never a source of truth: any missing, stale, or corrupt
+// blob degrades to a full recompute, and the resumed profile's bytes
+// are identical to an uninterrupted run's (core's invariant).
+package server
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/profio"
+	"repro/internal/progress"
+	"repro/internal/store"
+)
+
+// autotuneBootstrapSnapshotEvery is the snapshot cadence autotune uses
+// for a workload with no recorded convergence history yet: the first
+// run observes at this cadence so later runs have history to tune from.
+const autotuneBootstrapSnapshotEvery = 4
+
+// cadenceFor resolves the effective snapshot and checkpoint cadences
+// for one workload. Explicitly configured cadences always win; with
+// Autotune on, zero cadences are seeded from the store's convergence
+// history (and the snapshot cadence from a bootstrap default when there
+// is no history yet, so the history can ever be learned).
+func (s *Server) cadenceFor(workload string) (snapEvery, ckptEvery int) {
+	snapEvery, ckptEvery = s.snapshotEvery, s.checkpointEvery
+	if !s.autotune {
+		return snapEvery, ckptEvery
+	}
+	sn, ck, ok := s.st.SuggestCadence(workload)
+	if snapEvery == 0 {
+		if ok {
+			snapEvery = sn
+		} else {
+			snapEvery = autotuneBootstrapSnapshotEvery
+		}
+	}
+	if ckptEvery == 0 && ok {
+		ckptEvery = ck
+	}
+	return snapEvery, ckptEvery
+}
+
+// observeConvergence chains a convergence observer onto cfg.OnSnapshot
+// and returns a commit func: called after a successful run, it records
+// the first converged epoch in the store's autotune history. A no-op
+// when autotune is off or snapshots are disabled.
+func (s *Server) observeConvergence(workload string, cfg *core.Config) (commit func()) {
+	if !s.autotune || cfg.SnapshotEvery <= 0 {
+		return func() {}
+	}
+	var epoch int
+	prev := cfg.OnSnapshot
+	cfg.OnSnapshot = func(snap progress.Snapshot) {
+		if snap.Converged && epoch == 0 {
+			epoch = snap.Epoch
+		}
+		if prev != nil {
+			prev(snap)
+		}
+	}
+	return func() {
+		if epoch <= 0 {
+			return
+		}
+		if err := s.st.RecordConvergence(workload, epoch); err != nil {
+			s.log.Warn("autotune record failed", "workload", workload, "err", err)
+		}
+	}
+}
+
+// installCheckpointing wires mid-cell checkpoint capture into cfg:
+// every cadence epochs the profiler's state is encoded, persisted in
+// the store's checkpoint tier, and journaled as a resume pointer.
+// Checkpointing is best-effort — a failed encode or write costs
+// resumability, never the run.
+func (s *Server) installCheckpointing(job *Job, cellKey store.Key, ckptEvery int, cfg *core.Config) {
+	if ckptEvery <= 0 {
+		return
+	}
+	cfg.CheckpointEvery = ckptEvery
+	cfg.OnCheckpoint = func(ck *core.Checkpoint) {
+		blob, err := profio.EncodeCheckpointBytes(ck)
+		if err != nil {
+			s.log.Warn("checkpoint encode failed", "id", job.id, "key", string(cellKey), "err", err)
+			return
+		}
+		if err := s.st.PutCheckpoint(cellKey, ck.Epoch, blob); err != nil {
+			s.log.Warn("checkpoint persist failed", "id", job.id, "key", string(cellKey), "err", err)
+			return
+		}
+		s.m.ckptsWritten.Inc()
+		s.journalCkpt(job, cellKey, ck.Epoch)
+	}
+}
+
+// journalCkpt appends a "ckpt" pointer record for one cell. Best-effort
+// like every non-Submit append: losing the pointer only costs the
+// resume shortcut after a crash.
+func (s *Server) journalCkpt(job *Job, cellKey store.Key, epoch int) {
+	if s.jl == nil {
+		return
+	}
+	rec := store.JournalRecord{
+		ID:        job.id,
+		State:     "ckpt",
+		CkptCell:  string(cellKey),
+		CkptEpoch: epoch,
+		Unix:      time.Now().Unix(),
+	}
+	if err := s.jl.Append(rec); err != nil {
+		s.log.Warn("journal checkpoint pointer failed", "id", job.id, "err", err)
+	}
+}
+
+// resumeCheckpoint loads the decoded checkpoint a recovered job should
+// resume cellKey from, or (nil, false) when the cell must run from
+// scratch: no journal pointer, no blob, or a blob that fails its CRCs
+// (quarantined so the damage stays inspectable).
+func (s *Server) resumeCheckpoint(job *Job, cellKey store.Key) (*core.Checkpoint, bool) {
+	if job.ckptEpoch(cellKey) <= 0 {
+		return nil, false
+	}
+	epoch, blob, err := s.st.LatestCheckpoint(cellKey)
+	if err != nil {
+		s.log.Warn("journaled checkpoint missing, recomputing cell",
+			"id", job.id, "key", string(cellKey), "err", err)
+		return nil, false
+	}
+	ck, err := profio.DecodeCheckpointBytes(blob)
+	if err != nil {
+		s.st.QuarantineCheckpoints(cellKey)
+		s.log.Warn("checkpoint blob corrupt, quarantined, recomputing cell",
+			"id", job.id, "key", string(cellKey), "epoch", epoch, "err", err)
+		return nil, false
+	}
+	return ck, true
+}
+
+// runCell executes one cell's config, resuming from rck when present.
+// A checkpoint core refuses (ErrResume: wrong shape for this spec, or
+// an epoch past the program's end) is quarantined and the cell reruns
+// from scratch — a stale or mismatched checkpoint must never fail a
+// job that would succeed without it.
+func (s *Server) runCell(ctx context.Context, job *Job, cellKey store.Key,
+	cfg core.Config, app core.App, rck *core.Checkpoint) (*core.Profile, error) {
+	if rck != nil {
+		resumed := cfg
+		resumed.Resume = rck
+		p, err := core.AnalyzeCtx(ctx, resumed, app)
+		if err == nil {
+			s.m.cellsResumed.Inc()
+			s.log.Info("cell resumed from checkpoint",
+				"id", job.id, "key", string(cellKey), "epoch", rck.Epoch)
+			return p, nil
+		}
+		if !errors.Is(err, core.ErrResume) {
+			return nil, err
+		}
+		s.st.QuarantineCheckpoints(cellKey)
+		s.log.Warn("checkpoint rejected by core, recomputing cell",
+			"id", job.id, "key", string(cellKey), "err", err)
+	}
+	return core.AnalyzeCtx(ctx, cfg, app)
+}

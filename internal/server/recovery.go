@@ -263,6 +263,9 @@ func (s *Server) Recover(rec *store.RecoveredJournal) error {
 		job := newJob(s.baseCtx, jj.ID, n, n.Key(), now)
 		job.markRecovered()
 		job.setAttempt(jj.Attempt)
+		// Journal-recovered checkpoint pointers: the worker resumes
+		// these cells mid-run instead of recomputing from epoch zero.
+		job.adoptCkpts(jj.Ckpts)
 		if s.timeout > 0 {
 			job.armTimeout(s.timeout)
 		}
@@ -380,19 +383,40 @@ func (s *Server) executeSweep(ctx context.Context, job *Job) (State, string, boo
 			}
 			s.m.cellsRecomputed.Inc()
 			job.setCell(i, StateDone, "")
+			// The cell's profile is durable; its mid-cell checkpoints
+			// have nothing left to accelerate.
+			s.st.DeleteCheckpoints(keys[i])
 			return nil
 		},
 	}
 	// One worker: job-level parallelism is the pool's, exactly like the
 	// single-spec path.
-	_, err = sched.MapCkptWithCtx(ctx, 1, len(cells), ck, func(cellCtx context.Context, i int) (*core.Profile, error) {
-		job.setCell(i, StateRunning, "")
-		cfg, app, err := cells[i].Build()
-		if err != nil {
-			return nil, err
-		}
-		return core.AnalyzeCtx(cellCtx, cfg, app)
-	})
+	resume := func(i int) (*core.Checkpoint, bool) {
+		return s.resumeCheckpoint(job, keys[i])
+	}
+	_, err = sched.MapCkptResumeWithCtx(ctx, 1, len(cells), ck, resume,
+		func(cellCtx context.Context, i int, rck *core.Checkpoint, _ bool) (*core.Profile, error) {
+			job.setCell(i, StateRunning, "")
+			cfg, app, err := cells[i].Build()
+			if err != nil {
+				return nil, err
+			}
+			// Sweep cells do not stream to the hub, but with autotune on
+			// they observe their own snapshots so convergence history
+			// accrues; checkpoints make the cell resumable either way.
+			snapEvery, ckptEvery := s.cadenceFor(cells[i].Workload)
+			if s.autotune && snapEvery > 0 {
+				cfg.SnapshotEvery = snapEvery
+				cfg.SnapshotTopK = s.topVars
+			}
+			commit := s.observeConvergence(cells[i].Workload, &cfg)
+			s.installCheckpointing(job, keys[i], ckptEvery, &cfg)
+			p, err := s.runCell(cellCtx, job, keys[i], cfg, app, rck)
+			if err == nil {
+				commit()
+			}
+			return p, err
+		})
 	if err != nil {
 		var firstErr error = err
 		if sweep, ok := sched.AsSweep(err); ok && len(sweep.Cells) > 0 {

@@ -53,11 +53,19 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "streaming unsupported by this connection")
 		return
 	}
+	// A malformed resume ID must fail loud, not silently become 0: a
+	// full replay on an ended stream re-delivers the terminal event the
+	// client already consumed (a duplicate done/failed/canceled), and
+	// an EventSource client acting on it twice double-fires whatever
+	// the first one triggered.
 	var lastID uint64
 	if v := r.Header.Get("Last-Event-ID"); v != "" {
-		if n, err := strconv.ParseUint(v, 10, 64); err == nil {
-			lastID = n
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "malformed Last-Event-ID %q", v)
+			return
 		}
+		lastID = n
 	}
 	replay, sub := job.Events(lastID, streamBuffer)
 	defer sub.Close()

@@ -296,6 +296,88 @@ func TestEventStreamLateSubscriberAndResume(t *testing.T) {
 	resp.Body.Close()
 }
 
+// TestEventsMalformedLastEventID pins the malformed-resume bugfix: a
+// Last-Event-ID header that doesn't parse must be rejected with 400,
+// not silently treated as 0. Pre-fix the handler replayed the full
+// stream, and on a finished job that re-delivers the terminal event the
+// client already consumed — an EventSource acting on `done` twice
+// double-fires whatever the first delivery triggered.
+func TestEventsMalformedLastEventID(t *testing.T) {
+	_, c := newTestServer(t, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	st, err := c.Submit(ctx, fastSpec("baseline"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustDone(t, c, st.ID)
+	for _, bad := range []string{"garbage", "-1", "1.5", "0x10", "18446744073709551616"} {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+			c.BaseURL+"/api/v1/jobs/"+st.ID+"/events", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Last-Event-ID", bad)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("Last-Event-ID %q: HTTP %d (%s), want 400", bad, resp.StatusCode, body)
+		}
+	}
+}
+
+// TestEventStreamResumeDedupesTerminal pins the dedupe half of the
+// resume contract: across reconnect cycles that always present the last
+// ID seen, a subscriber observes the terminal event exactly once; a
+// reconnect from just before it gets it exactly once more, nothing else.
+func TestEventStreamResumeDedupesTerminal(t *testing.T) {
+	_, c := newTestServer(t, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	st, err := c.Submit(ctx, fastSpec("baseline"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustDone(t, c, st.ID)
+
+	resp := openStream(t, ctx, c.BaseURL, st.ID, "")
+	evs := readStream(t, resp.Body, nil)
+	resp.Body.Close()
+	var terminals int
+	for _, ev := range evs {
+		if terminalType(ev.Type) {
+			terminals++
+		}
+	}
+	if terminals != 1 {
+		t.Fatalf("first replay delivered %d terminal events, want 1", terminals)
+	}
+	last := evs[len(evs)-1]
+
+	// A well-behaved client reconnecting with the ID it already has must
+	// never see the terminal again, no matter how often it retries.
+	for i := 0; i < 3; i++ {
+		resp := openStream(t, ctx, c.BaseURL, st.ID, strconv.FormatUint(last.ID, 10))
+		if rest := readStream(t, resp.Body, nil); len(rest) != 0 {
+			t.Fatalf("reconnect %d past terminal replayed %d events (duplicate terminal)", i, len(rest))
+		}
+		resp.Body.Close()
+	}
+
+	// A client that disconnected just before the terminal gets exactly
+	// it and nothing else.
+	resp = openStream(t, ctx, c.BaseURL, st.ID, strconv.FormatUint(last.ID-1, 10))
+	rest := readStream(t, resp.Body, nil)
+	resp.Body.Close()
+	if len(rest) != 1 || rest[0].ID != last.ID || !terminalType(rest[0].Type) {
+		t.Fatalf("resume from terminal-1 replayed %+v, want exactly the terminal event", rest)
+	}
+}
+
 // TestCachedJobStreamsLifecycleOnly: a second submission of an
 // identical spec is served from the store — its stream carries the
 // lifecycle but no snapshots (no profiler ran).

@@ -1,0 +1,120 @@
+// Sample-budget autotuning: the store remembers, per workload, at which
+// epoch past runs' live estimates converged, and suggests snapshot and
+// checkpoint cadences sized to that history — frequent enough that a
+// typical run gets several observations and checkpoints before its
+// estimates settle, sparse enough that neither machinery dominates the
+// run. The sidecar is operational metadata: deleting it only resets the
+// tuning, and it never affects profile bytes or cache keys.
+package store
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// AutotuneName is the sidecar's file name inside the store dir.
+const AutotuneName = "autotune.json"
+
+// autotuneHistory bounds the per-workload convergence history.
+const autotuneHistory = 8
+
+// autotuneFile is the sidecar's on-disk form.
+type autotuneFile struct {
+	// Workloads maps workload name → recent convergence epochs,
+	// oldest first.
+	Workloads map[string][]int `json:"workloads"`
+}
+
+func (s *Store) autotunePath() string { return filepath.Join(s.dir, AutotuneName) }
+
+// loadAutotune reads the sidecar; damage or absence is an empty
+// history, never an error. Callers hold atMu.
+func (s *Store) loadAutotune() *autotuneFile {
+	af := &autotuneFile{Workloads: make(map[string][]int)}
+	data, err := os.ReadFile(s.autotunePath())
+	if err != nil {
+		return af
+	}
+	if json.Unmarshal(data, af) != nil || af.Workloads == nil {
+		af.Workloads = make(map[string][]int)
+	}
+	return af
+}
+
+// saveAutotune rewrites the sidecar atomically. Callers hold atMu.
+func (s *Store) saveAutotune(af *autotuneFile) error {
+	data, err := json.MarshalIndent(af, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(s.dir, "."+AutotuneName+".tmp*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	if err := os.Rename(name, s.autotunePath()); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return nil
+}
+
+// RecordConvergence appends one observed convergence epoch for a
+// workload, keeping a bounded recent history.
+func (s *Store) RecordConvergence(workload string, epoch int) error {
+	if workload == "" || epoch <= 0 {
+		return nil
+	}
+	s.atMu.Lock()
+	defer s.atMu.Unlock()
+	af := s.loadAutotune()
+	hist := append(af.Workloads[workload], epoch)
+	if len(hist) > autotuneHistory {
+		hist = hist[len(hist)-autotuneHistory:]
+	}
+	af.Workloads[workload] = hist
+	return s.saveAutotune(af)
+}
+
+// ConvergenceEpochs returns the recorded history for a workload,
+// oldest first.
+func (s *Store) ConvergenceEpochs(workload string) []int {
+	s.atMu.Lock()
+	defer s.atMu.Unlock()
+	return append([]int(nil), s.loadAutotune().Workloads[workload]...)
+}
+
+// SuggestCadence derives snapshot and checkpoint cadences for a
+// workload from the median of its recorded convergence epochs: about
+// eight snapshots and four checkpoints before a typical run converges.
+// ok is false when the workload has no history — the caller keeps its
+// configured defaults.
+func (s *Store) SuggestCadence(workload string) (snapshotEvery, checkpointEvery int, ok bool) {
+	hist := s.ConvergenceEpochs(workload)
+	if len(hist) == 0 {
+		return 0, 0, false
+	}
+	sorted := append([]int(nil), hist...)
+	sort.Ints(sorted)
+	median := sorted[len(sorted)/2]
+	snapshotEvery = median / 8
+	if snapshotEvery < 1 {
+		snapshotEvery = 1
+	}
+	checkpointEvery = median / 4
+	if checkpointEvery < 1 {
+		checkpointEvery = 1
+	}
+	return snapshotEvery, checkpointEvery, true
+}

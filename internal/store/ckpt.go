@@ -1,0 +1,149 @@
+// Checkpoint-blob tier: mid-cell checkpoints for interrupted sweep
+// cells, keyed by (cell spec hash, epoch). Blobs live under a
+// checkpoints/ subdirectory of the store so a directory scan of the
+// profile tier never confuses the two, and every write is atomic
+// temp+rename — the recovery path either sees a whole checkpoint or
+// none. Checkpoints are a recovery accelerator, not a source of truth:
+// a missing or corrupt blob always degrades to recomputing the cell
+// from epoch zero.
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// CkptExt is the checkpoint-blob file extension.
+const CkptExt = ".numackpt"
+
+// ckptDirName is the checkpoint subdirectory inside the store dir.
+const ckptDirName = "checkpoints"
+
+// CheckpointDir returns the checkpoint tier's directory.
+func (s *Store) CheckpointDir() string { return filepath.Join(s.dir, ckptDirName) }
+
+// CheckpointPath returns the blob path for one (key, epoch).
+func (s *Store) CheckpointPath(k Key, epoch int) string {
+	return filepath.Join(s.CheckpointDir(), fmt.Sprintf("%s.%08d%s", k, epoch, CkptExt))
+}
+
+// PutCheckpoint persists one checkpoint blob atomically. Newer
+// checkpoints for the same key supersede older ones; the older epochs
+// are pruned so an interrupted sweep keeps exactly one blob per cell.
+func (s *Store) PutCheckpoint(k Key, epoch int, blob []byte) error {
+	if !k.Valid() {
+		return fmt.Errorf("store: invalid key %q", k)
+	}
+	if epoch <= 0 {
+		return fmt.Errorf("store: invalid checkpoint epoch %d", epoch)
+	}
+	if err := os.MkdirAll(s.CheckpointDir(), 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	path := s.CheckpointPath(k, epoch)
+	tmp, err := os.CreateTemp(s.CheckpointDir(), "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("store: write checkpoint: %w", err)
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(blob); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return fmt.Errorf("store: write checkpoint: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return fmt.Errorf("store: sync checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("store: close checkpoint: %w", err)
+	}
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("store: rename checkpoint: %w", err)
+	}
+	// Prune superseded epochs; the newest blob is already durable, so a
+	// failure here costs disk, not correctness.
+	for _, e := range s.checkpointEpochs(k) {
+		if e < epoch {
+			os.Remove(s.CheckpointPath(k, e))
+		}
+	}
+	return nil
+}
+
+// LatestCheckpoint returns the highest-epoch checkpoint blob stored for
+// a key, or ErrNotFound when the key has none.
+func (s *Store) LatestCheckpoint(k Key) (epoch int, blob []byte, err error) {
+	if !k.Valid() {
+		return 0, nil, ErrNotFound
+	}
+	epochs := s.checkpointEpochs(k)
+	if len(epochs) == 0 {
+		return 0, nil, ErrNotFound
+	}
+	max := epochs[0]
+	for _, e := range epochs[1:] {
+		if e > max {
+			max = e
+		}
+	}
+	b, err := os.ReadFile(s.CheckpointPath(k, max))
+	if os.IsNotExist(err) {
+		return 0, nil, ErrNotFound
+	}
+	if err != nil {
+		return 0, nil, err
+	}
+	return max, b, nil
+}
+
+// DeleteCheckpoints removes every checkpoint blob stored for a key —
+// called once the cell's profile is durable, when the blobs have
+// nothing left to accelerate.
+func (s *Store) DeleteCheckpoints(k Key) {
+	for _, e := range s.checkpointEpochs(k) {
+		os.Remove(s.CheckpointPath(k, e))
+	}
+}
+
+// QuarantineCheckpoints sets a key's checkpoint blobs aside as .bad
+// files instead of deleting them — called when a blob fails to decode,
+// so the damage stays inspectable while the scan (which only matches
+// CkptExt) stops offering it for resume.
+func (s *Store) QuarantineCheckpoints(k Key) {
+	for _, e := range s.checkpointEpochs(k) {
+		p := s.CheckpointPath(k, e)
+		if os.Rename(p, p+".bad") != nil {
+			os.Remove(p)
+		}
+	}
+}
+
+// checkpointEpochs scans the checkpoint dir for a key's stored epochs.
+func (s *Store) checkpointEpochs(k Key) []int {
+	entries, err := os.ReadDir(s.CheckpointDir())
+	if err != nil {
+		return nil
+	}
+	prefix := string(k) + "."
+	var epochs []int
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, CkptExt) {
+			continue
+		}
+		num := strings.TrimSuffix(strings.TrimPrefix(name, prefix), CkptExt)
+		n, err := strconv.Atoi(num)
+		if err != nil || n <= 0 {
+			continue
+		}
+		epochs = append(epochs, n)
+	}
+	return epochs
+}

@@ -103,6 +103,9 @@ type Store struct {
 	oldest   *lruEntry
 	inflight map[Key]*call
 
+	// atMu serializes autotune-sidecar read-modify-write cycles.
+	atMu sync.Mutex
+
 	memHits, diskHits, misses    atomic.Uint64
 	dedupWaits, saves, evictions atomic.Uint64
 	corruptDropped               atomic.Uint64
@@ -236,13 +239,19 @@ func (s *Store) GetOrCompute(ctx context.Context, k Key, compute func() (*core.P
 		}
 		if c, ok := s.inflight[k]; ok {
 			s.mu.Unlock()
+			// Count the wait before blocking so queued duplicates are
+			// observable while the owner still computes; any exit that
+			// does not actually share the owner's result uncounts itself
+			// below — an abandoned or failed wait is not a hit.
 			s.dedupWaits.Add(1)
 			select {
 			case <-c.done:
 			case <-ctx.Done():
+				s.dedupWaits.Add(^uint64(0))
 				return nil, false, ctx.Err()
 			}
 			if c.err != nil {
+				s.dedupWaits.Add(^uint64(0))
 				if errors.Is(c.err, context.Canceled) && ctx.Err() == nil {
 					continue // the owner was cancelled, not us: retry
 				}
@@ -254,12 +263,23 @@ func (s *Store) GetOrCompute(ctx context.Context, k Key, compute func() (*core.P
 		s.inflight[k] = c
 		s.mu.Unlock()
 
-		p, cached, err = s.fill(ctx, k, compute)
-		c.p, c.err = p, err
-		s.mu.Lock()
-		delete(s.inflight, k)
-		s.mu.Unlock()
-		close(c.done)
+		// The owner cleans up via defer so a panicking compute can never
+		// leak the in-flight entry (which would wedge every later call
+		// for this key behind a channel nobody will close). Waiters on a
+		// call that died without a result get an error, not a nil hit.
+		func() {
+			defer func() {
+				if c.p == nil && c.err == nil {
+					c.err = fmt.Errorf("store: compute for %s aborted", k)
+				}
+				s.mu.Lock()
+				delete(s.inflight, k)
+				s.mu.Unlock()
+				close(c.done)
+			}()
+			p, cached, err = s.fill(ctx, k, compute)
+			c.p, c.err = p, err
+		}()
 		return p, cached, err
 	}
 }

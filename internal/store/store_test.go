@@ -9,9 +9,11 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/profio"
@@ -189,6 +191,165 @@ func TestGetOrComputeDedupsInflight(t *testing.T) {
 	}
 	if st := s.Stats(); st.DedupWaits != dups {
 		t.Fatalf("DedupWaits = %d, want %d", st.DedupWaits, dups)
+	}
+}
+
+// TestGetOrComputeCancelWhileComputing pins the single-flight
+// cancellation contract (run it under -race): a waiter whose context
+// dies while the owner computes abandons the wait with ctx.Err() and
+// must NOT count as a dedup hit; the owner is unaffected and its result
+// still serves later callers. Pre-fix the abandoned wait inflated
+// DedupWaits (and so Hits()) for a result it never received.
+func TestGetOrComputeCancelWhileComputing(t *testing.T) {
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey("cancelwait")
+	started := make(chan struct{})
+	release := make(chan struct{})
+	ownerDone := make(chan error, 1)
+	go func() {
+		_, _, err := s.GetOrCompute(context.Background(), k, func() (*core.Profile, error) {
+			close(started)
+			<-release
+			return testProfile(t, 1), nil
+		})
+		ownerDone <- err
+	}()
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	waiterDone := make(chan error, 1)
+	go func() {
+		_, cached, err := s.GetOrCompute(ctx, k, func() (*core.Profile, error) {
+			t.Error("canceled waiter ran compute")
+			return nil, errors.New("unreachable")
+		})
+		if cached {
+			t.Error("canceled waiter reported cached=true")
+		}
+		waiterDone <- err
+	}()
+	cancel()
+	if err := <-waiterDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled waiter: err = %v, want context.Canceled", err)
+	}
+	if st := s.Stats(); st.DedupWaits != 0 || st.Hits() != 0 {
+		t.Fatalf("abandoned wait counted as a hit: %+v", st)
+	}
+
+	close(release)
+	if err := <-ownerDone; err != nil {
+		t.Fatal(err)
+	}
+	_, cached, err := s.GetOrCompute(context.Background(), k, func() (*core.Profile, error) {
+		t.Error("post-owner call recomputed")
+		return nil, errors.New("unreachable")
+	})
+	if err != nil || !cached {
+		t.Fatalf("post-owner call: cached=%v err=%v", cached, err)
+	}
+}
+
+// TestGetOrComputeWaiterRetriesAfterOwnerCancel: a waiter whose OWNER
+// was cancelled retries the key itself instead of inheriting a
+// cancellation that was never its own.
+func TestGetOrComputeWaiterRetriesAfterOwnerCancel(t *testing.T) {
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey("ownercancel")
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		// The owner's run dies mid-compute with its context's error.
+		_, _, _ = s.GetOrCompute(context.Background(), k, func() (*core.Profile, error) {
+			close(started)
+			<-release
+			return nil, context.Canceled
+		})
+	}()
+	<-started
+	var recomputed atomic.Bool
+	waiterDone := make(chan error, 1)
+	go func() {
+		_, cached, err := s.GetOrCompute(context.Background(), k, func() (*core.Profile, error) {
+			recomputed.Store(true)
+			return testProfile(t, 1), nil
+		})
+		if cached {
+			t.Error("retrying waiter reported cached=true")
+		}
+		waiterDone <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the waiter park on the owner
+	close(release)
+	if err := <-waiterDone; err != nil {
+		t.Fatalf("waiter inherited the owner's cancellation: %v", err)
+	}
+	if !recomputed.Load() {
+		t.Fatal("waiter did not retry after the owner's cancellation")
+	}
+}
+
+// TestGetOrComputePanicCleansInflight: a panicking compute must not
+// leak its in-flight entry (which would wedge every later call for the
+// key behind a channel nobody closes). Parked waiters get an explicit
+// aborted error, and the next call computes fresh.
+func TestGetOrComputePanicCleansInflight(t *testing.T) {
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey("panicking")
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		defer func() { recover() }() // the panic propagates to the caller
+		_, _, _ = s.GetOrCompute(context.Background(), k, func() (*core.Profile, error) {
+			close(started)
+			<-release
+			panic("compute blew up")
+		})
+	}()
+	<-started
+	waiterDone := make(chan error, 1)
+	var waiterComputed atomic.Bool
+	go func() {
+		_, _, err := s.GetOrCompute(context.Background(), k, func() (*core.Profile, error) {
+			waiterComputed.Store(true)
+			return testProfile(t, 1), nil
+		})
+		waiterDone <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the waiter park on the owner
+	close(release)
+	// A parked waiter sees the aborted error; a waiter that arrived
+	// after cleanup computed fresh. Either way nothing may wedge.
+	select {
+	case err := <-waiterDone:
+		if err != nil && !strings.Contains(err.Error(), "aborted") {
+			t.Fatalf("waiter after panicking owner: %v", err)
+		}
+		if err == nil && !waiterComputed.Load() {
+			t.Fatal("waiter got a result nobody computed")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("waiter wedged behind a panicked owner")
+	}
+	// The in-flight table must be clean and the key computable again.
+	s.mu.Lock()
+	leaked := len(s.inflight)
+	s.mu.Unlock()
+	if leaked != 0 {
+		t.Fatalf("%d in-flight entries leaked after panic", leaked)
+	}
+	if _, _, err := s.GetOrCompute(context.Background(), k, func() (*core.Profile, error) {
+		return testProfile(t, 1), nil
+	}); err != nil {
+		t.Fatalf("key wedged after panicked compute: %v", err)
 	}
 }
 
